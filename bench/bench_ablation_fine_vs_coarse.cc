@@ -1,0 +1,120 @@
+// Ablation: the paper's headline claim — fine-grained retuning matches
+// the performance of coarse-grained reactions while using fewer
+// machines. We run the Table 2 consolidation scenario under (a) the
+// full selective retuner and (b) a coarse-only controller (every
+// persistent violation is answered with replica provisioning and
+// application isolation, the "IBM Tivoli"-style baseline the paper
+// argues against), and compare recovered latency and machines used.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using namespace fglb;
+
+constexpr double kTpcwClients = 120;
+constexpr double kRubisClients = 60;
+
+struct Outcome {
+  double tpcw_latency = 0;
+  double tpcw_tput = 0;
+  int machines = 0;
+  int fine_actions = 0;
+  int coarse_actions = 0;
+};
+
+Outcome Run(bool fine_grained) {
+  SelectiveRetuner::Config config;
+  config.enable_fine_grained = fine_grained;
+  ClusterHarness harness(config);
+  harness.AddServers(4);
+  Scheduler* tpcw = harness.AddApplication(MakeTpcw());
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  Scheduler* rubis = harness.AddApplication(MakeRubis(rubis_options));
+  Replica* shared = harness.resources().CreateReplica(
+      harness.resources().servers()[0].get(), 8192);
+  tpcw->AddReplica(shared);
+  rubis->AddReplica(shared);
+  harness.AddConstantClients(tpcw, kTpcwClients, /*seed=*/61);
+  harness.AddClients(rubis,
+                     std::make_unique<StepLoad>(
+                         std::vector<std::pair<SimTime, double>>{
+                             {600, kRubisClients}}),
+                     /*seed=*/63);
+  harness.Start();
+  harness.RunFor(1800);
+
+  Outcome outcome;
+  const auto ts = harness.Summarize(tpcw->app().id, 1400, 1800);
+  outcome.tpcw_latency = ts.avg_latency;
+  outcome.tpcw_tput = ts.avg_throughput;
+  std::set<const PhysicalServer*> servers;
+  for (Replica* r : tpcw->replicas()) servers.insert(&r->server());
+  for (Replica* r : rubis->replicas()) servers.insert(&r->server());
+  outcome.machines = static_cast<int>(servers.size());
+  for (const auto& action : harness.retuner().actions()) {
+    switch (action.kind) {
+      case SelectiveRetuner::ActionKind::kQuotaEnforced:
+      case SelectiveRetuner::ActionKind::kClassRescheduled:
+      case SelectiveRetuner::ActionKind::kIoEviction:
+        ++outcome.fine_actions;
+        break;
+      case SelectiveRetuner::ActionKind::kCoarseFallback:
+        ++outcome.coarse_actions;
+        break;
+      default:
+        break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fglb::bench;
+
+  PrintHeader("Ablation: fine-grained selective retuning vs coarse-only "
+              "provisioning (Table 2 scenario)");
+
+  const Outcome fine = Run(true);
+  const Outcome coarse = Run(false);
+
+  std::printf("%-24s  %10s  %9s  %9s  %13s  %15s\n", "controller",
+              "tpcw_lat_s", "tpcw_qps", "machines", "fine_actions",
+              "coarse_actions");
+  std::printf("%-24s  %10.2f  %9.1f  %9d  %13d  %15d\n", "fine-grained",
+              fine.tpcw_latency, fine.tpcw_tput, fine.machines,
+              fine.fine_actions, fine.coarse_actions);
+  std::printf("%-24s  %10.2f  %9.1f  %9d  %13d  %15d\n", "coarse-only",
+              coarse.tpcw_latency, coarse.tpcw_tput, coarse.machines,
+              coarse.fine_actions, coarse.coarse_actions);
+
+  PrintSection("shape check (paper's thesis)");
+  const bool both_recover =
+      fine.tpcw_latency <= 1.0 && coarse.tpcw_latency <= 2.0;
+  const bool fewer_or_equal_machines = fine.machines <= coarse.machines;
+  const bool fine_used_fine = fine.fine_actions >= 1;
+  const bool coarse_used_coarse = coarse.coarse_actions >= 1;
+  std::printf("fine-grained recovers TPC-W's SLA: %s (%.2fs)\n",
+              fine.tpcw_latency <= 1.0 ? "yes" : "no", fine.tpcw_latency);
+  std::printf("fine-grained uses no more machines than coarse-only: %s "
+              "(%d vs %d)\n",
+              fewer_or_equal_machines ? "yes" : "no", fine.machines,
+              coarse.machines);
+  std::printf("mechanisms engaged as designed (fine: %d fine actions; "
+              "coarse: %d fallbacks): %s\n",
+              fine.fine_actions, coarse.coarse_actions,
+              fine_used_fine && coarse_used_coarse ? "yes" : "no");
+  const bool shape_holds = both_recover && fewer_or_equal_machines &&
+                           fine_used_fine && coarse_used_coarse;
+  std::printf("shape %s\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,156 @@
+// Ablation A6: global placement (periodic maintenance) vs incremental
+// selective retuning. The paper's §3.2 argues that near-optimal global
+// reshuffling is too heavy for on-line reaction and belongs at initial
+// deployment or periodic maintenance; the runtime loop should make
+// small targeted changes. We compute the optimizer's from-scratch
+// placement for the Table 2 workload population and compare it with
+// where the incremental controller ends up: both should isolate
+// SearchItemsByRegion and land on the same machine count.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/placement_optimizer.h"
+#include "mrc/miss_ratio_curve.h"
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using namespace fglb;
+using namespace fglb::bench;
+
+// Builds each class's global footprint: acceptable memory from its MRC
+// (window-capped trace), cpu/io rates from its per-query demands times
+// its arrival rate under the scenario's client load.
+std::vector<ClassLoad> ProfileApp(const ApplicationSpec& app,
+                                  double queries_per_second) {
+  MrcConfig mrc_config;
+  mrc_config.max_server_pages = 8192;
+  DiskModel disk;
+
+  std::vector<ClassLoad> loads;
+  for (size_t i = 0; i < app.templates.size(); ++i) {
+    const QueryTemplate& tmpl = app.templates[i];
+    const double rate = queries_per_second * app.mix_weights[i];
+
+    const std::vector<PageId> trace = WindowTrace(tmpl, 30000, 77 + tmpl.id);
+    const MrcParameters params =
+        MissRatioCurve::FromTrace(trace).ComputeParameters(mrc_config);
+
+    // Per-query demands, measured warm on a private engine.
+    DatabaseEngine::Options options;
+    options.buffer_pool_pages = 8192;
+    options.seed = 4000 + tmpl.id;
+    DatabaseEngine engine("profiler", options, &disk);
+    QueryInstance q;
+    q.app = app.id;
+    q.tmpl = &tmpl;
+    double cpu = 0, io = 0;
+    const int kWarm = 120, kMeasure = 120;
+    for (int r = 0; r < kWarm + kMeasure; ++r) {
+      const ExecutionCounters c = engine.Execute(q);
+      if (r < kWarm) continue;
+      cpu += c.cpu_seconds;
+      io += c.io_seconds;
+    }
+    ClassLoad load;
+    load.key = MakeClassKey(app.id, tmpl.id);
+    load.acceptable_pages = params.acceptable_memory_pages;
+    load.cpu_rate = rate * cpu / kMeasure;
+    load.io_rate = rate * io / kMeasure;
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation A6: global placement optimizer vs incremental "
+              "selective retuning (Table 2 workload)");
+
+  // --- Global: compute a from-scratch placement. ---
+  const ApplicationSpec tpcw = MakeTpcw();
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  const ApplicationSpec rubis = MakeRubis(rubis_options);
+  std::vector<ClassLoad> classes = ProfileApp(tpcw, 110);
+  // RUBiS profiled at its sustainable post-isolation rate (~20 q/s:
+  // SearchItemsByRegion alone nearly saturates one disk).
+  for (const ClassLoad& l : ProfileApp(rubis, 20)) classes.push_back(l);
+
+  PlacementConfig config;
+  config.server_pool_pages = 8192;
+  config.cpu_capacity = 4.0;
+  config.io_capacity = 1.0;
+  config.target_fill = 0.75;
+  const PlacementPlan plan = ComputePlacement(classes, config);
+  std::printf("optimizer plan: %s\n\n", plan.ToString().c_str());
+
+  const ClassKey sibr = MakeClassKey(rubis.id, kRubisSearchItemsByRegion);
+  const int sibr_server = plan.ServerOf(sibr);
+  int sibr_neighbours = 0;
+  if (sibr_server >= 0) {
+    sibr_neighbours =
+        static_cast<int>(plan.servers[sibr_server].size()) - 1;
+  }
+
+  // --- Incremental: let the controller converge on the same workload.
+  ClusterHarness harness;
+  harness.AddServers(4);
+  Scheduler* tpcw_sched = harness.AddApplication(MakeTpcw());
+  Scheduler* rubis_sched = harness.AddApplication(MakeRubis(rubis_options));
+  Replica* shared = harness.resources().CreateReplica(
+      harness.resources().servers()[0].get(), 8192);
+  tpcw_sched->AddReplica(shared);
+  rubis_sched->AddReplica(shared);
+  harness.AddConstantClients(tpcw_sched, 120, 61);
+  harness.AddClients(rubis_sched,
+                     std::make_unique<StepLoad>(
+                         std::vector<std::pair<SimTime, double>>{{600, 60}}),
+                     63);
+  harness.Start();
+  harness.RunFor(1800);
+  std::set<const PhysicalServer*> used;
+  for (Replica* r : tpcw_sched->replicas()) used.insert(&r->server());
+  for (Replica* r : rubis_sched->replicas()) used.insert(&r->server());
+  const int incremental_servers = static_cast<int>(used.size());
+  bool sibr_isolated_incrementally = false;
+  for (const auto& action : harness.retuner().actions()) {
+    if (action.kind == SelectiveRetuner::ActionKind::kClassRescheduled &&
+        action.description.find("app=2/class=4") != std::string::npos) {
+      sibr_isolated_incrementally = true;
+    }
+  }
+
+  std::printf("%-36s  %8s  %26s\n", "approach", "servers",
+              "SearchItemsByRegion placed");
+  std::printf("%-36s  %8d  %26s\n", "global optimizer (maintenance)",
+              plan.servers_used(),
+              sibr_server >= 0
+                  ? (sibr_neighbours <= 3 ? "isolated (few neighbours)"
+                                          : "co-located")
+                  : "unplaced");
+  std::printf("%-36s  %8d  %26s\n", "incremental controller (runtime)",
+              incremental_servers,
+              sibr_isolated_incrementally ? "moved to its own replica"
+                                          : "left in place");
+
+  PrintSection("shape check");
+  const bool agree_on_count =
+      plan.feasible && plan.servers_used() == incremental_servers;
+  const bool both_isolate =
+      sibr_server >= 0 && sibr_neighbours <= 3 && sibr_isolated_incrementally;
+  std::printf("both approaches use the same machine count: %s (%d vs %d)\n",
+              agree_on_count ? "yes" : "no", plan.servers_used(),
+              incremental_servers);
+  std::printf("both isolate the heavyweight class: %s\n",
+              both_isolate ? "yes" : "no");
+  const bool shape_holds = plan.feasible && both_isolate &&
+                           plan.servers_used() <= incremental_servers + 1 &&
+                           incremental_servers <= plan.servers_used() + 1;
+  std::printf("shape %s\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

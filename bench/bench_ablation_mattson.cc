@@ -1,0 +1,80 @@
+// Ablation A3: Mattson stack implementations. The paper's claim that
+// per-query-class statistics collection is "lightweight" rests on MRC
+// tracking being cheap. The reference list-based stack is O(stack
+// depth) per access; the Fenwick-tree stack is O(log n). This
+// google-benchmark binary measures both across working-set sizes,
+// plus end-to-end MRC curve construction on a window-sized trace.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "mrc/mattson_stack.h"
+#include "mrc/miss_ratio_curve.h"
+
+namespace {
+
+using namespace fglb;
+
+std::vector<PageId> MakeTrace(uint64_t pages, double theta, size_t n,
+                              uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(pages, theta);
+  std::vector<PageId> trace;
+  trace.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    trace.push_back(MakePageId(1, ScrambleToDomain(zipf.Sample(rng), pages)));
+  }
+  return trace;
+}
+
+void BM_ListStack(benchmark::State& state) {
+  const uint64_t pages = static_cast<uint64_t>(state.range(0));
+  const auto trace = MakeTrace(pages, 0.6, 20000, 11);
+  for (auto _ : state) {
+    ListMattsonStack stack;
+    for (PageId p : trace) benchmark::DoNotOptimize(stack.Access(p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+
+void BM_FenwickStack(benchmark::State& state) {
+  const uint64_t pages = static_cast<uint64_t>(state.range(0));
+  const auto trace = MakeTrace(pages, 0.6, 20000, 11);
+  for (auto _ : state) {
+    FenwickMattsonStack stack;
+    for (PageId p : trace) benchmark::DoNotOptimize(stack.Access(p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
+}
+
+void BM_MrcFromWindow(benchmark::State& state) {
+  // A full per-class window (30000 accesses) as the log analyzer
+  // recomputes it during diagnosis.
+  const auto trace = MakeTrace(8192, 0.5, 30000, 13);
+  for (auto _ : state) {
+    const MissRatioCurve curve = MissRatioCurve::FromTrace(trace);
+    benchmark::DoNotOptimize(curve.MissRatioAt(4096));
+  }
+}
+
+void BM_MrcParameters(benchmark::State& state) {
+  const auto trace = MakeTrace(8192, 0.5, 30000, 13);
+  const MissRatioCurve curve = MissRatioCurve::FromTrace(trace);
+  MrcConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.ComputeParameters(config));
+  }
+}
+
+BENCHMARK(BM_ListStack)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FenwickStack)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MrcFromWindow)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MrcParameters)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

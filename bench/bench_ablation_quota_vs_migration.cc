@@ -1,0 +1,124 @@
+// Ablation A2: the two fine-grained actions the paper chooses between
+// for a memory-interference suspect (§3.3.2) — enforce a buffer-pool
+// quota in place, or re-place the class on a different replica. The
+// paper discusses the tradeoff qualitatively (quota: no extra machine,
+// possible underutilization and a throttled class; migration: extra
+// machine + warm-up, full isolation). We measure it on the Table 2
+// scenario (TPC-W + RUBiS sharing one engine, SearchItemsByRegion the
+// culprit).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using namespace fglb;
+
+constexpr double kTpcwClients = 120;
+constexpr double kRubisClients = 60;
+
+struct Outcome {
+  double tpcw_latency = 0;
+  double tpcw_tput = 0;
+  double rubis_latency = 0;
+  double rubis_tput = 0;
+  int machines = 0;
+};
+
+// arm 0: no action; arm 1: quota on SearchItemsByRegion in place;
+// arm 2: migrate SearchItemsByRegion to its own replica.
+Outcome RunArm(int arm, uint64_t quota_pages) {
+  SelectiveRetuner::Config config;
+  config.enable_actions = false;  // the arm is applied manually
+  ClusterHarness harness(config);
+  harness.AddServers(2);
+  Scheduler* tpcw = harness.AddApplication(MakeTpcw());
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  Scheduler* rubis = harness.AddApplication(MakeRubis(rubis_options));
+  Replica* shared = harness.resources().CreateReplica(
+      harness.resources().servers()[0].get(), 8192);
+  tpcw->AddReplica(shared);
+  rubis->AddReplica(shared);
+  harness.AddConstantClients(tpcw, kTpcwClients, /*seed=*/41);
+  harness.AddConstantClients(rubis, kRubisClients, /*seed=*/43);
+
+  if (arm == 1) {
+    shared->engine().SetQuota(
+        MakeClassKey(rubis->app().id, kRubisSearchItemsByRegion),
+        quota_pages);
+  } else if (arm == 2) {
+    Replica* dedicated = harness.resources().CreateReplica(
+        harness.resources().servers()[1].get(), 8192);
+    rubis->DedicateReplica(kRubisSearchItemsByRegion, dedicated);
+  }
+
+  harness.Start();
+  harness.RunFor(1200);
+
+  Outcome outcome;
+  const auto ts = harness.Summarize(tpcw->app().id, 600, 1200);
+  const auto rs = harness.Summarize(rubis->app().id, 600, 1200);
+  outcome.tpcw_latency = ts.avg_latency;
+  outcome.tpcw_tput = ts.avg_throughput;
+  outcome.rubis_latency = rs.avg_latency;
+  outcome.rubis_tput = rs.avg_throughput;
+  int machines = harness.resources().ServersUsedBy(*tpcw);
+  machines = std::max(machines, harness.resources().ServersUsedBy(*rubis));
+  // Count distinct servers across both apps.
+  std::set<const PhysicalServer*> servers;
+  for (Replica* r : tpcw->replicas()) servers.insert(&r->server());
+  for (Replica* r : rubis->replicas()) servers.insert(&r->server());
+  outcome.machines = static_cast<int>(servers.size());
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fglb::bench;
+
+  PrintHeader("Ablation A2: memory quota vs. replica re-placement "
+              "(Table 2 scenario, SearchItemsByRegion)");
+
+  const Outcome none = RunArm(0, 0);
+  const Outcome quota = RunArm(1, 1024);
+  const Outcome migrate = RunArm(2, 0);
+
+  std::printf("%-26s  %10s  %9s  %11s  %10s  %8s\n", "action",
+              "tpcw_lat_s", "tpcw_qps", "rubis_lat_s", "rubis_qps",
+              "machines");
+  auto row = [](const char* label, const Outcome& o) {
+    std::printf("%-26s  %10.2f  %9.1f  %11.2f  %10.1f  %8d\n", label,
+                o.tpcw_latency, o.tpcw_tput, o.rubis_latency, o.rubis_tput,
+                o.machines);
+  };
+  row("none (shared, broken)", none);
+  row("quota 1024 pages in place", quota);
+  row("re-place on 2nd replica", migrate);
+
+  PrintSection("shape check (the paper's qualitative tradeoff)");
+  // The quota removes the *memory* interference but SIBR still shares
+  // the disk, so the rescue is partial — which is itself part of the
+  // tradeoff the paper describes.
+  const bool quota_helps =
+      quota.tpcw_latency < 0.75 * none.tpcw_latency && quota.machines == 1;
+  const bool migrate_best = migrate.tpcw_latency <= quota.tpcw_latency &&
+                            migrate.machines == 2;
+  const bool quota_throttles = quota.rubis_latency >= migrate.rubis_latency;
+  std::printf("quota rescues TPC-W without a second machine: %s\n",
+              quota_helps ? "yes" : "no");
+  std::printf("migration rescues TPC-W at least as well, using one more "
+              "machine: %s\n",
+              migrate_best ? "yes" : "no");
+  std::printf("quota keeps the culprit class slower than migration does: "
+              "%s\n",
+              quota_throttles ? "yes" : "no");
+  const bool shape_holds = quota_helps && migrate_best && quota_throttles;
+  std::printf("shape %s\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

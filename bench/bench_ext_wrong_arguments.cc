@@ -1,0 +1,106 @@
+// Extension E9 (the paper's §7 future work): "invoking a query with
+// the wrong arguments". A deployed application starts calling one query
+// class with pathological arguments — each invocation suddenly touches
+// ~25x more pages across a much larger range (think: a missing
+// predicate). Unlike the index-drop scenario, nothing changed in the
+// schema; the *workload itself* changed. The pipeline must (a) flag the
+// class through memory-counter outliers, (b) confirm it through MRC
+// recomputation (its working set genuinely grew), and (c) act
+// fine-grained.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "scenarios/harness.h"
+#include "workload/tpcw.h"
+
+int main() {
+  using namespace fglb;
+  using namespace fglb::bench;
+
+  PrintHeader("Extension: wrong-arguments anomaly (paper §7 future work)");
+
+  SelectiveRetuner::Config config;
+  ClusterHarness harness(config);
+  harness.AddServers(3);
+  Scheduler* tpcw = harness.AddApplication(MakeTpcw());
+  Replica* replica = harness.resources().CreateReplica(
+      harness.resources().servers()[0].get(), 8192);
+  tpcw->AddReplica(replica);
+  harness.AddConstantClients(tpcw, 150, /*seed=*/404);
+  harness.Start();
+  harness.RunFor(600);
+  const auto before = harness.Summarize(tpcw->app().id, 300, 600);
+
+  // The bug ships: SearchByTitle (class 4) loses its predicate and
+  // sprays reads over a 25x larger range, 25x more pages per call.
+  ApplicationSpec* live = harness.mutable_app(tpcw);
+  for (auto& tmpl : live->templates) {
+    if (tmpl.id != kTpcwSearchByTitle) continue;
+    for (auto& component : tmpl.components) {
+      component.mean_pages *= 25;
+      component.region_pages *= 25;
+      component.zipf_theta = 0.2;
+    }
+  }
+  std::printf("t=600: SearchByTitle (class %u) starts running with wrong "
+              "arguments\n",
+              kTpcwSearchByTitle);
+  harness.RunFor(400);
+  const auto after = harness.Summarize(tpcw->app().id, 620, 1000);
+
+  std::printf("\napp latency %.3f s -> %.3f s\n", before.avg_latency,
+              after.avg_latency);
+
+  const SelectiveRetuner::DiagnosisRecord* record = nullptr;
+  for (const auto& d : harness.retuner().diagnoses()) {
+    if (d.time > 600) {
+      record = &d;
+      break;
+    }
+  }
+  if (record == nullptr) {
+    std::printf("no diagnosis recorded -- shape DOES NOT HOLD\n");
+    return 1;
+  }
+
+  PrintSection("diagnosis");
+  const ClassKey culprit = MakeClassKey(tpcw->app().id, kTpcwSearchByTitle);
+  const bool flagged =
+      record->outliers.MemoryProblemContexts().contains(culprit);
+  bool suspect = false;
+  for (const auto& s : record->memory.suspects) {
+    std::printf("  suspect: class %u  %s\n", ClassOf(s.key),
+                s.params.ToString().c_str());
+    suspect |= s.key == culprit;
+  }
+  bool acted = false;
+  for (const auto& action : harness.retuner().actions()) {
+    if (action.time <= 600) continue;
+    std::printf("  t=%6.0f  [%s] %s\n", action.time,
+                SelectiveRetuner::ActionKindName(action.kind),
+                action.description.c_str());
+    if (action.description.find("class=4") != std::string::npos &&
+        (action.kind == SelectiveRetuner::ActionKind::kQuotaEnforced ||
+         action.kind == SelectiveRetuner::ActionKind::kClassRescheduled ||
+         action.kind == SelectiveRetuner::ActionKind::kIoEviction)) {
+      acted = true;
+    }
+  }
+
+  PrintSection("shape check");
+  const bool degraded = after.avg_latency > 2.0 * before.avg_latency;
+  std::printf("wrong arguments degrade the application: %s (%.3fs -> "
+              "%.3fs)\n",
+              degraded ? "yes" : "no", before.avg_latency,
+              after.avg_latency);
+  std::printf("outlier detection flags the class on memory counters: %s\n",
+              flagged ? "yes" : "no");
+  std::printf("MRC recomputation confirms the grown working set: %s\n",
+              suspect ? "yes" : "no");
+  std::printf("a fine-grained action targeted the class: %s\n",
+              acted ? "yes" : "no");
+  const bool shape_holds = degraded && flagged && suspect && acted;
+  std::printf("shape %s\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Reproduces Figure 6 of the paper: the miss-ratio curve of the RUBiS
+// SearchItemsByRegion query class, plus the co-location fit test built
+// on it. The paper measures an acceptable memory need of ~7906 pages
+// and concludes the class "cannot be co-located with the TPC-W
+// application in a shared 8192-page buffer pool, since only the
+// BestSeller of TPC-W needs at least 6982 pages". We rerun exactly the
+// decision the system makes: QuotaPlanner::FitsOn(SearchItemsByRegion,
+// {all TPC-W stable profiles}).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/quota_planner.h"
+#include "mrc/miss_ratio_curve.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+constexpr size_t kWindow = 30000;
+
+fglb::MrcParameters ParamsOf(const fglb::QueryTemplate& tmpl,
+                             const fglb::MrcConfig& config, uint64_t seed,
+                             fglb::MissRatioCurve* curve_out = nullptr) {
+  using namespace fglb;
+  using namespace fglb::bench;
+  const std::vector<PageId> trace = WindowTrace(tmpl, kWindow, seed);
+  MissRatioCurve curve = MissRatioCurve::FromTrace(trace);
+  const MrcParameters params = curve.ComputeParameters(config);
+  if (curve_out != nullptr) *curve_out = std::move(curve);
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fglb;
+  using namespace fglb::bench;
+
+  PrintHeader("Figure 6: Miss Ratio Curve of RUBiS SearchItemsByRegion");
+
+  MrcConfig config;
+  config.max_server_pages = 8192;
+
+  const ApplicationSpec rubis = MakeRubis();
+  MissRatioCurve curve;
+  const MrcParameters sibr_params =
+      ParamsOf(*rubis.FindTemplate(kRubisSearchItemsByRegion), config,
+               /*seed=*/777, &curve);
+
+  std::printf("%12s  %10s\n", "memory_pages", "miss_ratio");
+  for (uint64_t m = 0; m <= config.max_server_pages; m += 512) {
+    std::printf("%12llu  %10.4f\n", static_cast<unsigned long long>(m),
+                curve.MissRatioAt(m));
+  }
+  std::printf("parameters: %s  (paper: acceptable ~7906)\n",
+              sibr_params.ToString().c_str());
+
+  // TPC-W's stable profiles on the shared engine.
+  const ApplicationSpec tpcw = MakeTpcw();
+  std::vector<ClassMemoryProfile> tpcw_profiles;
+  uint64_t largest_acceptable = 0;
+  QueryClassId largest_class = 0;
+  uint64_t sum_acceptable = 0;
+  for (const auto& tmpl : tpcw.templates) {
+    ClassMemoryProfile profile;
+    profile.key = MakeClassKey(tpcw.id, tmpl.id);
+    profile.params = ParamsOf(tmpl, config, /*seed=*/900 + tmpl.id);
+    sum_acceptable += profile.params.acceptable_memory_pages;
+    if (profile.params.acceptable_memory_pages > largest_acceptable) {
+      largest_acceptable = profile.params.acceptable_memory_pages;
+      largest_class = tmpl.id;
+    }
+    tpcw_profiles.push_back(profile);
+  }
+
+  PrintSection("co-location fit test (the system's actual decision)");
+  ClassMemoryProfile incoming;
+  incoming.key = MakeClassKey(rubis.id, kRubisSearchItemsByRegion);
+  incoming.params = sibr_params;
+  const bool fits = QuotaPlanner::FitsOn(8192, incoming, tpcw_profiles);
+  std::printf("SearchItemsByRegion acceptable:       %llu pages "
+              "(paper 7906)\n",
+              static_cast<unsigned long long>(
+                  sibr_params.acceptable_memory_pages));
+  std::printf("TPC-W sum of acceptable:              %llu pages\n",
+              static_cast<unsigned long long>(sum_acceptable));
+  std::printf("TPC-W largest class: #%u (BestSeller=%u) needs %llu pages "
+              "(paper 6982)\n",
+              largest_class, kTpcwBestSeller,
+              static_cast<unsigned long long>(largest_acceptable));
+  std::printf("FitsOn(8192, SIBR, TPC-W) = %s\n", fits ? "true" : "false");
+
+  PrintSection("shape check vs paper");
+  const bool dominant =
+      sibr_params.acceptable_memory_pages > 8192 / 2 &&
+      sibr_params.acceptable_memory_pages > largest_acceptable;
+  const bool bestseller_largest = largest_class == kTpcwBestSeller;
+  std::printf("SearchItemsByRegion needs most of a pool and tops TPC-W's "
+              "heaviest class: %s\n",
+              dominant ? "yes" : "no");
+  std::printf("TPC-W's heaviest memory class is BestSeller: %s\n",
+              bestseller_largest ? "yes" : "no");
+  std::printf("co-location rejected by the fit test: %s\n",
+              !fits ? "yes" : "no");
+  const bool shape_holds = dominant && bestseller_largest && !fits;
+  std::printf("shape %s\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

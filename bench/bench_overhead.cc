@@ -1,0 +1,91 @@
+// Overhead of the diagnosis pipeline itself. The paper claims the
+// technique "is transparent to clients and has negligible overhead";
+// this google-benchmark binary quantifies the controller-side costs:
+// IQR outlier detection over an application's classes, the quota-plan
+// fit test, and a full MRC recomputation from a per-class window (the
+// only expensive step, which is why it runs on demand rather than every
+// interval).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/outlier_detector.h"
+#include "core/quota_planner.h"
+#include "mrc/miss_ratio_curve.h"
+
+namespace {
+
+using namespace fglb;
+
+std::map<ClassKey, MetricVector> MakeSnapshot(int classes, Rng& rng) {
+  std::map<ClassKey, MetricVector> snapshot;
+  for (int i = 1; i <= classes; ++i) {
+    MetricVector v{};
+    for (Metric m : kAllMetrics) {
+      At(v, m) = rng.UniformDouble(1, 1000);
+    }
+    snapshot[MakeClassKey(1, static_cast<uint32_t>(i))] = v;
+  }
+  return snapshot;
+}
+
+void BM_OutlierDetect(benchmark::State& state) {
+  const int classes = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const auto current = MakeSnapshot(classes, rng);
+  StableStateStore stable;
+  for (const auto& [key, vec] : MakeSnapshot(classes, rng)) {
+    stable.Update(key, vec, 0.0);
+  }
+  OutlierDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(current, stable));
+  }
+}
+
+void BM_QuotaPlan(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<ClassMemoryProfile> problem, others;
+  for (uint32_t i = 1; i <= 4; ++i) {
+    ClassMemoryProfile p;
+    p.key = MakeClassKey(1, i);
+    p.params.acceptable_memory_pages = rng.NextUint64(4000);
+    p.params.total_memory_pages = p.params.acceptable_memory_pages + 500;
+    problem.push_back(p);
+  }
+  for (uint32_t i = 10; i <= 30; ++i) {
+    ClassMemoryProfile p;
+    p.key = MakeClassKey(1, i);
+    p.params.acceptable_memory_pages = rng.NextUint64(800);
+    p.params.total_memory_pages = p.params.acceptable_memory_pages + 100;
+    others.push_back(p);
+  }
+  QuotaPlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Plan(8192, problem, others));
+  }
+}
+
+void BM_MrcRecompute(benchmark::State& state) {
+  // Full per-class window, as DiagnoseMemory recomputes it.
+  Rng rng(3);
+  ZipfGenerator zipf(6000, 0.6);
+  std::vector<PageId> window;
+  for (int i = 0; i < 30000; ++i) {
+    window.push_back(MakePageId(1, ScrambleToDomain(zipf.Sample(rng), 6000)));
+  }
+  MrcConfig config;
+  for (auto _ : state) {
+    const MissRatioCurve curve = MissRatioCurve::FromTrace(window);
+    benchmark::DoNotOptimize(curve.ComputeParameters(config));
+  }
+}
+
+BENCHMARK(BM_OutlierDetect)->Arg(14)->Arg(26)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_QuotaPlan)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MrcRecompute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

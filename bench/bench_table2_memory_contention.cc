@@ -1,0 +1,142 @@
+// Reproduces Table 2 of the paper: memory contention in a shared
+// buffer pool. TPC-W runs inside one database engine with a 128 MB
+// (8192-page) pool; then RUBiS is started inside the *same* engine.
+// TPC-W's throughput collapses and its latency rises roughly ten-fold.
+// The paper's diagnosis finds TPC-W's own outlier classes unchanged by
+// MRC recomputation, computes MRCs for the newly arrived RUBiS classes,
+// identifies SearchItemsByRegion (acceptable memory ~7906 pages) as
+// impossible to co-locate, and re-places it on a different replica,
+// restoring most of TPC-W's performance.
+//
+// Paper's Table 2 (TPC-W latency / WIPS):
+//   TPC-W alone            ~0.54 s   ~8.8
+//   TPC-W + RUBiS shared    5.42 s    4.29
+//   TPC-W + RUBiS*          1.27 s    6.44   (* SIBR on another machine)
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using namespace fglb;
+
+constexpr double kTpcwClients = 120;
+constexpr double kRubisClients = 60;
+
+struct Row {
+  double latency = 0;
+  double throughput = 0;
+};
+
+SelectiveRetuner::Config PassiveConfig() {
+  SelectiveRetuner::Config config;
+  config.enable_actions = false;
+  return config;
+}
+
+// Measures TPC-W with the given RUBiS co-location mode.
+// mode 0: TPC-W alone. mode 1: RUBiS shares the engine (no controller).
+// mode 2: like 1, but the full selective-retuning controller is active.
+Row RunScenario(int mode, std::string* actions_out = nullptr,
+                Row* rubis_out = nullptr) {
+  ClusterHarness harness(mode == 2 ? SelectiveRetuner::Config{}
+                                   : PassiveConfig());
+  harness.AddServers(3);
+  Scheduler* tpcw = harness.AddApplication(MakeTpcw());
+  Replica* shared = harness.resources().CreateReplica(
+      harness.resources().servers()[0].get(), 8192);
+  tpcw->AddReplica(shared);
+  harness.AddConstantClients(tpcw, kTpcwClients, /*seed=*/21);
+
+  Scheduler* rubis = nullptr;
+  if (mode >= 1) {
+    RubisOptions options;
+    options.app_id = 2;
+    rubis = harness.AddApplication(MakeRubis(options));
+    rubis->AddReplica(shared);
+    // RUBiS arrives after TPC-W has stabilized.
+    harness.AddClients(rubis,
+                       std::make_unique<StepLoad>(
+                           std::vector<std::pair<SimTime, double>>{
+                               {600, kRubisClients}}),
+                       /*seed=*/23);
+  }
+  harness.Start();
+  harness.RunFor(1800);
+
+  Row row;
+  // Measure the final stretch (mode 2 has acted by then; modes 0/1 are
+  // steady anyway).
+  const auto summary = harness.Summarize(tpcw->app().id, 1400, 1800);
+  row.latency = summary.avg_latency;
+  row.throughput = summary.avg_throughput;
+  if (rubis_out != nullptr && rubis != nullptr) {
+    const auto rs = harness.Summarize(rubis->app().id, 1400, 1800);
+    rubis_out->latency = rs.avg_latency;
+    rubis_out->throughput = rs.avg_throughput;
+  }
+  if (actions_out != nullptr) {
+    for (const auto& action : harness.retuner().actions()) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf), "  t=%6.0f  [%s] %s\n", action.time,
+                    SelectiveRetuner::ActionKindName(action.kind),
+                    action.description.c_str());
+      *actions_out += buf;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fglb::bench;
+
+  PrintHeader("Table 2: Effect of memory contention in a shared buffer pool");
+
+  const Row alone = RunScenario(0);
+  const Row shared = RunScenario(1);
+  std::string actions;
+  Row rubis_after;
+  const Row retuned = RunScenario(2, &actions, &rubis_after);
+
+  std::printf("%-28s  %12s  %12s\n", "placement (TPC-W measured)",
+              "latency_s", "tput_qps");
+  std::printf("%-28s  %12.2f  %12.1f\n", "TPC-W alone", alone.latency,
+              alone.throughput);
+  std::printf("%-28s  %12.2f  %12.1f\n", "TPC-W + RUBiS (shared)",
+              shared.latency, shared.throughput);
+  std::printf("%-28s  %12.2f  %12.1f\n", "TPC-W + RUBiS (retuned)",
+              retuned.latency, retuned.throughput);
+  std::printf("\npaper:  alone 0.54s / 8.8 WIPS; shared 5.42s / 4.29 WIPS "
+              "(~10x latency); retuned 1.27s / 6.44 WIPS\n");
+
+  PrintSection("controller actions in the retuned run");
+  std::printf("%s", actions.c_str());
+
+  PrintSection("shape check vs paper");
+  const bool collapse = shared.latency > 3.0 * alone.latency &&
+                        shared.throughput < 0.8 * alone.throughput;
+  const bool recovery = retuned.latency < 0.5 * shared.latency &&
+                        retuned.throughput > shared.throughput;
+  const bool sibr_moved =
+      actions.find("class=4") != std::string::npos &&
+      actions.find("resched") != std::string::npos;
+  std::printf("shared pool collapses TPC-W (>3x latency, lower tput): %s "
+              "(%.2fs -> %.2fs, %.1f -> %.1f qps)\n",
+              collapse ? "yes" : "no", alone.latency, shared.latency,
+              alone.throughput, shared.throughput);
+  std::printf("fine-grained re-placement restores most of it: %s "
+              "(%.2fs, %.1f qps)\n",
+              recovery ? "yes" : "no", retuned.latency, retuned.throughput);
+  std::printf("SearchItemsByRegion (class 4) was re-placed: %s\n",
+              sibr_moved ? "yes" : "no");
+  const bool shape_holds = collapse && recovery && sibr_moved;
+  std::printf("shape %s\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+// Reproduces Table 3 of the paper: I/O contention among VM domains.
+// Two independent RUBiS instances (separate data) run in two Xen
+// domains on one physical machine. Each domain has its own database
+// engine and buffer pool, but both share the dom0 I/O channel — Xen
+// isolates faults, not I/O performance. Co-location collapses
+// throughput; removing the single query class responsible for the vast
+// majority of the I/O (SearchItemsByRegion, ~87% in the paper) from
+// one domain restores performance.
+//
+// Paper's Table 3 (RUBiS-1 latency / WIPS):
+//   RUBiS alone (dom2 idle)      1.5 s    97
+//   RUBiS + RUBiS                4.8 s    30
+//   RUBiS + RUBiS w/o SIBR       1.5 s    95
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "engine/database_engine.h"
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+
+namespace {
+
+using namespace fglb;
+
+// The paper runs 200 clients per instance against physical Dells; our
+// simulated disk model saturates earlier, so the same *operating
+// point* (just below one domain's capacity when alone) sits at a lower
+// client count.
+constexpr double kClients = 60;
+
+SelectiveRetuner::Config PassiveConfig() {
+  SelectiveRetuner::Config config;
+  config.enable_actions = false;
+  return config;
+}
+
+struct Row {
+  double latency = 0;
+  double throughput = 0;
+};
+
+// mode 0: RUBiS-1 alone. mode 1: both domains, no controller.
+// mode 2: both domains, controller active (I/O interference path).
+Row RunScenario(int mode, std::string* actions_out = nullptr) {
+  ClusterHarness harness(mode == 2 ? SelectiveRetuner::Config{}
+                                   : PassiveConfig());
+  // One shared machine (two Xen domains) + a spare for re-placement.
+  harness.AddServers(2);
+  PhysicalServer* machine = harness.resources().servers()[0].get();
+
+  RubisOptions first;
+  first.app_id = 2;
+  first.table_base = 11;
+  Scheduler* rubis1 = harness.AddApplication(MakeRubis(first));
+  Replica* dom1 = harness.resources().CreateReplica(machine, 8192, 51);
+  rubis1->AddReplica(dom1);
+  harness.AddConstantClients(rubis1, kClients, /*seed=*/31);
+
+  if (mode >= 1) {
+    RubisOptions second;
+    second.app_id = 3;
+    second.table_base = 21;
+    Scheduler* rubis2 = harness.AddApplication(MakeRubis(second));
+    Replica* dom2 = harness.resources().CreateReplica(machine, 8192, 52);
+    rubis2->AddReplica(dom2);
+    harness.AddConstantClients(rubis2, kClients, /*seed=*/33);
+  }
+
+  harness.Start();
+  harness.RunFor(1200);
+
+  if (actions_out != nullptr) {
+    for (const auto& action : harness.retuner().actions()) {
+      char buf[200];
+      std::snprintf(buf, sizeof(buf), "  t=%6.0f  [%s] %s\n", action.time,
+                    SelectiveRetuner::ActionKindName(action.kind),
+                    action.description.c_str());
+      *actions_out += buf;
+    }
+  }
+  Row row;
+  const auto summary = harness.Summarize(2, 800, 1200);
+  row.latency = summary.avg_latency;
+  row.throughput = summary.avg_throughput;
+  return row;
+}
+
+// SearchItemsByRegion's share of the application's I/O block requests
+// (workload-intrinsic; the paper reports ~87%).
+double SibrIoShare() {
+  DiskModel disk;
+  DatabaseEngine::Options options;
+  options.buffer_pool_pages = 8192;
+  options.seed = 9;
+  DatabaseEngine engine("share", options, &disk);
+  const ApplicationSpec app = MakeRubis();
+  Rng rng(17);
+  std::map<QueryClassId, uint64_t> io;
+  uint64_t total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    QueryInstance q;
+    q.app = app.id;
+    q.tmpl = &app.templates[app.SampleTemplateIndex(rng)];
+    const ExecutionCounters c = engine.Execute(q);
+    if (i < 1000) continue;  // warm-up
+    io[q.tmpl->id] += c.io_requests;
+    total += c.io_requests;
+  }
+  return total > 0 ? static_cast<double>(io[kRubisSearchItemsByRegion]) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fglb::bench;
+
+  PrintHeader("Table 3: Effect of I/O contention among VM domains");
+
+  const double sibr_share = SibrIoShare();
+  std::printf("SearchItemsByRegion share of RUBiS I/O requests: %.0f%% "
+              "(paper: 87%%)\n\n",
+              sibr_share * 100);
+
+  const Row alone = RunScenario(0);
+  const Row contended = RunScenario(1);
+  std::string actions;
+  const Row retuned = RunScenario(2, &actions);
+
+  std::printf("%-34s  %12s  %12s\n", "placement (RUBiS-1 measured)",
+              "latency_s", "tput_qps");
+  std::printf("%-34s  %12.2f  %12.1f\n", "RUBiS alone (dom2 idle)",
+              alone.latency, alone.throughput);
+  std::printf("%-34s  %12.2f  %12.1f\n", "RUBiS + RUBiS (both domains)",
+              contended.latency, contended.throughput);
+  std::printf("%-34s  %12.2f  %12.1f\n", "RUBiS + RUBiS (controller acted)",
+              retuned.latency, retuned.throughput);
+  std::printf("\npaper:  alone 1.5s / 97 WIPS; contended 4.8s / 30 WIPS; "
+              "after removing SIBR 1.5s / 95 WIPS\n");
+
+  PrintSection("controller actions in the retuned run");
+  std::printf("%s", actions.c_str());
+
+  PrintSection("shape check vs paper");
+  const bool collapse = contended.throughput < 0.6 * alone.throughput &&
+                        contended.latency > 2.0 * alone.latency;
+  const bool recovery = retuned.throughput > 0.8 * alone.throughput &&
+                        retuned.latency < 0.6 * contended.latency;
+  const bool io_action = actions.find("io_") != std::string::npos ||
+                         actions.find("class=4") != std::string::npos;
+  std::printf("co-location collapses RUBiS-1 (tput %.1f -> %.1f, latency "
+              "%.2f -> %.2f): %s\n",
+              alone.throughput, contended.throughput, alone.latency,
+              contended.latency, collapse ? "yes" : "no");
+  std::printf("I/O-rate-driven re-placement restores it (%.1f qps, %.2fs): "
+              "%s\n",
+              retuned.throughput, retuned.latency, recovery ? "yes" : "no");
+  std::printf("the controller's action targeted the I/O-heavy context: %s\n",
+              io_action ? "yes" : "no");
+  const bool shape_holds =
+      sibr_share > 0.5 && collapse && recovery && io_action;
+  std::printf("shape %s\n", shape_holds ? "HOLDS" : "DOES NOT HOLD");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+#ifndef FGLB_BENCH_BENCH_UTIL_H_
+#define FGLB_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction benchmark binaries. Each
+// binary regenerates one table or figure of the paper and prints (a)
+// the series/rows we measure and (b) the paper's reference values for
+// side-by-side comparison. Absolute values differ (the substrate is a
+// calibrated simulator, not the authors' testbed); the *shape* is the
+// reproduction target. See EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/page.h"
+#include "workload/access_generator.h"
+#include "workload/query_class.h"
+
+namespace fglb::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================="
+              "=\n");
+}
+
+inline void PrintSection(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Generates a page-access trace by executing `queries` instances of a
+// template back to back (what the paper's per-class logging would have
+// recorded in its recent-access window).
+inline std::vector<PageId> TraceOf(const QueryTemplate& tmpl, int queries,
+                                   uint64_t seed) {
+  AccessGenerator gen;
+  Rng rng(seed);
+  std::vector<PageAccess> accesses;
+  for (int i = 0; i < queries; ++i) gen.Generate(tmpl, rng, &accesses);
+  std::vector<PageId> trace;
+  trace.reserve(accesses.size());
+  for (const auto& a : accesses) trace.push_back(a.page);
+  return trace;
+}
+
+// Generates exactly what the engine's per-class ring window would hold:
+// the most recent `window` accesses of back-to-back executions.
+inline std::vector<PageId> WindowTrace(const QueryTemplate& tmpl,
+                                       size_t window, uint64_t seed) {
+  AccessGenerator gen;
+  Rng rng(seed);
+  std::vector<PageAccess> accesses;
+  while (accesses.size() < window) gen.Generate(tmpl, rng, &accesses);
+  std::vector<PageId> trace;
+  trace.reserve(window);
+  for (size_t i = accesses.size() - window; i < accesses.size(); ++i) {
+    trace.push_back(accesses[i].page);
+  }
+  return trace;
+}
+
+}  // namespace fglb::bench
+
+#endif  // FGLB_BENCH_BENCH_UTIL_H_

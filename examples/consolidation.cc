@@ -1,0 +1,103 @@
+// Consolidation walk-through: the paper's §5.4 story, narrated.
+//
+// TPC-W runs alone inside one database engine and meets its SLA. Then
+// RUBiS is consolidated into the *same* engine (shared buffer pool).
+// TPC-W's latency explodes. The selective retuner diagnoses the
+// violation — outlier contexts, MRC recomputation clearing TPC-W's own
+// classes, the newly arrived RUBiS classes computed fresh — and
+// re-places exactly the one class that cannot be co-located
+// (SearchItemsByRegion) on another machine. TPC-W recovers.
+//
+//   ./build/examples/consolidation
+
+#include <cstdio>
+
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using namespace fglb;
+
+void PrintWindow(const ClusterHarness& harness, const char* label, AppId app,
+                 SimTime from, SimTime to) {
+  const auto s = harness.Summarize(app, from, to);
+  std::printf("  %-34s latency %6.3f s   throughput %6.1f q/s   "
+              "violations %d/%d intervals\n",
+              label, s.avg_latency, s.avg_throughput, s.sla_violations,
+              s.intervals);
+}
+
+}  // namespace
+
+int main() {
+  ClusterHarness harness;
+  harness.AddServers(3);
+
+  Scheduler* tpcw = harness.AddApplication(MakeTpcw());
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  Scheduler* rubis = harness.AddApplication(MakeRubis(rubis_options));
+
+  // One engine, one 128 MB pool, both applications.
+  Replica* shared = harness.resources().CreateReplica(
+      harness.resources().servers()[0].get(), 8192);
+  tpcw->AddReplica(shared);
+  rubis->AddReplica(shared);
+
+  harness.AddConstantClients(tpcw, 120, /*seed=*/1001);
+  harness.AddClients(rubis,
+                     std::make_unique<StepLoad>(
+                         std::vector<std::pair<SimTime, double>>{{600, 60}}),
+                     /*seed=*/1002);
+
+  std::printf("phase 1: TPC-W alone in the shared engine (0..600 s)\n");
+  harness.Start();
+  harness.RunFor(600);
+  PrintWindow(harness, "TPC-W", tpcw->app().id, 300, 600);
+
+  std::printf("\nphase 2: RUBiS consolidated into the same engine "
+              "(600 s...)\n");
+  harness.RunFor(1200);
+  PrintWindow(harness, "TPC-W right after arrival", tpcw->app().id, 600,
+              700);
+  PrintWindow(harness, "TPC-W after retuning", tpcw->app().id, 1400, 1800);
+  PrintWindow(harness, "RUBiS after retuning", rubis->app().id, 1400, 1800);
+
+  std::printf("\nwhat the controller saw and did:\n");
+  for (const auto& d : harness.retuner().diagnoses()) {
+    std::printf("  t=%5.0f diagnosis for app %u on replica %d: %zu outlier "
+                "metric(s), %zu new class(es), %zu MRC suspect(s), %zu "
+                "cleared\n",
+                d.time, d.app, d.replica_id, d.outliers.outliers.size(),
+                d.outliers.new_classes.size(), d.memory.suspects.size(),
+                d.memory.cleared.size());
+    for (const auto& s : d.memory.suspects) {
+      std::printf("        suspect  app=%u class=%u  %s\n", AppOf(s.key),
+                  ClassOf(s.key), s.params.ToString().c_str());
+    }
+    for (const auto& c : d.memory.cleared) {
+      std::printf("        cleared  app=%u class=%u  (MRC unchanged)\n",
+                  AppOf(c.key), ClassOf(c.key));
+    }
+  }
+  for (const auto& action : harness.retuner().actions()) {
+    std::printf("  t=%5.0f ACTION [%s] %s\n", action.time,
+                SelectiveRetuner::ActionKindName(action.kind),
+                action.description.c_str());
+  }
+
+  std::printf("\nfinal placement:\n");
+  for (const auto& server : harness.resources().servers()) {
+    const auto replicas = harness.resources().ReplicasOn(server.get());
+    if (replicas.empty()) continue;
+    std::printf("  %s:\n", server->name().c_str());
+    for (Replica* r : replicas) {
+      std::printf("    %s (pool %llu pages)\n", r->name().c_str(),
+                  static_cast<unsigned long long>(
+                      r->engine().pool().capacity()));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Per-query-class MRC inspection: prints, for every TPC-W and RUBiS
+// query class, the miss-ratio-curve parameters the log analyzer would
+// derive from a recent-access window — total memory needed, acceptable
+// memory needed, and the corresponding miss ratios. This is the raw
+// material of the paper's memory-interference diagnosis, and the tool
+// used to calibrate the synthetic workloads in this repository.
+//
+//   ./build/examples/inspect_mrc
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "mrc/miss_ratio_curve.h"
+#include "workload/access_generator.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using namespace fglb;
+
+void InspectApp(const ApplicationSpec& app, const MrcConfig& config,
+                size_t window_accesses) {
+  std::printf("\n%s (%zu query classes)\n", app.name.c_str(),
+              app.templates.size());
+  std::printf("%4s  %-22s  %9s  %9s  %8s  %8s\n", "id", "name", "total_pg",
+              "accept_pg", "ideal_mr", "accept_mr");
+  uint64_t sum_total = 0, sum_acceptable = 0;
+  for (const auto& tmpl : app.templates) {
+    // Build a window of roughly `window_accesses` references.
+    AccessGenerator gen;
+    Rng rng(1000 + tmpl.id);
+    std::vector<PageAccess> accesses;
+    while (accesses.size() < window_accesses) {
+      gen.Generate(tmpl, rng, &accesses);
+    }
+    std::vector<PageId> trace;
+    trace.reserve(accesses.size());
+    for (const auto& a : accesses) trace.push_back(a.page);
+
+    const MissRatioCurve curve = MissRatioCurve::FromTrace(trace);
+    const MrcParameters params = curve.ComputeParameters(config);
+    sum_total += params.total_memory_pages;
+    sum_acceptable += params.acceptable_memory_pages;
+    std::printf("%4u  %-22s  %9llu  %9llu  %8.3f  %8.3f\n", tmpl.id,
+                tmpl.name.c_str(),
+                static_cast<unsigned long long>(params.total_memory_pages),
+                static_cast<unsigned long long>(
+                    params.acceptable_memory_pages),
+                params.ideal_miss_ratio, params.acceptable_miss_ratio);
+  }
+  std::printf("%4s  %-22s  %9llu  %9llu\n", "", "SUM",
+              static_cast<unsigned long long>(sum_total),
+              static_cast<unsigned long long>(sum_acceptable));
+}
+
+}  // namespace
+
+int main() {
+  MrcConfig config;
+  config.max_server_pages = 8192;
+  const size_t kWindow = 30000;
+
+  std::printf("MRC parameters per query class (window = %zu accesses, "
+              "server cap = %llu pages, acceptable threshold = %.2f)\n",
+              kWindow,
+              static_cast<unsigned long long>(config.max_server_pages),
+              config.acceptable_threshold);
+
+  InspectApp(MakeTpcw(), config, kWindow);
+
+  TpcwOptions no_index;
+  no_index.o_date_index = false;
+  ApplicationSpec degraded = MakeTpcw(no_index);
+  degraded.name = "TPC-W (O_DATE index dropped)";
+  InspectApp(degraded, config, kWindow);
+
+  InspectApp(MakeRubis(), config, kWindow);
+  return 0;
+}

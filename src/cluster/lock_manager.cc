@@ -1,0 +1,83 @@
+#include "cluster/lock_manager.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fglb {
+
+LockManager::LockManager(Simulator* sim) : sim_(sim) {
+  assert(sim_ != nullptr);
+}
+
+uint64_t LockManager::AcquireAll(
+    const std::vector<PageId>& stripes,
+    std::function<void(double)> granted) {
+  const uint64_t ticket = next_ticket_++;
+  Request request;
+  request.ticket = ticket;
+  request.stripes = stripes;
+  request.next_index = 0;
+  request.start = sim_->Now();
+  request.granted = std::move(granted);
+  requests_.emplace(ticket, std::move(request));
+  TryAdvance(ticket);
+  return ticket;
+}
+
+void LockManager::TryAdvance(uint64_t ticket) {
+  auto it = requests_.find(ticket);
+  assert(it != requests_.end());
+  Request& request = it->second;
+  while (request.next_index < request.stripes.size()) {
+    const PageId stripe = request.stripes[request.next_index];
+    auto holder = holders_.find(stripe);
+    if (holder == holders_.end()) {
+      holders_.emplace(stripe, ticket);
+      ++request.next_index;
+      continue;
+    }
+    // Blocked: enqueue (once) and stop; Release will resume us.
+    waiters_[stripe].push_back(ticket);
+    return;
+  }
+  // All stripes held: grant via the simulator (never synchronously
+  // re-entering caller code with our maps mid-update).
+  const double wait = sim_->Now() - request.start;
+  total_wait_seconds_ += wait;
+  ++granted_total_;
+  auto callback = std::move(request.granted);
+  request.granted = nullptr;
+  sim_->ScheduleAfter(0, [callback = std::move(callback), wait] {
+    if (callback) callback(wait);
+  });
+}
+
+void LockManager::Release(uint64_t ticket) {
+  auto it = requests_.find(ticket);
+  assert(it != requests_.end());
+  Request& request = it->second;
+  assert(request.granted == nullptr && "released before grant");
+  // Free held stripes, waking the head waiter of each.
+  std::vector<uint64_t> to_advance;
+  for (size_t i = 0; i < request.next_index; ++i) {
+    const PageId stripe = request.stripes[i];
+    assert(holders_.at(stripe) == ticket);
+    holders_.erase(stripe);
+    auto wait_it = waiters_.find(stripe);
+    if (wait_it != waiters_.end() && !wait_it->second.empty()) {
+      const uint64_t next = wait_it->second.front();
+      wait_it->second.pop_front();
+      if (wait_it->second.empty()) waiters_.erase(wait_it);
+      // Hand the stripe straight to the waiter (FIFO fairness).
+      holders_.emplace(stripe, next);
+      Request& next_request = requests_.at(next);
+      assert(next_request.stripes[next_request.next_index] == stripe);
+      ++next_request.next_index;
+      to_advance.push_back(next);
+    }
+  }
+  requests_.erase(it);
+  for (uint64_t next : to_advance) TryAdvance(next);
+}
+
+}  // namespace fglb

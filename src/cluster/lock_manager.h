@@ -1,0 +1,72 @@
+#ifndef FGLB_CLUSTER_LOCK_MANAGER_H_
+#define FGLB_CLUSTER_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// Exclusive stripe-lock manager for one database engine's commit
+// critical sections. Consistent reads never lock (MVCC); writers take
+// exclusive locks on the stripes they modify, in globally sorted stripe
+// order, which makes deadlock impossible. Waiters queue FIFO per
+// stripe.
+//
+// This substrate exists for the paper's §7 future-work scenario: lock
+// contention anomalies surfacing through the same outlier-detection
+// pipeline as memory anomalies (via the lock-wait metric).
+class LockManager {
+ public:
+  explicit LockManager(Simulator* sim);
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Acquires every stripe in `stripes` (must be sorted ascending,
+  // duplicates removed) exclusively. `granted` runs — via the simulator
+  // — once all are held; it receives the total wait time. Returns a
+  // ticket to pass to Release.
+  uint64_t AcquireAll(const std::vector<PageId>& stripes,
+                      std::function<void(double wait_seconds)> granted);
+
+  // Releases every stripe held (or queued) under `ticket`. Must only be
+  // called after the grant callback ran.
+  void Release(uint64_t ticket);
+
+  // Observability.
+  uint64_t held_stripes() const { return holders_.size(); }
+  uint64_t granted_total() const { return granted_total_; }
+  double total_wait_seconds() const { return total_wait_seconds_; }
+
+ private:
+  struct Request {
+    uint64_t ticket;
+    std::vector<PageId> stripes;  // sorted
+    size_t next_index;            // stripes[0..next_index) are held
+    SimTime start;
+    std::function<void(double)> granted;
+  };
+
+  // Tries to advance a request through its remaining stripes; fires the
+  // grant callback when done.
+  void TryAdvance(uint64_t ticket);
+
+  Simulator* sim_;
+  uint64_t next_ticket_ = 1;
+  // stripe -> ticket currently holding it.
+  std::map<PageId, uint64_t> holders_;
+  // stripe -> tickets waiting, FIFO.
+  std::map<PageId, std::deque<uint64_t>> waiters_;
+  std::map<uint64_t, Request> requests_;
+  uint64_t granted_total_ = 0;
+  double total_wait_seconds_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_CLUSTER_LOCK_MANAGER_H_

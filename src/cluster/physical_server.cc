@@ -1,0 +1,17 @@
+#include "cluster/physical_server.h"
+
+namespace fglb {
+
+PhysicalServer::PhysicalServer(Simulator* sim, int id, const Options& options)
+    : id_(id),
+      name_("server-" + std::to_string(id)),
+      options_(options),
+      cpu_(sim, options.cores, name_ + "/cpu"),
+      io_(sim, 1, name_ + "/io") {}
+
+void PhysicalServer::ResetUtilizationWindow() {
+  cpu_.ResetAccounting();
+  io_.ResetAccounting();
+}
+
+}  // namespace fglb

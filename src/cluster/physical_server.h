@@ -1,0 +1,54 @@
+#ifndef FGLB_CLUSTER_PHYSICAL_SERVER_H_
+#define FGLB_CLUSTER_PHYSICAL_SERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/queue_resource.h"
+#include "sim/simulator.h"
+#include "storage/disk_model.h"
+
+namespace fglb {
+
+// One physical machine in the database tier: a multi-core CPU and a
+// single shared I/O channel. When several database engines (or Xen
+// domains) are co-located on the machine, they all queue on the same
+// two resources — which is exactly how the paper's dom0 I/O
+// interference arises: Xen isolates faults, not I/O performance.
+class PhysicalServer {
+ public:
+  struct Options {
+    int cores = 4;
+    // Physical RAM, in 16 KiB pages (16384 = 256 MB).
+    uint64_t memory_pages = 16384;
+    DiskModel disk;
+  };
+
+  PhysicalServer(Simulator* sim, int id, const Options& options);
+  PhysicalServer(const PhysicalServer&) = delete;
+  PhysicalServer& operator=(const PhysicalServer&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  uint64_t memory_pages() const { return options_.memory_pages; }
+  const DiskModel& disk_model() const { return options_.disk; }
+
+  QueueResource& cpu() { return cpu_; }
+  QueueResource& io() { return io_; }
+
+  // vmstat-style utilization over the current accounting window.
+  double CpuUtilization() const { return cpu_.UtilizationSinceReset(); }
+  double IoUtilization() const { return io_.UtilizationSinceReset(); }
+  void ResetUtilizationWindow();
+
+ private:
+  int id_;
+  std::string name_;
+  Options options_;
+  QueueResource cpu_;
+  QueueResource io_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_CLUSTER_PHYSICAL_SERVER_H_

@@ -1,0 +1,79 @@
+#include "cluster/replica.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace fglb {
+
+Replica::Replica(int id, Simulator* sim, PhysicalServer* server,
+                 std::unique_ptr<DatabaseEngine> engine)
+    : id_(id),
+      name_("replica-" + std::to_string(id)),
+      sim_(sim),
+      server_(server),
+      engine_(std::move(engine)),
+      locks_(sim) {
+  assert(sim_ && server_ && engine_);
+}
+
+void Replica::Run(const QueryInstance& query, CompletionFn done) {
+  ++inflight_;
+  const SimTime start = sim_->Now();
+  const ClassKey key = query.class_key();
+  // Buffer-pool effects and demand derivation happen at admission; the
+  // time those demands take is then served by the queueing stations.
+  auto counters =
+      std::make_shared<ExecutionCounters>(engine_->Execute(query));
+
+  auto finish = [this, key, counters, start, done = std::move(done)]() {
+    const double latency = sim_->Now() - start;
+    --inflight_;
+    ++completed_;
+    engine_->RecordCompletion(key, latency, *counters);
+    if (done) done(latency, *counters);
+  };
+
+  // Stage 3 (updates only): take the commit's exclusive stripe locks,
+  // hold them for the commit work, release, finish.
+  auto commit_stage = [this, counters, finish = std::move(finish)]() {
+    if (counters->write_stripes.empty()) {
+      finish();
+      return;
+    }
+    auto ticket = std::make_shared<uint64_t>(0);
+    *ticket = locks_.AcquireAll(
+        counters->write_stripes,
+        [this, counters, ticket, finish](double wait_seconds) {
+          counters->lock_wait_seconds = wait_seconds;
+          sim_->ScheduleAfter(counters->commit_seconds,
+                              [this, ticket, finish] {
+                                locks_.Release(*ticket);
+                                finish();
+                              });
+        });
+  };
+
+  // Stage 2: CPU service. Stage 1: I/O service (if any).
+  auto cpu_stage = [this, counters,
+                    commit_stage = std::move(commit_stage)](double) {
+    server_->cpu().Submit(counters->cpu_seconds,
+                          [commit_stage](double) { commit_stage(); });
+  };
+  if (counters->io_seconds > 0) {
+    server_->io().Submit(counters->io_seconds, std::move(cpu_stage));
+  } else {
+    cpu_stage(0);
+  }
+}
+
+uint64_t Replica::AppliedSeq(AppId app) const {
+  auto it = applied_seq_.find(app);
+  return it != applied_seq_.end() ? it->second : 0;
+}
+
+void Replica::SetAppliedSeq(AppId app, uint64_t seq) {
+  applied_seq_[app] = std::max(applied_seq_[app], seq);
+}
+
+}  // namespace fglb

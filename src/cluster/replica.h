@@ -1,0 +1,74 @@
+#ifndef FGLB_CLUSTER_REPLICA_H_
+#define FGLB_CLUSTER_REPLICA_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/lock_manager.h"
+#include "cluster/physical_server.h"
+#include "engine/database_engine.h"
+#include "sim/simulator.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// A database engine instance placed on a physical server — the unit a
+// scheduler routes queries to. In Xen terms, one replica models one
+// domain hosting one MySQL instance: it has its own engine (buffer
+// pool, statistics) but shares the server's CPU cores and dom0 I/O
+// channel with every other replica on the same machine. One engine may
+// serve several applications (shared-DBMS consolidation).
+class Replica {
+ public:
+  Replica(int id, Simulator* sim, PhysicalServer* server,
+          std::unique_ptr<DatabaseEngine> engine);
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  using CompletionFn =
+      std::function<void(double latency_seconds,
+                         const ExecutionCounters& counters)>;
+
+  // Runs one query end to end: expands it against the engine (buffer
+  // pool effects), queues its I/O demand on the server's channel, its
+  // CPU demand on the server's cores, and — for updates — takes the
+  // commit's exclusive stripe locks for the commit-hold duration.
+  // `done` fires at completion with the total sojourn time.
+  void Run(const QueryInstance& query, CompletionFn done);
+
+  LockManager& locks() { return locks_; }
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  PhysicalServer& server() { return *server_; }
+  const PhysicalServer& server() const { return *server_; }
+  DatabaseEngine& engine() { return *engine_; }
+  const DatabaseEngine& engine() const { return *engine_; }
+
+  // Queries admitted but not yet completed (load-balancing signal).
+  uint64_t inflight() const { return inflight_; }
+  uint64_t completed() const { return completed_; }
+
+  // Replication bookkeeping: highest write sequence number applied for
+  // an application (0 if none).
+  uint64_t AppliedSeq(AppId app) const;
+  void SetAppliedSeq(AppId app, uint64_t seq);
+
+ private:
+  int id_;
+  std::string name_;
+  Simulator* sim_;
+  PhysicalServer* server_;
+  std::unique_ptr<DatabaseEngine> engine_;
+  LockManager locks_;
+  uint64_t inflight_ = 0;
+  uint64_t completed_ = 0;
+  std::map<AppId, uint64_t> applied_seq_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_CLUSTER_REPLICA_H_

@@ -1,0 +1,124 @@
+#include "cluster/resource_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fglb {
+
+ResourceManager::ResourceManager(Simulator* sim) : sim_(sim) {
+  assert(sim_ != nullptr);
+}
+
+PhysicalServer* ResourceManager::AddServer(
+    const PhysicalServer::Options& options) {
+  const int id = static_cast<int>(servers_.size());
+  servers_.push_back(std::make_unique<PhysicalServer>(sim_, id, options));
+  return servers_.back().get();
+}
+
+std::vector<Replica*> ResourceManager::ReplicasOn(
+    const PhysicalServer* server) const {
+  std::vector<Replica*> result;
+  for (const auto& replica : replicas_) {
+    if (&replica->server() == server) result.push_back(replica.get());
+  }
+  return result;
+}
+
+std::vector<Replica*> ResourceManager::AllReplicas() const {
+  std::vector<Replica*> result;
+  result.reserve(replicas_.size());
+  for (const auto& replica : replicas_) result.push_back(replica.get());
+  return result;
+}
+
+uint64_t ResourceManager::FreeMemoryPages(const PhysicalServer* server) const {
+  uint64_t used = 0;
+  for (const auto& replica : replicas_) {
+    if (&replica->server() == server) {
+      used += replica->engine().pool().capacity();
+    }
+  }
+  return used >= server->memory_pages() ? 0 : server->memory_pages() - used;
+}
+
+Replica* ResourceManager::CreateReplica(PhysicalServer* server,
+                                        uint64_t buffer_pool_pages,
+                                        uint64_t engine_seed) {
+  assert(server != nullptr);
+  if (FreeMemoryPages(server) < buffer_pool_pages) return nullptr;
+  DatabaseEngine::Options options;
+  options.buffer_pool_pages = buffer_pool_pages;
+  options.seed = engine_seed;
+  const int id = next_replica_id_++;
+  auto engine = std::make_unique<DatabaseEngine>(
+      "engine-" + std::to_string(id), options, &server->disk_model());
+  replicas_.push_back(
+      std::make_unique<Replica>(id, sim_, server, std::move(engine)));
+  return replicas_.back().get();
+}
+
+Replica* ResourceManager::ProvisionReplica(Scheduler* scheduler,
+                                           uint64_t buffer_pool_pages) {
+  assert(scheduler != nullptr);
+  // Servers already hosting this application are not candidates: a new
+  // replica there would share the very resources that are saturated.
+  std::set<const PhysicalServer*> hosting;
+  for (const Replica* r : scheduler->replicas()) hosting.insert(&r->server());
+
+  PhysicalServer* best = nullptr;
+  size_t best_load = 0;
+  for (const auto& server : servers_) {
+    if (hosting.contains(server.get())) continue;
+    if (FreeMemoryPages(server.get()) < buffer_pool_pages) continue;
+    const size_t load = ReplicasOn(server.get()).size();
+    if (best == nullptr || load < best_load) {
+      best = server.get();
+      best_load = load;
+    }
+  }
+  if (best == nullptr) return nullptr;
+  Replica* replica = CreateReplica(best, buffer_pool_pages,
+                                   /*engine_seed=*/0x1000 +
+                                       static_cast<uint64_t>(
+                                           next_replica_id_));
+  if (replica == nullptr) return nullptr;
+  scheduler->AddReplica(replica);
+  return replica;
+}
+
+void ResourceManager::Decommission(Scheduler* scheduler, Replica* replica) {
+  assert(scheduler != nullptr && replica != nullptr);
+  scheduler->RemoveReplica(replica);
+  // Destroy only once drained; with the discrete-event model, queries
+  // already admitted hold no pointer back into the replica after their
+  // completion callbacks run, but those callbacks do reference it, so
+  // defer destruction until the replica is idle.
+  auto it = std::find_if(
+      replicas_.begin(), replicas_.end(),
+      [replica](const std::unique_ptr<Replica>& r) { return r.get() == replica; });
+  if (it == replicas_.end()) return;
+  if (replica->inflight() == 0) {
+    replicas_.erase(it);
+    return;
+  }
+  // Poll for drain. Simulated time is cheap.
+  std::unique_ptr<Replica> owned = std::move(*it);
+  replicas_.erase(it);
+  struct Drainer {
+    static void Wait(Simulator* sim, std::shared_ptr<std::unique_ptr<Replica>> held) {
+      if ((*held)->inflight() == 0) return;  // destroyed when held dies
+      sim->ScheduleAfter(1.0, [sim, held] { Wait(sim, held); });
+    }
+  };
+  auto held = std::make_shared<std::unique_ptr<Replica>>(std::move(owned));
+  Drainer::Wait(sim_, held);
+}
+
+int ResourceManager::ServersUsedBy(const Scheduler& scheduler) const {
+  std::set<const PhysicalServer*> hosting;
+  for (const Replica* r : scheduler.replicas()) hosting.insert(&r->server());
+  return static_cast<int>(hosting.size());
+}
+
+}  // namespace fglb

@@ -1,0 +1,67 @@
+#ifndef FGLB_CLUSTER_RESOURCE_MANAGER_H_
+#define FGLB_CLUSTER_RESOURCE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/physical_server.h"
+#include "cluster/replica.h"
+#include "cluster/scheduler.h"
+#include "sim/simulator.h"
+
+namespace fglb {
+
+// Global replica-allocation authority (the paper's resource manager in
+// the scheduler tier): owns the shared pool of physical servers and
+// every replica created on them, and makes cross-application
+// allocation decisions. Schedulers hold borrowed Replica pointers.
+class ResourceManager {
+ public:
+  explicit ResourceManager(Simulator* sim);
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  // Adds a machine to the shared pool.
+  PhysicalServer* AddServer(const PhysicalServer::Options& options);
+
+  // Creates a database engine + replica on `server`. The engine's pool
+  // holds `buffer_pool_pages` (must fit in the server's free memory).
+  // Returns nullptr if memory does not fit.
+  Replica* CreateReplica(PhysicalServer* server, uint64_t buffer_pool_pages,
+                         uint64_t engine_seed = 1);
+
+  // Provisions one more replica for `scheduler`'s application from the
+  // pool: prefers an empty server, then the least-loaded server with
+  // memory to spare that does not already host this application.
+  // Returns nullptr if the pool is exhausted. The replica is added to
+  // the scheduler's default set.
+  Replica* ProvisionReplica(Scheduler* scheduler, uint64_t buffer_pool_pages);
+
+  // Detaches `replica` from `scheduler` and destroys it, returning its
+  // memory to the server. In-flight queries on it complete first in
+  // simulated time, but no new queries are routed to it.
+  void Decommission(Scheduler* scheduler, Replica* replica);
+
+  const std::vector<std::unique_ptr<PhysicalServer>>& servers() const {
+    return servers_;
+  }
+  std::vector<Replica*> ReplicasOn(const PhysicalServer* server) const;
+  std::vector<Replica*> AllReplicas() const;
+  uint64_t FreeMemoryPages(const PhysicalServer* server) const;
+
+  // Number of distinct servers hosting replicas of `scheduler`'s app.
+  int ServersUsedBy(const Scheduler& scheduler) const;
+
+ private:
+  Simulator* sim_;
+  std::vector<std::unique_ptr<PhysicalServer>> servers_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  int next_replica_id_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_CLUSTER_RESOURCE_MANAGER_H_

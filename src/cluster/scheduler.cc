@@ -1,0 +1,172 @@
+#include "cluster/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fglb {
+
+Scheduler::Scheduler(Simulator* sim, const ApplicationSpec* app)
+    : sim_(sim), app_(app) {
+  assert(sim_ && app_);
+}
+
+void Scheduler::AddReplica(Replica* replica, bool in_default_set) {
+  assert(replica != nullptr);
+  if (std::find(replicas_.begin(), replicas_.end(), replica) ==
+      replicas_.end()) {
+    replicas_.push_back(replica);
+  }
+  if (in_default_set) {
+    dedicated_targets_.erase(replica);
+  } else {
+    dedicated_targets_.insert(replica);
+  }
+}
+
+void Scheduler::RemoveReplica(Replica* replica) {
+  replicas_.erase(std::remove(replicas_.begin(), replicas_.end(), replica),
+                  replicas_.end());
+  dedicated_targets_.erase(replica);
+  for (auto it = dedicated_placement_.begin();
+       it != dedicated_placement_.end();) {
+    if (it->second == replica) {
+      it = dedicated_placement_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Scheduler::DedicateReplica(QueryClassId cls, Replica* replica) {
+  assert(replica != nullptr);
+  AddReplica(replica, /*in_default_set=*/false);
+  dedicated_placement_[cls] = replica;
+  dedicated_targets_.insert(replica);
+}
+
+void Scheduler::ClearDedication(QueryClassId cls) {
+  dedicated_placement_.erase(cls);
+}
+
+std::vector<Replica*> Scheduler::DefaultSet() const {
+  std::vector<Replica*> result;
+  for (Replica* r : replicas_) {
+    if (!dedicated_targets_.contains(r)) result.push_back(r);
+  }
+  return result;
+}
+
+bool Scheduler::IsDedicatedTarget(const Replica* replica) const {
+  return dedicated_targets_.contains(replica);
+}
+
+std::vector<Replica*> Scheduler::PlacementOf(QueryClassId cls) const {
+  auto it = dedicated_placement_.find(cls);
+  if (it != dedicated_placement_.end()) return {it->second};
+  return DefaultSet();
+}
+
+Replica* Scheduler::ChooseReadReplica(const QueryInstance& query) {
+  std::vector<Replica*> candidates = PlacementOf(query.tmpl->id);
+  if (candidates.empty()) candidates = replicas_;
+  if (candidates.empty()) return nullptr;
+  // Freshness first (read-one/write-all: a replica must have applied
+  // all committed writes before serving reads), then least loaded.
+  const uint64_t need = next_write_seq_;
+  Replica* best = nullptr;
+  bool best_fresh = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Replica* r = candidates[(round_robin_ + i) % candidates.size()];
+    const bool fresh = r->AppliedSeq(app_->id) >= need;
+    if (best == nullptr || (fresh && !best_fresh) ||
+        (fresh == best_fresh && r->inflight() < best->inflight())) {
+      best = r;
+      best_fresh = fresh;
+    }
+  }
+  ++round_robin_;
+  return best;
+}
+
+void Scheduler::Submit(const QueryInstance& query,
+                       std::function<void(double)> on_complete) {
+  assert(query.tmpl != nullptr);
+  if (replicas_.empty()) {
+    // No capacity at all: fail the query with a large penalty latency
+    // so the SLA check trips and provisioning reacts.
+    const double penalty = app_->sla_latency_seconds * 10;
+    sim_->ScheduleAfter(penalty, [this, penalty,
+                                  on_complete = std::move(on_complete)] {
+      ++interval_queries_;
+      ++total_completed_;
+      interval_latency_sum_ += penalty;
+      interval_latencies_.Add(penalty);
+      if (on_complete) on_complete(penalty);
+    });
+    return;
+  }
+
+  auto account = [this](double latency) {
+    ++interval_queries_;
+    ++total_completed_;
+    interval_latency_sum_ += latency;
+    interval_latencies_.Add(latency);
+  };
+
+  if (query.tmpl->is_update) {
+    // Write-all: every replica applies the write; the client sees the
+    // latency of the (least loaded) replica chosen to answer it, the
+    // rest apply asynchronously.
+    const uint64_t seq = ++next_write_seq_;
+    Replica* primary = nullptr;
+    for (Replica* r : replicas_) {
+      if (primary == nullptr || r->inflight() < primary->inflight()) {
+        primary = r;
+      }
+    }
+    for (Replica* r : replicas_) {
+      const bool is_primary = (r == primary);
+      AppId app_id = app_->id;
+      auto done = [r, seq, app_id, is_primary, account,
+                   on_complete](double latency,
+                                const ExecutionCounters&) mutable {
+        r->SetAppliedSeq(app_id, seq);
+        if (is_primary) {
+          account(latency);
+          if (on_complete) on_complete(latency);
+        }
+      };
+      r->Run(query, std::move(done));
+    }
+    return;
+  }
+
+  Replica* replica = ChooseReadReplica(query);
+  assert(replica != nullptr);
+  replica->Run(query, [account, on_complete = std::move(on_complete)](
+                          double latency, const ExecutionCounters&) mutable {
+    account(latency);
+    if (on_complete) on_complete(latency);
+  });
+}
+
+Scheduler::IntervalReport Scheduler::EndInterval(double interval_seconds) {
+  assert(interval_seconds > 0);
+  IntervalReport report;
+  report.queries = interval_queries_;
+  report.avg_latency = interval_queries_ > 0
+                           ? interval_latency_sum_ / interval_queries_
+                           : 0.0;
+  report.p95_latency = interval_latencies_.Percentile(95);
+  report.p99_latency = interval_latencies_.Percentile(99);
+  report.throughput = static_cast<double>(interval_queries_) /
+                      interval_seconds;
+  report.sla_met = interval_queries_ == 0 ||
+                   report.avg_latency <= app_->sla_latency_seconds;
+  interval_queries_ = 0;
+  interval_latency_sum_ = 0;
+  interval_latencies_.Reset();
+  return report;
+}
+
+}  // namespace fglb

@@ -1,0 +1,100 @@
+#ifndef FGLB_CLUSTER_SCHEDULER_H_
+#define FGLB_CLUSTER_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cluster/replica.h"
+#include "common/histogram.h"
+#include "sim/simulator.h"
+#include "workload/application.h"
+#include "workload/query_class.h"
+#include "workload/query_sink.h"
+
+namespace fglb {
+
+// Per-application scheduler (the paper's scheduling tier): maintains
+// the application's replica set, keeps replicas consistent with a
+// read-one/write-all scheme, load balances read-only query classes
+// across the subset of replicas each class is placed on, and tracks
+// SLA compliance per measurement interval.
+class Scheduler final : public QuerySink {
+ public:
+  Scheduler(Simulator* sim, const ApplicationSpec* app);
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  const ApplicationSpec& app() const { return *app_; }
+
+  // --- Replica set management ---
+
+  // Adds a replica. If `in_default_set`, classes without a dedicated
+  // placement load balance across it.
+  void AddReplica(Replica* replica, bool in_default_set = true);
+
+  // Removes a replica from the set (both default set and any dedicated
+  // placements referencing it). In-flight queries complete normally.
+  void RemoveReplica(Replica* replica);
+
+  // Pins a query class to exactly `replica` and removes that replica
+  // from the default set — the paper's "schedule the problem query
+  // class on a different replica" isolation action.
+  void DedicateReplica(QueryClassId cls, Replica* replica);
+
+  // Clears a class's dedicated placement; it reverts to the default
+  // set. The replica returns to the default set only via AddReplica.
+  void ClearDedication(QueryClassId cls);
+
+  // Replicas a class's reads currently balance across.
+  std::vector<Replica*> PlacementOf(QueryClassId cls) const;
+  const std::vector<Replica*>& replicas() const { return replicas_; }
+  std::vector<Replica*> DefaultSet() const;
+  bool IsDedicatedTarget(const Replica* replica) const;
+
+  // --- Query routing ---
+
+  void Submit(const QueryInstance& query,
+              std::function<void(double)> on_complete) override;
+
+  // --- SLA / application-level metrics (tracked "through the
+  // scheduler" per the paper) ---
+
+  struct IntervalReport {
+    uint64_t queries = 0;
+    double avg_latency = 0;
+    double p95_latency = 0;  // 95th percentile (approximate)
+    double p99_latency = 0;  // 99th percentile (approximate)
+    double throughput = 0;   // queries per second
+    bool sla_met = true;     // avg latency within the application's SLA
+  };
+
+  // Closes the current measurement interval and returns its report.
+  IntervalReport EndInterval(double interval_seconds);
+
+  uint64_t total_completed() const { return total_completed_; }
+
+ private:
+  Replica* ChooseReadReplica(const QueryInstance& query);
+
+  Simulator* sim_;
+  const ApplicationSpec* app_;
+  std::vector<Replica*> replicas_;
+  std::set<const Replica*> dedicated_targets_;
+  std::map<QueryClassId, Replica*> dedicated_placement_;
+
+  uint64_t next_write_seq_ = 0;
+  uint64_t round_robin_ = 0;
+
+  // Interval accumulators.
+  uint64_t interval_queries_ = 0;
+  double interval_latency_sum_ = 0;
+  Histogram interval_latencies_;
+  uint64_t total_completed_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_CLUSTER_SCHEDULER_H_

@@ -1,0 +1,110 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fglb {
+
+Histogram::Histogram(double min_value, double growth, int num_buckets)
+    : min_value_(min_value),
+      growth_(growth),
+      buckets_(static_cast<size_t>(num_buckets) + 1, 0) {
+  assert(min_value > 0);
+  assert(growth > 1.0);
+  assert(num_buckets > 0);
+}
+
+double Histogram::BucketLowerBound(size_t index) const {
+  if (index == 0) return 0.0;
+  return min_value_ * std::pow(growth_, static_cast<double>(index - 1));
+}
+
+size_t Histogram::BucketFor(double value) const {
+  if (value < min_value_) return 0;
+  const size_t index =
+      1 + static_cast<size_t>(std::log(value / min_value_) /
+                              std::log(growth_));
+  return std::min(index, buckets_.size() - 1);
+}
+
+void Histogram::Add(double value) {
+  value = std::max(value, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(buckets_.size() == other.buckets_.size());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double lo = std::max(BucketLowerBound(i), min_);
+      const double hi =
+          i + 1 < buckets_.size() ? std::min(BucketLowerBound(i + 1), max_)
+                                  : max_;
+      if (buckets_[i] == 0) return lo;
+      const double within =
+          (target - static_cast<double>(cumulative - buckets_[i])) /
+          static_cast<double>(buckets_[i]);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "count=%lld mean=%.6g min=%.6g max=%.6g\n",
+                static_cast<long long>(count_), mean(), min(), max());
+  out += line;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %lld\n",
+                  BucketLowerBound(i),
+                  i + 1 < buckets_.size()
+                      ? BucketLowerBound(i + 1)
+                      : std::numeric_limits<double>::infinity(),
+                  static_cast<long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fglb

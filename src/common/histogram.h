@@ -1,0 +1,50 @@
+#ifndef FGLB_COMMON_HISTOGRAM_H_
+#define FGLB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fglb {
+
+// Log-bucketed histogram for latency-style values (non-negative, heavy
+// right tail). Buckets grow geometrically from `min_value` by `growth`
+// per bucket. Values below the first bucket go to bucket 0, values
+// above the last to the overflow bucket.
+class Histogram {
+ public:
+  Histogram(double min_value = 1e-4, double growth = 1.3,
+            int num_buckets = 96);
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Approximate quantile via linear interpolation within the bucket.
+  double Percentile(double p) const;
+
+  // Multi-line human-readable dump (bucket ranges + counts).
+  std::string ToString() const;
+
+ private:
+  double BucketLowerBound(size_t index) const;
+  size_t BucketFor(double value) const;
+
+  double min_value_;
+  double growth_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_HISTOGRAM_H_

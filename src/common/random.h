@@ -1,0 +1,82 @@
+#ifndef FGLB_COMMON_RANDOM_H_
+#define FGLB_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fglb {
+
+// Deterministic, seedable pseudo-random number generator
+// (xoshiro256** by Blackman & Vigna). All stochastic behaviour in the
+// simulator flows through instances of this class so that every
+// experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  // Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Normally distributed double (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  // Bernoulli trial: true with probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires a non-empty vector with a positive total weight.
+  size_t Discrete(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf(theta) sampler over the domain [0, n). Uses Hormann's
+// rejection-inversion method so sampling is O(1) regardless of n,
+// which matters for multi-gigabyte table footprints (millions of
+// pages). theta = 0 degenerates to uniform; theta around 0.8-1.2
+// models typical hot/cold database page popularity.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+// Scrambles a Zipf rank into a page id within [0, n) so that hot pages
+// are spread across the table instead of clustered at its start.
+// Bijective for any n (cycle-walking on a mixed 64-bit permutation).
+uint64_t ScrambleToDomain(uint64_t value, uint64_t n);
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_RANDOM_H_

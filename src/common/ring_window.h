@@ -1,0 +1,62 @@
+#ifndef FGLB_COMMON_RING_WINDOW_H_
+#define FGLB_COMMON_RING_WINDOW_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fglb {
+
+// Fixed-capacity sliding window over the most recent values pushed.
+// The paper keeps "a window of the most recent page accesses issued by
+// the DBMS on behalf of the queries belonging to each specific query
+// class"; this is that window. Oldest entries are overwritten once the
+// window is full.
+template <typename T>
+class RingWindow {
+ public:
+  explicit RingWindow(size_t capacity) : buffer_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void Push(const T& value) {
+    buffer_[head_] = value;
+    head_ = (head_ + 1) % buffer_.size();
+    if (size_ < buffer_.size()) ++size_;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buffer_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buffer_.size(); }
+
+  // Element i of the window in arrival order: 0 is the oldest retained
+  // value, size() - 1 the newest.
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    const size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+    return buffer_[(start + i) % buffer_.size()];
+  }
+
+  // Copies the window contents (oldest first) into a vector.
+  std::vector<T> ToVector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_RING_WINDOW_H_

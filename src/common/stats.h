@@ -1,0 +1,52 @@
+#ifndef FGLB_COMMON_STATS_H_
+#define FGLB_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fglb {
+
+// Online mean/variance accumulator (Welford). Used for per-interval
+// metric averages feeding stable-state signatures.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Reset();
+  // Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * count_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Quartile summary of a sample, the input to IQR outlier fencing.
+struct QuartileSummary {
+  double q1 = 0;      // first quartile
+  double median = 0;  // second quartile
+  double q3 = 0;      // third quartile
+  double iqr = 0;     // q3 - q1
+};
+
+// Linear-interpolation quantile (type 7, the R/NumPy default) of an
+// unsorted sample. q must be in [0, 1]; the sample must be non-empty.
+double Quantile(std::vector<double> values, double q);
+
+// Computes Q1/median/Q3/IQR of a non-empty sample.
+QuartileSummary Quartiles(const std::vector<double>& values);
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_STATS_H_

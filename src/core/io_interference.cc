@@ -1,0 +1,32 @@
+#include "core/io_interference.h"
+
+#include <algorithm>
+
+namespace fglb {
+
+std::vector<ClassKey> PlanIoEviction(
+    const std::map<ClassKey, double>& io_rate_by_class,
+    double current_utilization, double target_utilization) {
+  std::vector<ClassKey> evicted;
+  if (current_utilization <= target_utilization) return evicted;
+
+  std::vector<std::pair<double, ClassKey>> by_rate;
+  by_rate.reserve(io_rate_by_class.size());
+  for (const auto& [key, rate] : io_rate_by_class) {
+    by_rate.emplace_back(rate, key);
+  }
+  std::sort(by_rate.begin(), by_rate.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  double removed = 0;
+  const double excess = current_utilization - target_utilization;
+  for (const auto& [rate, key] : by_rate) {
+    if (removed >= excess) break;
+    if (rate <= 0) break;
+    evicted.push_back(key);
+    removed += rate;
+  }
+  return evicted;
+}
+
+}  // namespace fglb

@@ -1,0 +1,30 @@
+#ifndef FGLB_CORE_IO_INTERFERENCE_H_
+#define FGLB_CORE_IO_INTERFERENCE_H_
+
+#include <map>
+#include <vector>
+
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// The paper's §3.3.3 heuristic for I/O interference on a server:
+// "remove query contexts from the physical server where I/O
+// interference occurs in decreasing order of their I/O rate until the
+// perceived problem on that server is normalized."
+//
+// `io_rate_by_class`: per-class I/O demand on the server over the last
+// interval, in I/O-busy seconds per second (so the values sum to the
+// channel utilization contributed by queries).
+// `current_utilization`: the channel's measured utilization.
+// `target_utilization`: where we want it after evictions.
+//
+// Returns the classes to reschedule elsewhere, heaviest first. Empty if
+// the target is already met.
+std::vector<ClassKey> PlanIoEviction(
+    const std::map<ClassKey, double>& io_rate_by_class,
+    double current_utilization, double target_utilization);
+
+}  // namespace fglb
+
+#endif  // FGLB_CORE_IO_INTERFERENCE_H_

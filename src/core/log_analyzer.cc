@@ -1,0 +1,100 @@
+#include "core/log_analyzer.h"
+
+#include <cassert>
+
+namespace fglb {
+
+LogAnalyzer::LogAnalyzer(DatabaseEngine* engine, OutlierConfig outlier_config,
+                         MrcConfig mrc_config)
+    : engine_(engine), detector_(outlier_config), mrc_config_(mrc_config) {
+  assert(engine_ != nullptr);
+}
+
+MrcTracker& LogAnalyzer::TrackerFor(ClassKey key) {
+  auto it = trackers_.find(key);
+  if (it == trackers_.end()) {
+    it = trackers_.emplace(key, std::make_unique<MrcTracker>(mrc_config_))
+             .first;
+  }
+  return *it->second;
+}
+
+void LogAnalyzer::RecordStableInterval(
+    AppId app, const std::map<ClassKey, MetricVector>& snapshot,
+    SimTime now) {
+  for (const auto& [key, vec] : snapshot) {
+    if (AppOf(key) != app) continue;
+    stable_store_.Update(key, vec, now);
+    // First-time MRC baseline, computed "when a query class is first
+    // scheduled on the system" — i.e. once enough of its accesses have
+    // been observed during stable operation.
+    MrcTracker& tracker = TrackerFor(key);
+    if (!tracker.has_stable()) {
+      const std::vector<PageId> window = engine_->stats().AccessWindow(key);
+      if (window.size() >= kMinWindowForMrc) {
+        tracker.SetStableFromTrace(window);
+      }
+    }
+  }
+}
+
+OutlierReport LogAnalyzer::DetectOutliers(
+    AppId app, const std::map<ClassKey, MetricVector>& snapshot) const {
+  std::map<ClassKey, MetricVector> app_only;
+  for (const auto& [key, vec] : snapshot) {
+    if (AppOf(key) == app) app_only.emplace(key, vec);
+  }
+  return detector_.Detect(app_only, stable_store_);
+}
+
+LogAnalyzer::MemoryDiagnosis LogAnalyzer::DiagnoseMemory(
+    const std::set<ClassKey>& candidates) {
+  MemoryDiagnosis diagnosis;
+  for (ClassKey key : candidates) {
+    const std::vector<PageId> window = engine_->stats().AccessWindow(key);
+    if (window.size() < kMinWindowForMrc) {
+      diagnosis.insufficient_data.push_back(key);
+      continue;
+    }
+    MrcTracker& tracker = TrackerFor(key);
+    MrcTracker::Recomputation rec = tracker.Recompute(window);
+    ClassMemoryProfile profile;
+    profile.key = key;
+    profile.params = rec.params;
+    if (rec.suspect) {
+      diagnosis.suspects.push_back(profile);
+    } else {
+      diagnosis.cleared.push_back(profile);
+    }
+    last_recomputation_[key] = std::move(rec);
+  }
+  return diagnosis;
+}
+
+void LogAnalyzer::AdoptRecomputation(ClassKey key) {
+  auto it = last_recomputation_.find(key);
+  if (it == last_recomputation_.end()) return;
+  TrackerFor(key).AdoptAsStable(it->second);
+}
+
+std::vector<ClassMemoryProfile> LogAnalyzer::StableProfilesExcept(
+    const std::set<ClassKey>& excluded) const {
+  std::vector<ClassMemoryProfile> profiles;
+  for (const auto& [key, tracker] : trackers_) {
+    if (excluded.contains(key)) continue;
+    if (!tracker->has_stable()) continue;
+    ClassMemoryProfile profile;
+    profile.key = key;
+    profile.params = tracker->stable_params();
+    profiles.push_back(profile);
+  }
+  return profiles;
+}
+
+const MrcParameters* LogAnalyzer::StableParamsOf(ClassKey key) const {
+  auto it = trackers_.find(key);
+  if (it == trackers_.end() || !it->second->has_stable()) return nullptr;
+  return &it->second->stable_params();
+}
+
+}  // namespace fglb

@@ -1,0 +1,78 @@
+#ifndef FGLB_CORE_PLACEMENT_OPTIMIZER_H_
+#define FGLB_CORE_PLACEMENT_OPTIMIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/quota_planner.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// Global placement computation. The paper's §3.2 deliberately avoids
+// "precise analysis of detailed metrics and placement reshuffling of
+// many queries for near-optimal resource usage" at runtime, noting that
+// "such algorithms would be more appropriate at initial application
+// deployment or as periodic system maintenance". This module is that
+// algorithm: given every query class's memory profile and resource
+// rates, compute from scratch a class-to-server assignment that fits
+// everyone within their acceptable miss ratios while using as few
+// servers as possible.
+//
+// The incremental controller (SelectiveRetuner) and this optimizer are
+// complementary; bench_ablation_global_vs_incremental compares the
+// placements they arrive at.
+
+// One query class's global footprint.
+struct ClassLoad {
+  ClassKey key = 0;
+  // Memory: acceptable working set (pages).
+  uint64_t acceptable_pages = 0;
+  // Resource rates, in busy-seconds per second of the bottleneck
+  // resources (i.e. fractional utilization contributed).
+  double cpu_rate = 0;
+  double io_rate = 0;
+};
+
+struct PlacementConfig {
+  // Per-server envelopes.
+  uint64_t server_pool_pages = 8192;
+  double cpu_capacity = 4.0;  // core-seconds per second
+  double io_capacity = 1.0;   // channel-seconds per second
+  // Headroom: fill cpu/io only to this fraction.
+  double target_fill = 0.7;
+  // Memory can be packed tighter than the service-rate dimensions
+  // (queueing blows up near full utilization; a nearly-full pool just
+  // has a slightly higher miss ratio).
+  double memory_fill = 0.95;
+  // Upper bound on servers the optimizer may open.
+  int max_servers = 64;
+};
+
+struct PlacementPlan {
+  // server index -> classes placed there.
+  std::vector<std::vector<ClassKey>> servers;
+  bool feasible = false;
+  int servers_used() const { return static_cast<int>(servers.size()); }
+
+  // Which server a class landed on (-1 if the plan is infeasible for
+  // that class).
+  int ServerOf(ClassKey key) const;
+
+  std::string ToString() const;
+};
+
+// First-fit-decreasing over the dominant dimension: classes sorted by
+// their largest normalized footprint (memory vs cpu vs io), each placed
+// on the first open server with room on every dimension; a new server
+// opens when none fits. Replication costs of write-all updates are the
+// caller's concern (the paper's scheduler ships writes everywhere
+// regardless of placement).
+PlacementPlan ComputePlacement(const std::vector<ClassLoad>& classes,
+                               const PlacementConfig& config);
+
+}  // namespace fglb
+
+#endif  // FGLB_CORE_PLACEMENT_OPTIMIZER_H_

@@ -1,0 +1,98 @@
+#include "core/quota_planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace fglb {
+
+namespace {
+
+uint64_t SumTotalNeed(const std::vector<ClassMemoryProfile>& profiles) {
+  uint64_t sum = 0;
+  for (const auto& p : profiles) sum += p.params.total_memory_pages;
+  return sum;
+}
+
+uint64_t SumAcceptableNeed(const std::vector<ClassMemoryProfile>& profiles) {
+  uint64_t sum = 0;
+  for (const auto& p : profiles) sum += p.params.acceptable_memory_pages;
+  return sum;
+}
+
+}  // namespace
+
+std::string QuotaPlan::ToString() const {
+  std::string out;
+  if (placement_fits) out += "placement-fits";
+  if (infeasible) out += "infeasible";
+  char buf[96];
+  for (const auto& [key, pages] : quotas) {
+    std::snprintf(buf, sizeof(buf), " quota(app=%u,class=%u)=%llu",
+                  AppOf(key), ClassOf(key),
+                  static_cast<unsigned long long>(pages));
+    out += buf;
+  }
+  for (ClassKey key : reschedule) {
+    std::snprintf(buf, sizeof(buf), " reschedule(app=%u,class=%u)",
+                  AppOf(key), ClassOf(key));
+    out += buf;
+  }
+  return out;
+}
+
+QuotaPlan QuotaPlanner::Plan(
+    uint64_t pool_pages, const std::vector<ClassMemoryProfile>& problem,
+    const std::vector<ClassMemoryProfile>& others) const {
+  QuotaPlan plan;
+
+  // Step 1: does the current placement meet the *total* memory need of
+  // all contexts? Then no action is required here.
+  const uint64_t total_need = SumTotalNeed(problem) + SumTotalNeed(others);
+  if (total_need <= pool_pages) {
+    plan.placement_fits = true;
+    return plan;
+  }
+
+  // Step 2: try to keep every problem class under a fixed quota equal
+  // to its acceptable memory, leaving the rest of the pool to the
+  // other classes; everyone must still be predicted to reach their
+  // acceptable miss ratio.
+  std::vector<ClassMemoryProfile> kept = problem;
+  // Reschedule candidates leave largest-need first.
+  std::sort(kept.begin(), kept.end(),
+            [](const ClassMemoryProfile& a, const ClassMemoryProfile& b) {
+              return a.params.acceptable_memory_pages <
+                     b.params.acceptable_memory_pages;
+            });
+  const uint64_t others_acceptable = SumAcceptableNeed(others);
+  while (!kept.empty()) {
+    const uint64_t kept_acceptable = SumAcceptableNeed(kept);
+    if (kept_acceptable + others_acceptable <= pool_pages) break;
+    // The largest problem class cannot be accommodated: mark it for
+    // rescheduling on another replica and retry with the rest.
+    plan.reschedule.push_back(kept.back().key);
+    kept.pop_back();
+  }
+  if (kept.empty() && others_acceptable > pool_pages) {
+    // Even with every problem class gone the rest cannot reach their
+    // acceptable ratios: fine-grained retuning cannot fix this engine.
+    plan.infeasible = true;
+    return plan;
+  }
+  for (const auto& p : kept) {
+    plan.quotas[p.key] =
+        std::max(p.params.acceptable_memory_pages, min_quota_pages_);
+  }
+  return plan;
+}
+
+bool QuotaPlanner::FitsOn(uint64_t pool_pages,
+                          const ClassMemoryProfile& incoming,
+                          const std::vector<ClassMemoryProfile>& existing) {
+  return SumAcceptableNeed(existing) +
+             incoming.params.acceptable_memory_pages <=
+         pool_pages;
+}
+
+}  // namespace fglb

@@ -1,0 +1,73 @@
+#ifndef FGLB_CORE_QUOTA_PLANNER_H_
+#define FGLB_CORE_QUOTA_PLANNER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mrc/miss_ratio_curve.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// MRC-derived memory profile of one query class on one engine.
+struct ClassMemoryProfile {
+  ClassKey key = 0;
+  MrcParameters params;
+};
+
+// The outcome of the paper's §3.3.2 heuristic for one engine.
+struct QuotaPlan {
+  // The current placement already meets everyone's *total* memory need;
+  // nothing to do.
+  bool placement_fits = false;
+  // Quotas to enforce (problem classes only); empty if placement_fits
+  // or the plan is to migrate instead.
+  std::map<ClassKey, uint64_t> quotas;
+  // Problem classes that cannot be kept under any acceptable quota and
+  // should be rescheduled on a different replica.
+  std::vector<ClassKey> reschedule;
+  // Nothing worked: fall back to coarse-grained allocation.
+  bool infeasible = false;
+
+  std::string ToString() const;
+};
+
+// Implements the iterative fit test: can each problem class be given a
+// fixed buffer-pool quota such that it and the rest of the classes on
+// the server are all predicted (by their MRCs) to meet their acceptable
+// miss ratios? If not, problem classes are marked for rescheduling,
+// largest acceptable need first.
+class QuotaPlanner {
+ public:
+  // Quotas are floored here: a class with a flat MRC (pure scan) has
+  // acceptable memory ~0, but it still needs room for read-ahead
+  // extents in flight.
+  explicit QuotaPlanner(uint64_t min_quota_pages = 256)
+      : min_quota_pages_(min_quota_pages) {}
+
+  // `pool_pages`: the engine's buffer-pool capacity.
+  // `problem`: memory-interference suspects (§3.3.2), with *current*
+  //   (recomputed) MRC parameters.
+  // `others`: the remaining classes on the engine, with stable
+  //   parameters.
+  QuotaPlan Plan(uint64_t pool_pages,
+                 const std::vector<ClassMemoryProfile>& problem,
+                 const std::vector<ClassMemoryProfile>& others) const;
+
+  // The destination fit test used when rescheduling: does `incoming`
+  // fit on an engine with `pool_pages` already hosting `existing`, with
+  // everyone at their acceptable memory?
+  static bool FitsOn(uint64_t pool_pages, const ClassMemoryProfile& incoming,
+                     const std::vector<ClassMemoryProfile>& existing);
+
+  uint64_t min_quota_pages() const { return min_quota_pages_; }
+
+ private:
+  uint64_t min_quota_pages_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_CORE_QUOTA_PLANNER_H_

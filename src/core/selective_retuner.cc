@@ -1,0 +1,618 @@
+#include "core/selective_retuner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "core/io_interference.h"
+
+namespace fglb {
+
+namespace {
+
+std::string ClassLabel(ClassKey key) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "app=%u/class=%u", AppOf(key), ClassOf(key));
+  return buf;
+}
+
+}  // namespace
+
+SelectiveRetuner::SelectiveRetuner(Simulator* sim, ResourceManager* resources,
+                                   Config config)
+    : sim_(sim), resources_(resources), config_(config) {
+  assert(sim_ && resources_);
+}
+
+const char* SelectiveRetuner::ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kCpuProvision:
+      return "cpu_provision";
+    case ActionKind::kIoProvision:
+      return "io_provision";
+    case ActionKind::kCpuRelease:
+      return "cpu_release";
+    case ActionKind::kQuotaEnforced:
+      return "quota_enforced";
+    case ActionKind::kClassRescheduled:
+      return "class_rescheduled";
+    case ActionKind::kIoEviction:
+      return "io_eviction";
+    case ActionKind::kCoarseFallback:
+      return "coarse_fallback";
+  }
+  return "unknown";
+}
+
+void SelectiveRetuner::RegisterApplication(Scheduler* scheduler) {
+  assert(scheduler != nullptr);
+  schedulers_.push_back(scheduler);
+}
+
+LogAnalyzer& SelectiveRetuner::AnalyzerFor(DatabaseEngine* engine) {
+  auto it = analyzers_.find(engine);
+  if (it == analyzers_.end()) {
+    it = analyzers_
+             .emplace(engine, std::make_unique<LogAnalyzer>(
+                                  engine, config_.outlier, config_.mrc))
+             .first;
+  }
+  return *it->second;
+}
+
+void SelectiveRetuner::Start() {
+  if (started_) return;
+  started_ = true;
+  for (const auto& server : resources_->servers()) {
+    server->ResetUtilizationWindow();
+  }
+  struct Ticker {
+    static void Arm(SelectiveRetuner* self) {
+      self->sim_->ScheduleAfter(self->config_.interval_seconds, [self] {
+        self->Tick();
+        Arm(self);
+      });
+    }
+  };
+  Ticker::Arm(this);
+}
+
+void SelectiveRetuner::Log(ActionKind kind, AppId app,
+                           std::string description) {
+  actions_.push_back(Action{sim_->Now(), kind, app, std::move(description)});
+}
+
+bool SelectiveRetuner::InWarmup(AppId app) const {
+  auto it = last_topology_change_.find(app);
+  if (it == last_topology_change_.end()) return false;
+  return sim_->Now() - it->second <
+         config_.warmup_intervals * config_.interval_seconds;
+}
+
+bool SelectiveRetuner::InPlacementCooldown(ClassKey key) const {
+  auto it = last_placement_change_.find(key);
+  if (it == last_placement_change_.end()) return false;
+  return sim_->Now() - it->second <
+         config_.placement_cooldown_intervals * config_.interval_seconds;
+}
+
+void SelectiveRetuner::NotePlacementChange(ClassKey key) {
+  last_placement_change_[key] = sim_->Now();
+}
+
+void SelectiveRetuner::NoteTopologyChange(AppId app) {
+  last_topology_change_[app] = sim_->Now();
+}
+
+void SelectiveRetuner::Tick() {
+  const double interval = config_.interval_seconds;
+  IntervalSample sample;
+  sample.time = sim_->Now();
+
+  // 1. Close the interval on every engine and server (order: replicas
+  // in creation order for determinism).
+  const std::vector<Replica*> replicas = resources_->AllReplicas();
+  std::map<Replica*, Snapshot> snapshots;
+  for (Replica* r : replicas) {
+    snapshots.emplace(r, r->engine().stats().EndInterval(interval));
+  }
+  for (const auto& server : resources_->servers()) {
+    ServerSample ss;
+    ss.server_id = server->id();
+    ss.cpu_utilization = server->CpuUtilization();
+    ss.io_utilization = server->IoUtilization();
+    sample.servers.push_back(ss);
+  }
+
+  // 2. Close the interval on every application.
+  std::map<Scheduler*, Scheduler::IntervalReport> reports;
+  for (Scheduler* s : schedulers_) {
+    const Scheduler::IntervalReport report = s->EndInterval(interval);
+    reports.emplace(s, report);
+    AppSample as;
+    as.app = s->app().id;
+    as.queries = report.queries;
+    as.avg_latency = report.avg_latency;
+    as.p95_latency = report.p95_latency;
+    as.throughput = report.throughput;
+    as.sla_met = report.sla_met;
+    as.servers_used = resources_->ServersUsedBy(*s);
+    sample.apps.push_back(as);
+  }
+
+  // 3. Stable intervals refresh signatures and seed MRC baselines.
+  for (Scheduler* s : schedulers_) {
+    const auto& report = reports.at(s);
+    if (report.sla_met && report.queries > 0) {
+      for (Replica* r : replicas) {
+        AnalyzerFor(&r->engine())
+            .RecordStableInterval(s->app().id, snapshots.at(r), sim_->Now());
+      }
+    }
+  }
+
+  // 4. Track replica-set changes (warm-up windows start whenever an
+  // app's topology moved, including changes made outside this loop).
+  for (Scheduler* s : schedulers_) {
+    const AppId app = s->app().id;
+    const size_t count = s->replicas().size();
+    auto it = last_replica_count_.find(app);
+    if (it == last_replica_count_.end()) {
+      last_replica_count_[app] = count;
+      if (count > 0) NoteTopologyChange(app);  // freshly seen, cold pools
+    } else if (it->second != count) {
+      it->second = count;
+      NoteTopologyChange(app);
+    }
+  }
+
+  // 5. Violations run the diagnosis cascade; clean intervals may
+  // release over-provisioned capacity.
+  for (Scheduler* s : schedulers_) {
+    const auto& report = reports.at(s);
+    const AppId app = s->app().id;
+    if (report.queries > 0 && !report.sla_met) {
+      calm_streak_[app] = 0;
+      if (config_.enable_actions && s->replicas().empty()) {
+        // Bootstrap: an application with no capacity at all.
+        TryCpuProvisioning(s);
+        continue;
+      }
+      if (InWarmup(app)) continue;  // pools still filling; hold fire
+      ++violation_streak_[app];
+      HandleViolation(s, report, snapshots);
+    } else {
+      violation_streak_[app] = 0;
+      ++calm_streak_[app];
+      MaybeRelease(s);
+    }
+  }
+
+  for (const auto& server : resources_->servers()) {
+    server->ResetUtilizationWindow();
+  }
+  samples_.push_back(std::move(sample));
+}
+
+void SelectiveRetuner::HandleViolation(
+    Scheduler* scheduler, const Scheduler::IntervalReport& /*report*/,
+    const std::map<Replica*, Snapshot>& snapshots) {
+  const AppId app = scheduler->app().id;
+  if (!config_.enable_actions) {
+    // Monitoring only: run the diagnosis for the record, change nothing.
+    TryMemoryRetuning(scheduler, snapshots, /*act=*/false);
+    return;
+  }
+  if (!config_.enable_fine_grained) {
+    if (violation_streak_[app] >= config_.coarse_fallback_after) {
+      CoarseFallback(scheduler);
+    }
+    return;
+  }
+  if (TryCpuProvisioning(scheduler)) return;
+  if (TryMemoryRetuning(scheduler, snapshots)) return;
+  if (TryIoRetuning(scheduler, snapshots)) return;
+  if (violation_streak_[app] >= config_.coarse_fallback_after) {
+    CoarseFallback(scheduler);
+  }
+}
+
+bool SelectiveRetuner::TryCpuProvisioning(Scheduler* scheduler) {
+  // An application with no replicas at all is trivially saturated.
+  bool saturated = scheduler->replicas().empty();
+  for (Replica* r : scheduler->replicas()) {
+    if (r->server().CpuUtilization() >= config_.cpu_saturation_threshold) {
+      saturated = true;
+      break;
+    }
+  }
+  if (!saturated) return false;
+  Replica* fresh =
+      resources_->ProvisionReplica(scheduler, config_.replica_pool_pages);
+  if (fresh == nullptr) return false;  // pool exhausted
+  NoteTopologyChange(scheduler->app().id);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "CPU saturation: provisioned %s on %s (now %d servers)",
+                fresh->name().c_str(), fresh->server().name().c_str(),
+                resources_->ServersUsedBy(*scheduler));
+  Log(ActionKind::kCpuProvision, scheduler->app().id, buf);
+  return true;
+}
+
+bool SelectiveRetuner::TryMemoryRetuning(
+    Scheduler* scheduler, const std::map<Replica*, Snapshot>& snapshots,
+    bool act) {
+  const AppId app = scheduler->app().id;
+  bool acted = false;
+  // Copy: dedications may mutate the replica list mid-loop.
+  const std::vector<Replica*> app_replicas = scheduler->replicas();
+  for (Replica* r : app_replicas) {
+    auto snap_it = snapshots.find(r);
+    if (snap_it == snapshots.end()) continue;
+    const Snapshot& snap = snap_it->second;
+    LogAnalyzer& analyzer = AnalyzerFor(&r->engine());
+
+    // A replica whose engine never recorded a stable interval for this
+    // application is still warming up after being provisioned; there is
+    // no baseline to compare against, and flagging its classes as "new"
+    // would be noise.
+    bool has_history = false;
+    for (ClassKey key : analyzer.stable_store().Keys()) {
+      if (AppOf(key) == app) {
+        has_history = true;
+        break;
+      }
+    }
+    if (!has_history) continue;
+
+    // 4a. Outlier contexts over this app's classes on this engine.
+    const OutlierReport outliers = analyzer.DetectOutliers(app, snap);
+    std::set<ClassKey> candidates = outliers.MemoryProblemContexts();
+    for (ClassKey key : outliers.new_classes) candidates.insert(key);
+
+    // 4b. No outliers: fall back to the top-k heavyweight classes in
+    // memory metrics.
+    if (candidates.empty()) {
+      std::vector<std::pair<double, ClassKey>> heavy;
+      for (const auto& [key, vec] : snap) {
+        if (AppOf(key) != app) continue;
+        heavy.emplace_back(At(vec, Metric::kBufferMisses), key);
+      }
+      std::sort(heavy.rbegin(), heavy.rend());
+      for (size_t i = 0; i < std::min(config_.top_k_fallback, heavy.size());
+           ++i) {
+        if (heavy[i].first > 0) candidates.insert(heavy[i].second);
+      }
+    }
+
+    // 4c. Newly added classes of *other* applications sharing this
+    // engine are potential problem classes too (§5.4: the RUBiS classes
+    // that just arrived in TPC-W's buffer pool).
+    for (const auto& [key, vec] : snap) {
+      if (AppOf(key) != app && analyzer.StableParamsOf(key) == nullptr) {
+        candidates.insert(key);
+      }
+    }
+    if (candidates.empty()) continue;
+
+    // 4d. MRC recomputation narrows candidates to true suspects.
+    LogAnalyzer::MemoryDiagnosis diagnosis =
+        analyzer.DiagnoseMemory(candidates);
+    DiagnosisRecord record;
+    record.time = sim_->Now();
+    record.app = app;
+    record.replica_id = r->id();
+    record.outliers = outliers;
+    record.memory = diagnosis;
+    diagnoses_.push_back(std::move(record));
+    if (!act) continue;
+    if (diagnosis.suspects.empty()) continue;
+
+    std::set<ClassKey> suspect_keys;
+    for (const auto& p : diagnosis.suspects) suspect_keys.insert(p.key);
+    const std::vector<ClassMemoryProfile> others =
+        analyzer.StableProfilesExcept(suspect_keys);
+
+    // 4e. Quota fit test and plan.
+    const QuotaPlan plan = planner_.Plan(r->engine().pool().capacity(),
+                                         diagnosis.suspects, others);
+    if (plan.placement_fits) {
+      // The pool can hold everyone's working set, but a scan-style
+      // suspect still pollutes it: prefetched extents evict other
+      // classes' pages while contributing nothing to the scan's own
+      // reuse (its MRC is flat). Contain such classes with a small
+      // fixed quota — the paper's §5.3 action for the unindexed
+      // BestSeller.
+      for (const auto& suspect : diagnosis.suspects) {
+        if (InWarmup(AppOf(suspect.key))) continue;
+        auto vec_it = snap.find(suspect.key);
+        if (vec_it == snap.end()) continue;
+        if (At(vec_it->second, Metric::kReadAheads) < 10) continue;
+        const uint64_t quota =
+            std::max(suspect.params.acceptable_memory_pages,
+                     planner_.min_quota_pages());
+        if (r->engine().SetQuota(suspect.key, quota)) {
+          analyzer.AdoptRecomputation(suspect.key);
+          NoteTopologyChange(AppOf(suspect.key));
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "scan pollution: containment quota %llu pages for "
+                        "%s on %s",
+                        static_cast<unsigned long long>(quota),
+                        ClassLabel(suspect.key).c_str(), r->name().c_str());
+          Log(ActionKind::kQuotaEnforced, AppOf(suspect.key), buf);
+          acted = true;
+        }
+      }
+      continue;
+    }
+    // Even when the plan is flagged infeasible (this engine cannot
+    // satisfy everyone no matter what), its reschedules are still the
+    // right first step; the streak-based coarse fallback catches
+    // whatever remains.
+
+    for (const auto& [key, pages] : plan.quotas) {
+      // Cross-application actions respect the owner app's cooldown.
+      if (InWarmup(AppOf(key))) continue;
+      if (r->engine().SetQuota(key, pages)) {
+        analyzer.AdoptRecomputation(key);
+        NoteTopologyChange(AppOf(key));
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "memory interference: quota %llu pages for %s on %s",
+                      static_cast<unsigned long long>(pages),
+                      ClassLabel(key).c_str(), r->name().c_str());
+        Log(ActionKind::kQuotaEnforced, AppOf(key), buf);
+        acted = true;
+      }
+    }
+    for (ClassKey key : plan.reschedule) {
+      if (InPlacementCooldown(key) || InWarmup(AppOf(key))) continue;
+      const auto profile_it =
+          std::find_if(diagnosis.suspects.begin(), diagnosis.suspects.end(),
+                       [key](const ClassMemoryProfile& p) {
+                         return p.key == key;
+                       });
+      if (profile_it == diagnosis.suspects.end()) continue;
+      Scheduler* owner = nullptr;
+      for (Scheduler* s : schedulers_) {
+        if (s->app().id == AppOf(key)) owner = s;
+      }
+      if (owner == nullptr) continue;
+      Replica* target = FindPlacementTarget(owner, r, *profile_it);
+      if (target == nullptr) continue;
+      owner->DedicateReplica(ClassOf(key), target);
+      r->engine().DropQuota(key);
+      analyzer.AdoptRecomputation(key);
+      NotePlacementChange(key);
+      NoteTopologyChange(owner->app().id);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "memory interference: rescheduled %s from %s to %s",
+                    ClassLabel(key).c_str(), r->name().c_str(),
+                    target->name().c_str());
+      Log(ActionKind::kClassRescheduled, AppOf(key), buf);
+      acted = true;
+    }
+  }
+  return acted;
+}
+
+bool SelectiveRetuner::TryIoRetuning(
+    Scheduler* scheduler, const std::map<Replica*, Snapshot>& snapshots) {
+  bool acted = false;
+  std::set<const PhysicalServer*> visited;
+  const std::vector<Replica*> app_replicas = scheduler->replicas();
+  for (Replica* r : app_replicas) {
+    PhysicalServer* server = &r->server();
+    if (!visited.insert(server).second) continue;
+    const double io_util = server->IoUtilization();
+    if (io_util < config_.io_saturation_threshold) continue;
+
+    // Estimate each class's utilization contribution from its share of
+    // I/O block requests on this server (all engines, all apps).
+    std::map<ClassKey, double> rates;
+    double total_requests = 0;
+    for (Replica* rr : resources_->ReplicasOn(server)) {
+      auto it = snapshots.find(rr);
+      if (it == snapshots.end()) continue;
+      for (const auto& [key, vec] : it->second) {
+        const double requests = At(vec, Metric::kIoRequests);
+        rates[key] += requests;
+        total_requests += requests;
+      }
+    }
+    if (total_requests <= 0) continue;
+    double top_rate = 0;
+    int significant_classes = 0;
+    for (auto& [key, value] : rates) {
+      value *= io_util / total_requests;
+      top_rate = std::max(top_rate, value);
+      if (value > 0.10 * io_util) ++significant_classes;
+    }
+
+    // Eviction protects the *other* contexts on the server. If only
+    // one class matters here (e.g. an already-isolated heavy class
+    // saturating its own disk), moving it helps nobody.
+    if (significant_classes < 2) continue;
+
+    // Eviction only helps when the I/O is skewed toward a culprit
+    // class. A uniformly loaded channel is a capacity shortage: give
+    // the application another replica instead.
+    if (top_rate / io_util < config_.io_skew_share) {
+      Replica* fresh =
+          resources_->ProvisionReplica(scheduler, config_.replica_pool_pages);
+      if (fresh == nullptr) continue;
+      NoteTopologyChange(scheduler->app().id);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "I/O saturation on %s (unskewed): provisioned %s on %s",
+                    server->name().c_str(), fresh->name().c_str(),
+                    fresh->server().name().c_str());
+      Log(ActionKind::kIoProvision, scheduler->app().id, buf);
+      acted = true;
+      continue;
+    }
+
+    // Skewed: move the heaviest movable class off this server (one per
+    // server per interval; the next interval re-evaluates).
+    const std::vector<ClassKey> evict =
+        PlanIoEviction(rates, io_util, config_.io_target_utilization);
+    for (ClassKey key : evict) {
+      if (InPlacementCooldown(key) || InWarmup(AppOf(key))) continue;
+      Scheduler* owner = nullptr;
+      for (Scheduler* s : schedulers_) {
+        if (s->app().id == AppOf(key)) owner = s;
+      }
+      if (owner == nullptr) continue;
+      // The replica on this server currently running the class.
+      Replica* source = nullptr;
+      for (Replica* rr : resources_->ReplicasOn(server)) {
+        auto it = snapshots.find(rr);
+        if (it != snapshots.end() && it->second.contains(key)) source = rr;
+      }
+      if (source == nullptr) continue;
+      ClassMemoryProfile incoming;
+      incoming.key = key;
+      if (const MrcParameters* stable =
+              AnalyzerFor(&source->engine()).StableParamsOf(key)) {
+        incoming.params = *stable;
+      }
+      Replica* target = FindPlacementTarget(owner, source, incoming);
+      if (target == nullptr || &target->server() == server) continue;
+      // Moving the class only helps if the destination channel has
+      // headroom; shuffling between two saturated disks is thrash.
+      if (target->server().IoUtilization() >=
+          config_.io_saturation_threshold) {
+        continue;
+      }
+      owner->DedicateReplica(ClassOf(key), target);
+      source->engine().DropQuota(key);
+      NotePlacementChange(key);
+      NoteTopologyChange(owner->app().id);
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "I/O interference on %s: moved %s to %s",
+                    server->name().c_str(), ClassLabel(key).c_str(),
+                    target->name().c_str());
+      Log(ActionKind::kIoEviction, AppOf(key), buf);
+      acted = true;
+      break;  // one eviction per server per interval
+    }
+  }
+  return acted;
+}
+
+Replica* SelectiveRetuner::FindPlacementTarget(
+    Scheduler* scheduler, Replica* avoid, const ClassMemoryProfile& incoming) {
+  for (Replica* candidate : scheduler->replicas()) {
+    if (candidate == avoid) continue;
+    if (avoid != nullptr && &candidate->server() == &avoid->server()) continue;
+    LogAnalyzer& analyzer = AnalyzerFor(&candidate->engine());
+    const std::vector<ClassMemoryProfile> existing =
+        analyzer.StableProfilesExcept({});
+    if (QuotaPlanner::FitsOn(candidate->engine().pool().capacity(), incoming,
+                             existing)) {
+      return candidate;
+    }
+  }
+  return resources_->ProvisionReplica(scheduler, config_.replica_pool_pages);
+}
+
+void SelectiveRetuner::CoarseFallback(Scheduler* scheduler) {
+  const AppId app = scheduler->app().id;
+  // Coarse isolation is expensive; do not repeat it for the same app in
+  // quick succession (a chronically unattainable SLA would otherwise
+  // trigger it every few intervals).
+  const SimTime now = sim_->Now();
+  auto last = last_coarse_fallback_.find(app);
+  if (last != last_coarse_fallback_.end() &&
+      now - last->second <
+          3 * config_.coarse_fallback_after * config_.interval_seconds) {
+    return;
+  }
+  Replica* fresh =
+      resources_->ProvisionReplica(scheduler, config_.replica_pool_pages);
+  if (fresh == nullptr) return;
+  // Isolate: drop replicas shared with other applications (either the
+  // same engine serves several apps, or the server hosts other apps'
+  // replicas).
+  const std::vector<Replica*> current = scheduler->replicas();
+  for (Replica* r : current) {
+    if (r == fresh) continue;
+    bool shared = false;
+    for (Scheduler* other : schedulers_) {
+      if (other == scheduler) continue;
+      const auto& others = other->replicas();
+      if (std::find(others.begin(), others.end(), r) != others.end()) {
+        shared = true;
+      }
+      for (Replica* rr : resources_->ReplicasOn(&r->server())) {
+        if (rr == r) continue;
+        if (std::find(others.begin(), others.end(), rr) != others.end()) {
+          shared = true;
+        }
+      }
+    }
+    if (shared) scheduler->RemoveReplica(r);
+  }
+  NoteTopologyChange(app);
+  last_coarse_fallback_[app] = now;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "coarse fallback: isolated app %u onto %s (%s)", app,
+                fresh->name().c_str(), fresh->server().name().c_str());
+  Log(ActionKind::kCoarseFallback, app, buf);
+  violation_streak_[app] = 0;
+}
+
+void SelectiveRetuner::MaybeRelease(Scheduler* scheduler) {
+  if (!config_.enable_actions) return;
+  const AppId app = scheduler->app().id;
+  if (calm_streak_[app] < config_.release_after) return;
+  const std::vector<Replica*> default_set = scheduler->DefaultSet();
+  if (default_set.size() <= 1) return;
+
+  double util_sum = 0;
+  int servers = 0;
+  std::set<const PhysicalServer*> seen;
+  for (Replica* r : scheduler->replicas()) {
+    if (seen.insert(&r->server()).second) {
+      util_sum += std::max(r->server().CpuUtilization(),
+                           r->server().IoUtilization());
+      ++servers;
+    }
+  }
+  if (servers == 0) return;
+  if (util_sum / servers >= config_.cpu_release_threshold) return;
+
+  // Release a default-set replica used only by this application.
+  Replica* victim = nullptr;
+  for (Replica* r : default_set) {
+    bool shared = false;
+    for (Scheduler* other : schedulers_) {
+      if (other == scheduler) continue;
+      const auto& others = other->replicas();
+      if (std::find(others.begin(), others.end(), r) != others.end()) {
+        shared = true;
+      }
+    }
+    if (shared) continue;
+    if (victim == nullptr || r->inflight() < victim->inflight()) victim = r;
+  }
+  if (victim == nullptr) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "low load: released %s (now %d servers)",
+                victim->name().c_str(),
+                resources_->ServersUsedBy(*scheduler) - 1);
+  Log(ActionKind::kCpuRelease, app, buf);
+  // The engine dies with the replica; drop its analyzer so a future
+  // engine reusing the address cannot inherit stale state.
+  analyzers_.erase(&victim->engine());
+  resources_->Decommission(scheduler, victim);
+  calm_streak_[app] = 0;
+}
+
+}  // namespace fglb

@@ -1,0 +1,208 @@
+#ifndef FGLB_CORE_SELECTIVE_RETUNER_H_
+#define FGLB_CORE_SELECTIVE_RETUNER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_manager.h"
+#include "cluster/scheduler.h"
+#include "core/log_analyzer.h"
+#include "core/outlier_detector.h"
+#include "core/quota_planner.h"
+#include "mrc/miss_ratio_curve.h"
+#include "sim/simulator.h"
+
+namespace fglb {
+
+// The paper's selective retuning control loop (§3.2): every
+// measurement interval it checks each application's SLA, refreshes
+// stable-state signatures on clean intervals, and on violations runs
+// the diagnosis cascade —
+//
+//   CPU saturation        -> reactive replica provisioning
+//   memory interference   -> outlier contexts -> MRC recomputation ->
+//                            per-class quota OR re-placement on a
+//                            different replica
+//   I/O interference      -> evict contexts by decreasing I/O rate
+//   still failing         -> coarse-grained fallback: new replicas and
+//                            application isolation
+//
+// Every decision is appended to an action log and every interval to a
+// sample series, which the benchmarks print as the paper's figures.
+class SelectiveRetuner {
+ public:
+  struct Config {
+    double interval_seconds = 10;
+
+    double cpu_saturation_threshold = 0.85;
+    // De-provision a replica when the app meets its SLA with average
+    // CPU utilization below this for `release_after` intervals.
+    double cpu_release_threshold = 0.30;
+    int release_after = 3;
+
+    double io_saturation_threshold = 0.85;
+    double io_target_utilization = 0.60;
+    // Class-eviction is only the right response when I/O is *skewed*:
+    // the heaviest class must contribute at least this share of the
+    // channel's utilization. Unskewed saturation is a capacity problem
+    // and gets a replica instead.
+    double io_skew_share = 0.4;
+
+    // After the replica set of an application changes (bootstrap,
+    // provisioning, isolation), give buffer pools this many intervals
+    // to warm before diagnosing anything beyond CPU saturation.
+    int warmup_intervals = 3;
+
+    // A class placed on a new replica is not moved again for this many
+    // intervals (anti-thrash).
+    int placement_cooldown_intervals = 9;
+
+    // Consecutive violating intervals before coarse fallback.
+    int coarse_fallback_after = 4;
+
+    uint64_t replica_pool_pages = 8192;
+
+    OutlierConfig outlier;
+    MrcConfig mrc;
+
+    // "Similar algorithms on the top-k heavyweight queries" when no
+    // outlier contexts are found.
+    size_t top_k_fallback = 3;
+
+    // Ablation knob: disable the fine-grained paths entirely (every
+    // violation goes straight to coarse provisioning).
+    bool enable_fine_grained = true;
+
+    // Monitoring-only mode: collect samples and diagnoses but take no
+    // action at all (benchmarks use this to measure the broken state).
+    bool enable_actions = true;
+  };
+
+  enum class ActionKind {
+    kCpuProvision,
+    kIoProvision,
+    kCpuRelease,
+    kQuotaEnforced,
+    kClassRescheduled,
+    kIoEviction,
+    kCoarseFallback,
+  };
+
+  struct Action {
+    SimTime time = 0;
+    ActionKind kind = ActionKind::kCpuProvision;
+    AppId app = 0;
+    std::string description;
+  };
+
+  struct AppSample {
+    AppId app = 0;
+    uint64_t queries = 0;
+    double avg_latency = 0;
+    double p95_latency = 0;
+    double throughput = 0;
+    bool sla_met = true;
+    int servers_used = 0;
+  };
+
+  struct ServerSample {
+    int server_id = 0;
+    double cpu_utilization = 0;
+    double io_utilization = 0;
+  };
+
+  struct IntervalSample {
+    SimTime time = 0;
+    std::vector<AppSample> apps;
+    std::vector<ServerSample> servers;
+  };
+
+  // One memory-diagnosis pass, recorded for inspection: the outlier
+  // report the violating interval produced on one engine, and the MRC
+  // verdict per candidate.
+  struct DiagnosisRecord {
+    SimTime time = 0;
+    AppId app = 0;
+    int replica_id = -1;
+    OutlierReport outliers;
+    LogAnalyzer::MemoryDiagnosis memory;
+  };
+
+  SelectiveRetuner(Simulator* sim, ResourceManager* resources, Config config);
+  SelectiveRetuner(const SelectiveRetuner&) = delete;
+  SelectiveRetuner& operator=(const SelectiveRetuner&) = delete;
+
+  // Registers an application's scheduler with the control loop.
+  void RegisterApplication(Scheduler* scheduler);
+
+  // Begins interval ticks at Now() + interval.
+  void Start();
+
+  // Runs one measurement-interval evaluation immediately (exposed for
+  // tests and trace-driven benchmarks; Start() calls it periodically).
+  void Tick();
+
+  // The per-engine analyzer, created on first use.
+  LogAnalyzer& AnalyzerFor(DatabaseEngine* engine);
+
+  const std::vector<Action>& actions() const { return actions_; }
+  const std::vector<IntervalSample>& samples() const { return samples_; }
+  const std::vector<DiagnosisRecord>& diagnoses() const { return diagnoses_; }
+  const Config& config() const { return config_; }
+
+  static const char* ActionKindName(ActionKind kind);
+
+ private:
+  using Snapshot = std::map<ClassKey, MetricVector>;
+
+  void HandleViolation(Scheduler* scheduler,
+                       const Scheduler::IntervalReport& report,
+                       const std::map<Replica*, Snapshot>& snapshots);
+  bool TryCpuProvisioning(Scheduler* scheduler);
+  // `act` false = diagnose and record only (monitoring mode).
+  bool TryMemoryRetuning(Scheduler* scheduler,
+                         const std::map<Replica*, Snapshot>& snapshots,
+                         bool act = true);
+  bool TryIoRetuning(Scheduler* scheduler,
+                     const std::map<Replica*, Snapshot>& snapshots);
+  void CoarseFallback(Scheduler* scheduler);
+  void MaybeRelease(Scheduler* scheduler);
+
+  // Finds (or provisions) a replica of `scheduler`'s app, other than
+  // `avoid`, that passes the acceptable-memory fit test for `incoming`.
+  Replica* FindPlacementTarget(Scheduler* scheduler, Replica* avoid,
+                               const ClassMemoryProfile& incoming);
+
+  void Log(ActionKind kind, AppId app, std::string description);
+
+  // Whether the app's pools are still warming after a topology change.
+  bool InWarmup(AppId app) const;
+  // Whether the class was re-placed too recently to move again.
+  bool InPlacementCooldown(ClassKey key) const;
+  void NotePlacementChange(ClassKey key);
+  void NoteTopologyChange(AppId app);
+
+  Simulator* sim_;
+  ResourceManager* resources_;
+  Config config_;
+  QuotaPlanner planner_;
+  std::vector<Scheduler*> schedulers_;
+  std::map<DatabaseEngine*, std::unique_ptr<LogAnalyzer>> analyzers_;
+  std::map<AppId, int> violation_streak_;
+  std::map<AppId, int> calm_streak_;
+  std::map<AppId, SimTime> last_topology_change_;
+  std::map<AppId, size_t> last_replica_count_;
+  std::map<ClassKey, SimTime> last_placement_change_;
+  std::map<AppId, SimTime> last_coarse_fallback_;
+  std::vector<Action> actions_;
+  std::vector<IntervalSample> samples_;
+  std::vector<DiagnosisRecord> diagnoses_;
+  bool started_ = false;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_CORE_SELECTIVE_RETUNER_H_

@@ -1,0 +1,25 @@
+#include "core/stable_state.h"
+
+namespace fglb {
+
+void StableStateStore::Update(ClassKey key, const MetricVector& averages,
+                              SimTime now) {
+  StableStateSignature& sig = signatures_[key];
+  sig.averages = averages;
+  sig.recorded_at = now;
+  ++sig.intervals_observed;
+}
+
+const StableStateSignature* StableStateStore::Find(ClassKey key) const {
+  auto it = signatures_.find(key);
+  return it != signatures_.end() ? &it->second : nullptr;
+}
+
+std::vector<ClassKey> StableStateStore::Keys() const {
+  std::vector<ClassKey> keys;
+  keys.reserve(signatures_.size());
+  for (const auto& [key, sig] : signatures_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace fglb

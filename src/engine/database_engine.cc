@@ -1,0 +1,93 @@
+#include "engine/database_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fglb {
+
+DatabaseEngine::DatabaseEngine(std::string name, const Options& options,
+                               const DiskModel* disk_model)
+    : name_(std::move(name)),
+      pool_(options.buffer_pool_pages),
+      stats_(options.access_window_capacity),
+      disk_model_(disk_model),
+      rng_(options.seed) {
+  assert(disk_model != nullptr);
+}
+
+ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
+  assert(query.tmpl != nullptr);
+  const ClassKey key = query.class_key();
+  scratch_.clear();
+  generator_.Generate(*query.tmpl, rng_, &scratch_);
+
+  ExecutionCounters counters;
+  for (const PageAccess& access : scratch_) {
+    stats_.RecordPageAccess(key, access.page);
+    ++counters.page_accesses;
+    if (access.is_write) ++counters.page_writes;
+    if (access.kind == AccessKind::kSequential) {
+      // Sequential run: if the page is not resident, read-ahead fetches
+      // its whole 64-page extent in one I/O, so the page (and its
+      // neighbours) then hit logically.
+      if (!pool_.Contains(key, access.page)) {
+        ++counters.read_aheads;
+        ++counters.io_requests;
+        const uint64_t offset = OffsetOf(access.page);
+        const uint64_t extent_start = offset - offset % kExtentPages;
+        for (uint64_t i = 0; i < kExtentPages; ++i) {
+          if (pool_.Insert(key,
+                           MakePageId(TableOf(access.page),
+                                      extent_start + i))) {
+            ++counters.buffer_misses;  // physically read from disk
+          }
+        }
+      }
+      pool_.Access(key, access.page);
+    } else {
+      if (!pool_.Access(key, access.page)) {
+        ++counters.random_misses;
+        ++counters.buffer_misses;
+        ++counters.io_requests;
+      }
+    }
+  }
+  if (counters.page_writes > 0) {
+    // Distinct stripes written, sorted: the commit's exclusive lock
+    // set (sorted acquisition order prevents deadlock).
+    for (const PageAccess& access : scratch_) {
+      if (access.is_write) {
+        counters.write_stripes.push_back(StripeOf(access.page));
+      }
+    }
+    std::sort(counters.write_stripes.begin(), counters.write_stripes.end());
+    counters.write_stripes.erase(
+        std::unique(counters.write_stripes.begin(),
+                    counters.write_stripes.end()),
+        counters.write_stripes.end());
+    counters.commit_seconds =
+        query.tmpl->commit_hold_seconds +
+        200e-6 * static_cast<double>(counters.page_writes);
+  }
+  counters.io_requests += counters.page_writes;
+  counters.cpu_seconds =
+      query.tmpl->fixed_cpu_seconds +
+      query.tmpl->cpu_seconds_per_page *
+          static_cast<double>(counters.page_accesses);
+  counters.io_seconds = disk_model_->ServiceDemand(
+      counters.random_misses, counters.read_aheads, counters.page_writes);
+  return counters;
+}
+
+void DatabaseEngine::RecordCompletion(ClassKey key, double latency_seconds,
+                                      const ExecutionCounters& counters) {
+  stats_.RecordQuery(key, latency_seconds, counters);
+}
+
+bool DatabaseEngine::SetQuota(ClassKey key, uint64_t pages) {
+  return pool_.SetQuota(key, pages);
+}
+
+void DatabaseEngine::DropQuota(ClassKey key) { pool_.DropQuota(key); }
+
+}  // namespace fglb

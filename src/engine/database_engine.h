@@ -1,0 +1,75 @@
+#ifndef FGLB_ENGINE_DATABASE_ENGINE_H_
+#define FGLB_ENGINE_DATABASE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/stats_collector.h"
+#include "storage/disk_model.h"
+#include "storage/page.h"
+#include "storage/partitioned_buffer_pool.h"
+#include "workload/access_generator.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// A MySQL/InnoDB-like database engine simulator: one buffer pool
+// (optionally partitioned by per-class quotas), per-class statistics
+// collection, and a trace-driven execution model that converts a query
+// instance into page references, buffer-pool activity and CPU/I/O
+// demands. One engine may serve several applications (the paper's
+// shared-DBMS consolidation scenario); timing/queueing is the hosting
+// replica's job.
+class DatabaseEngine {
+ public:
+  struct Options {
+    uint64_t buffer_pool_pages = 8192;  // 128 MB of 16 KiB pages
+    size_t access_window_capacity = 30000;
+    uint64_t seed = 1;
+  };
+
+  DatabaseEngine(std::string name, const Options& options,
+                 const DiskModel* disk_model);
+  DatabaseEngine(const DatabaseEngine&) = delete;
+  DatabaseEngine& operator=(const DatabaseEngine&) = delete;
+
+  // Executes one query instance: generates its page-reference string,
+  // drives the buffer pool (with extent read-ahead on sequential runs),
+  // records per-class access windows, and returns the counters plus
+  // CPU/I/O demands. Latency is recorded separately at completion via
+  // RecordCompletion().
+  ExecutionCounters Execute(const QueryInstance& query);
+
+  // Records a completed query's end-to-end latency with its counters
+  // into the per-class statistics.
+  void RecordCompletion(ClassKey key, double latency_seconds,
+                        const ExecutionCounters& counters);
+
+  // Buffer-pool quota enforcement for a query class (the paper's
+  // fine-grained memory allocation action). Returns false if quotas
+  // would exceed pool capacity.
+  bool SetQuota(ClassKey key, uint64_t pages);
+  void DropQuota(ClassKey key);
+
+  const std::string& name() const { return name_; }
+  PartitionedBufferPool& pool() { return pool_; }
+  const PartitionedBufferPool& pool() const { return pool_; }
+  StatsCollector& stats() { return stats_; }
+  const StatsCollector& stats() const { return stats_; }
+  const DiskModel& disk_model() const { return *disk_model_; }
+
+ private:
+  std::string name_;
+  PartitionedBufferPool pool_;
+  StatsCollector stats_;
+  const DiskModel* disk_model_;
+  AccessGenerator generator_;
+  Rng rng_;
+  std::vector<PageAccess> scratch_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_ENGINE_DATABASE_ENGINE_H_

@@ -1,0 +1,38 @@
+#include "engine/metrics.h"
+
+#include <cstdio>
+
+namespace fglb {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kLatency:
+      return "latency";
+    case Metric::kThroughput:
+      return "throughput";
+    case Metric::kPageAccesses:
+      return "page_accesses";
+    case Metric::kBufferMisses:
+      return "buffer_misses";
+    case Metric::kIoRequests:
+      return "io_requests";
+    case Metric::kReadAheads:
+      return "read_aheads";
+    case Metric::kLockWaits:
+      return "lock_waits";
+  }
+  return "unknown";
+}
+
+std::string MetricVectorToString(const MetricVector& v) {
+  std::string out;
+  char buf[64];
+  for (Metric m : kAllMetrics) {
+    std::snprintf(buf, sizeof(buf), "%s%s=%.4g", out.empty() ? "" : " ",
+                  MetricName(m), At(v, m));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fglb

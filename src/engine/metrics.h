@@ -1,0 +1,55 @@
+#ifndef FGLB_ENGINE_METRICS_H_
+#define FGLB_ENGINE_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace fglb {
+
+// The per-query-class metrics the paper's statistics collection tracks
+// inside each DBMS (§3.3): latency, throughput, buffer pool misses,
+// page accesses, I/O block requests and read-ahead (prefetch) requests.
+enum class Metric : size_t {
+  kLatency = 0,       // average query latency, seconds
+  kThroughput = 1,    // queries completed per second
+  kPageAccesses = 2,  // logical page references per interval
+  kBufferMisses = 3,  // physical page reads per interval
+  kIoRequests = 4,    // I/O block requests per interval
+  kReadAheads = 5,    // read-ahead (extent prefetch) requests per interval
+  // Extension beyond the paper's six (its §7 names lock contention as
+  // future work): seconds spent waiting for write locks per interval.
+  kLockWaits = 6,
+};
+
+inline constexpr size_t kNumMetrics = 7;
+
+using MetricVector = std::array<double, kNumMetrics>;
+
+inline constexpr std::array<Metric, kNumMetrics> kAllMetrics = {
+    Metric::kLatency,      Metric::kThroughput, Metric::kPageAccesses,
+    Metric::kBufferMisses, Metric::kIoRequests, Metric::kReadAheads,
+    Metric::kLockWaits,
+};
+
+const char* MetricName(Metric metric);
+
+// Memory-related counters: outliers in these trigger MRC recomputation
+// and memory-interference diagnosis (§3.3.2).
+constexpr bool IsMemoryMetric(Metric metric) {
+  return metric == Metric::kPageAccesses || metric == Metric::kBufferMisses ||
+         metric == Metric::kReadAheads;
+}
+
+constexpr double& At(MetricVector& v, Metric m) {
+  return v[static_cast<size_t>(m)];
+}
+constexpr double At(const MetricVector& v, Metric m) {
+  return v[static_cast<size_t>(m)];
+}
+
+std::string MetricVectorToString(const MetricVector& v);
+
+}  // namespace fglb
+
+#endif  // FGLB_ENGINE_METRICS_H_

@@ -1,0 +1,98 @@
+#ifndef FGLB_ENGINE_STATS_COLLECTOR_H_
+#define FGLB_ENGINE_STATS_COLLECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ring_window.h"
+#include "engine/metrics.h"
+#include "storage/page.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// Raw execution counters produced by running one query instance.
+struct ExecutionCounters {
+  uint64_t page_accesses = 0;
+  // Physical page reads: random-read misses plus pages fetched by
+  // read-ahead (InnoDB's "pages read").
+  uint64_t buffer_misses = 0;
+  // Random-read misses only (subset of buffer_misses). Logical hit
+  // ratio of a class is (accesses - random_misses - read_aheads) /
+  // accesses: one stall per random miss or extent fetch.
+  uint64_t random_misses = 0;
+  // I/O block requests issued: random reads + extent fetches + writes.
+  uint64_t io_requests = 0;
+  uint64_t read_aheads = 0;
+  uint64_t page_writes = 0;
+  // Resource demands derived from the above.
+  double cpu_seconds = 0;
+  double io_seconds = 0;
+  // Write-lock critical section: stripes to lock exclusively at commit
+  // and how long the commit work holds them. Empty for read-only
+  // queries (consistent reads are non-blocking, as in InnoDB MVCC).
+  std::vector<PageId> write_stripes;
+  double commit_seconds = 0;
+  // Filled in by the replica at completion: time spent queued on locks.
+  double lock_wait_seconds = 0;
+};
+
+// Lightweight per-query-class statistics collection inside one engine
+// (the paper instruments MySQL/InnoDB with per-thread private logging
+// buffers; in this single-threaded simulation the collector accumulates
+// directly — the data it yields is the same). Counters accumulate per
+// measurement interval; a ring window additionally keeps the most
+// recent page accesses per class for on-demand MRC recomputation.
+class StatsCollector {
+ public:
+  explicit StatsCollector(size_t access_window_capacity = 30000);
+
+  // Records a page reference into the class's recent-access window.
+  void RecordPageAccess(ClassKey key, PageId page);
+
+  // Records a completed query with its end-to-end latency and counters.
+  void RecordQuery(ClassKey key, double latency_seconds,
+                   const ExecutionCounters& counters);
+
+  // Ends the current measurement interval: returns per-class metric
+  // vectors (averages/rates over `interval_seconds`) and resets
+  // interval accumulators. Access windows persist across intervals.
+  std::map<ClassKey, MetricVector> EndInterval(double interval_seconds);
+
+  // Recent page accesses of a class, oldest first. Empty if unseen.
+  std::vector<PageId> AccessWindow(ClassKey key) const;
+
+  // Classes with any activity since construction.
+  std::vector<ClassKey> KnownClasses() const;
+
+  // Total queries completed since construction.
+  uint64_t total_queries() const { return total_queries_; }
+
+ private:
+  struct PerClass {
+    // Interval accumulators.
+    uint64_t queries = 0;
+    double latency_sum = 0;
+    uint64_t page_accesses = 0;
+    uint64_t buffer_misses = 0;
+    uint64_t io_requests = 0;
+    uint64_t read_aheads = 0;
+    double lock_wait_seconds = 0;
+    // Recent accesses for MRC recomputation.
+    RingWindow<PageId> window;
+
+    explicit PerClass(size_t window_capacity) : window(window_capacity) {}
+  };
+
+  PerClass& ClassState(ClassKey key);
+
+  size_t window_capacity_;
+  std::map<ClassKey, std::unique_ptr<PerClass>> classes_;
+  uint64_t total_queries_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_ENGINE_STATS_COLLECTOR_H_

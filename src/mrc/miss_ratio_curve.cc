@@ -1,0 +1,97 @@
+#include "mrc/miss_ratio_curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace fglb {
+
+std::string MrcParameters::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "total=%llu pages (mr=%.4f), acceptable=%llu pages (mr=%.4f)",
+                static_cast<unsigned long long>(total_memory_pages),
+                ideal_miss_ratio,
+                static_cast<unsigned long long>(acceptable_memory_pages),
+                acceptable_miss_ratio);
+  return buf;
+}
+
+MissRatioCurve MissRatioCurve::FromStack(const MattsonStack& stack) {
+  MissRatioCurve curve;
+  curve.total_accesses_ = stack.total_accesses();
+  if (curve.total_accesses_ == 0) return curve;
+  const auto& hits = stack.hit_counts();
+  curve.miss_ratio_.resize(hits.size() + 1);
+  curve.miss_ratio_[0] = 1.0;
+  const double total = static_cast<double>(curve.total_accesses_);
+  uint64_t cumulative_hits = 0;
+  for (size_t depth = 1; depth <= hits.size(); ++depth) {
+    cumulative_hits += hits[depth - 1];
+    curve.miss_ratio_[depth] =
+        1.0 - static_cast<double>(cumulative_hits) / total;
+  }
+  return curve;
+}
+
+MissRatioCurve MissRatioCurve::FromTrace(std::span<const PageId> trace,
+                                         MattsonImpl impl) {
+  auto stack = MakeMattsonStack(impl);
+  for (PageId page : trace) stack->Access(page);
+  return FromStack(*stack);
+}
+
+double MissRatioCurve::MissRatioAt(uint64_t pages) const {
+  if (miss_ratio_.empty()) return 1.0;
+  if (pages >= miss_ratio_.size()) return miss_ratio_.back();
+  return miss_ratio_[pages];
+}
+
+MrcParameters MissRatioCurve::ComputeParameters(const MrcConfig& config) const {
+  MrcParameters params;
+  const uint64_t cap = config.max_server_pages;
+  const double floor = MissRatioAt(cap);
+  // Total memory needed: smallest size (<= cap) already at the floor.
+  uint64_t total = cap;
+  for (uint64_t m = 0; m <= std::min<uint64_t>(cap, max_pages()); ++m) {
+    if (MissRatioAt(m) <= floor + config.flatten_epsilon) {
+      total = m;
+      break;
+    }
+  }
+  params.total_memory_pages = total;
+  params.ideal_miss_ratio = MissRatioAt(total);
+  // Acceptable memory: smallest size within threshold of ideal.
+  const double acceptable_bound =
+      params.ideal_miss_ratio + config.acceptable_threshold;
+  uint64_t acceptable = total;
+  for (uint64_t m = 0; m <= total; ++m) {
+    if (MissRatioAt(m) <= acceptable_bound) {
+      acceptable = m;
+      break;
+    }
+  }
+  params.acceptable_memory_pages = acceptable;
+  params.acceptable_miss_ratio = MissRatioAt(acceptable);
+  return params;
+}
+
+bool MissRatioCurve::SignificantChange(const MrcParameters& stable,
+                                       const MrcParameters& current,
+                                       const MrcConfig& config) {
+  auto changed = [&config](uint64_t before, uint64_t now) {
+    const uint64_t abs_delta = now > before ? now - before : before - now;
+    // Small working sets jitter by large *relative* amounts while being
+    // irrelevant in absolute terms; require a change that also matters
+    // against pool sizes (half a typical minimum quota times 4).
+    if (abs_delta < 512) return false;
+    if (before == 0) return true;
+    return static_cast<double>(abs_delta) / static_cast<double>(before) >
+           config.significant_change_fraction;
+  };
+  return changed(stable.total_memory_pages, current.total_memory_pages) ||
+         changed(stable.acceptable_memory_pages,
+                 current.acceptable_memory_pages);
+}
+
+}  // namespace fglb

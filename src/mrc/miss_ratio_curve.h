@@ -1,0 +1,89 @@
+#ifndef FGLB_MRC_MISS_RATIO_CURVE_H_
+#define FGLB_MRC_MISS_RATIO_CURVE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mrc/mattson_stack.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// The two MRC parameters the paper attaches to each query-class context
+// (§3.3), plus the miss ratios at those sizes.
+struct MrcParameters {
+  // Smallest of (a) the physical server's memory and (b) the memory at
+  // which the curve flattens out ("miss ratio estimated to be 0" in the
+  // paper; cold misses put a floor above 0 in any finite trace).
+  uint64_t total_memory_pages = 0;
+  double ideal_miss_ratio = 0;
+  // Smallest memory whose miss ratio is within a fixed threshold of the
+  // ideal miss ratio.
+  uint64_t acceptable_memory_pages = 0;
+  double acceptable_miss_ratio = 0;
+
+  std::string ToString() const;
+};
+
+// Policy knobs for curve computation and stable-state comparison.
+struct MrcConfig {
+  // Physical memory cap used for "total memory needed".
+  uint64_t max_server_pages = 8192;
+  // "Acceptable" = within this absolute miss-ratio distance of ideal.
+  double acceptable_threshold = 0.02;
+  // Curve is considered flat once within this of its final value.
+  double flatten_epsilon = 1e-4;
+  // Relative change (either direction) in total/acceptable memory that
+  // counts as a "significant change" during diagnosis (§5.3 flags the
+  // no-index BestSeller whose acceptable memory *shrank*).
+  double significant_change_fraction = 0.5;
+  MattsonImpl impl = MattsonImpl::kFenwick;
+};
+
+// An LRU miss-ratio curve: miss ratio as a function of cache size in
+// pages, derived from Mattson stack hit counts. MR(0) = 1 by
+// definition; values beyond the largest observed reuse depth stay at
+// the cold-miss floor.
+class MissRatioCurve {
+ public:
+  MissRatioCurve() = default;
+
+  static MissRatioCurve FromStack(const MattsonStack& stack);
+  static MissRatioCurve FromTrace(std::span<const PageId> trace,
+                                  MattsonImpl impl = MattsonImpl::kFenwick);
+
+  // Miss ratio of an LRU cache holding `pages` pages.
+  double MissRatioAt(uint64_t pages) const;
+
+  // Largest cache size at which the curve still changes. MissRatioAt is
+  // constant beyond this.
+  uint64_t max_pages() const {
+    return miss_ratio_.empty() ? 0 : miss_ratio_.size() - 1;
+  }
+
+  uint64_t total_accesses() const { return total_accesses_; }
+  bool empty() const { return total_accesses_ == 0; }
+
+  // Derives the paper's per-context parameters from this curve.
+  MrcParameters ComputeParameters(const MrcConfig& config) const;
+
+  // True when `current` shows a significant change in memory need
+  // versus `stable` under `config` (the paper's trigger for keeping a
+  // query class a memory-interference suspect). Both directions count:
+  // a grown working set signals interference pressure, a collapsed one
+  // signals a plan/access-pattern change at the root of the problem.
+  static bool SignificantChange(const MrcParameters& stable,
+                                const MrcParameters& current,
+                                const MrcConfig& config);
+
+ private:
+  // miss_ratio_[m] = miss ratio with m pages of cache; index 0 is 1.0.
+  std::vector<double> miss_ratio_;
+  uint64_t total_accesses_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_MRC_MISS_RATIO_CURVE_H_

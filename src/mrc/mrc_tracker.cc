@@ -1,0 +1,34 @@
+#include "mrc/mrc_tracker.h"
+
+namespace fglb {
+
+void MrcTracker::SetStableFromTrace(std::span<const PageId> trace) {
+  stable_curve_ = MissRatioCurve::FromTrace(trace, config_.impl);
+  stable_ = stable_curve_.ComputeParameters(config_);
+  stable_trace_length_ = trace.size();
+}
+
+MrcTracker::Recomputation MrcTracker::Recompute(
+    std::span<const PageId> trace) const {
+  if (stable_.has_value() && stable_trace_length_ > 0 &&
+      trace.size() > stable_trace_length_) {
+    trace = trace.subspan(trace.size() - stable_trace_length_);
+  }
+  Recomputation result;
+  result.curve = MissRatioCurve::FromTrace(trace, config_.impl);
+  result.params = result.curve.ComputeParameters(config_);
+  result.suspect =
+      !stable_.has_value() ||
+      MissRatioCurve::SignificantChange(*stable_, result.params, config_);
+  return result;
+}
+
+void MrcTracker::AdoptAsStable(const Recomputation& recomputation) {
+  stable_curve_ = recomputation.curve;
+  stable_ = recomputation.params;
+  if (stable_trace_length_ == 0) {
+    stable_trace_length_ = recomputation.curve.total_accesses();
+  }
+}
+
+}  // namespace fglb

@@ -1,0 +1,125 @@
+#include "scenarios/cli_options.h"
+
+#include <cstdlib>
+
+namespace fglb {
+
+namespace {
+
+bool ParseScenario(const std::string& value, CliOptions::Scenario* out) {
+  if (value == "steady") *out = CliOptions::Scenario::kSteady;
+  else if (value == "burst") *out = CliOptions::Scenario::kBurst;
+  else if (value == "consolidation")
+    *out = CliOptions::Scenario::kConsolidation;
+  else if (value == "io") *out = CliOptions::Scenario::kIoContention;
+  else return false;
+  return true;
+}
+
+bool ParseOutput(const std::string& value, CliOptions::Output* out) {
+  if (value == "table") *out = CliOptions::Output::kTable;
+  else if (value == "samples-csv") *out = CliOptions::Output::kSamplesCsv;
+  else if (value == "actions-csv") *out = CliOptions::Output::kActionsCsv;
+  else if (value == "servers-csv") *out = CliOptions::Output::kServersCsv;
+  else return false;
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value.empty()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseInt(const std::string& value, int* out) {
+  double d = 0;
+  if (!ParseDouble(value, &d) || d != static_cast<int>(d)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool ParseUint64(const std::string& value, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty()) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return R"(fglb_sim -- scenario runner for the fglb cluster simulator
+
+usage: fglb_sim [options]
+
+  --scenario=NAME   steady | burst | consolidation | io   (default steady)
+  --output=FORMAT   table | samples-csv | actions-csv | servers-csv
+  --servers=N       machines in the shared pool             (default 4)
+  --duration=SEC    simulated seconds                       (default 900)
+  --tpcw-clients=N  TPC-W closed-loop clients               (default 120)
+  --rubis-clients=N RUBiS closed-loop clients               (default 45)
+  --seed=N          RNG seed (runs are deterministic)       (default 1)
+  --help            this text
+)";
+}
+
+bool ParseCliOptions(const std::vector<std::string>& args,
+                     CliOptions* options, std::string* error) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      *error = "unexpected positional argument: " + arg;
+      return false;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else {
+      if (i + 1 >= args.size()) {
+        *error = "missing value for --" + key;
+        return false;
+      }
+      value = args[++i];
+    }
+
+    bool ok = true;
+    if (key == "scenario") {
+      ok = ParseScenario(value, &options->scenario);
+    } else if (key == "output") {
+      ok = ParseOutput(value, &options->output);
+    } else if (key == "servers") {
+      ok = ParseInt(value, &options->servers) && options->servers > 0;
+    } else if (key == "duration") {
+      ok = ParseDouble(value, &options->duration_seconds) &&
+           options->duration_seconds > 0;
+    } else if (key == "tpcw-clients") {
+      ok = ParseDouble(value, &options->tpcw_clients) &&
+           options->tpcw_clients >= 0;
+    } else if (key == "rubis-clients") {
+      ok = ParseDouble(value, &options->rubis_clients) &&
+           options->rubis_clients >= 0;
+    } else if (key == "seed") {
+      ok = ParseUint64(value, &options->seed);
+    } else {
+      *error = "unknown option --" + key;
+      return false;
+    }
+    if (!ok) {
+      *error = "invalid value for --" + key + ": " + value;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fglb

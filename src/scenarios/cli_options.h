@@ -1,0 +1,47 @@
+#ifndef FGLB_SCENARIOS_CLI_OPTIONS_H_
+#define FGLB_SCENARIOS_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fglb {
+
+// Options of the fglb_sim command-line scenario runner. Parsed from
+// --key=value / --key value / --flag arguments; unknown keys fail with
+// a message so typos do not silently run the default scenario.
+struct CliOptions {
+  enum class Scenario {
+    kSteady,         // constant TPC-W load
+    kBurst,          // step burst (Fig. 3-style provisioning)
+    kConsolidation,  // TPC-W + RUBiS in one engine (Table 2)
+    kIoContention,   // two RUBiS domains on one machine (Table 3)
+  };
+  enum class Output {
+    kTable,       // human-readable series + actions
+    kSamplesCsv,  // interval series as CSV
+    kActionsCsv,  // action log as CSV
+    kServersCsv,  // per-server utilization as CSV
+  };
+
+  Scenario scenario = Scenario::kSteady;
+  Output output = Output::kTable;
+  int servers = 4;
+  double duration_seconds = 900;
+  double tpcw_clients = 120;
+  double rubis_clients = 45;
+  uint64_t seed = 1;
+  bool help = false;
+};
+
+// Parses argv (excluding argv[0]). On success returns true; on failure
+// returns false with a one-line message in *error.
+bool ParseCliOptions(const std::vector<std::string>& args,
+                     CliOptions* options, std::string* error);
+
+// The --help text.
+std::string CliUsage();
+
+}  // namespace fglb
+
+#endif  // FGLB_SCENARIOS_CLI_OPTIONS_H_

@@ -1,0 +1,86 @@
+#include "scenarios/harness.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fglb {
+
+ClusterHarness::ClusterHarness(SelectiveRetuner::Config config)
+    : resources_(&sim_), retuner_(&sim_, &resources_, config) {}
+
+void ClusterHarness::AddServers(int count,
+                                const PhysicalServer::Options& options) {
+  for (int i = 0; i < count; ++i) resources_.AddServer(options);
+}
+
+Scheduler* ClusterHarness::AddApplication(ApplicationSpec spec) {
+  specs_.push_back(std::make_unique<ApplicationSpec>(std::move(spec)));
+  schedulers_.push_back(
+      std::make_unique<Scheduler>(&sim_, specs_.back().get()));
+  retuner_.RegisterApplication(schedulers_.back().get());
+  return schedulers_.back().get();
+}
+
+ClientEmulator* ClusterHarness::AddClients(Scheduler* scheduler,
+                                           std::unique_ptr<LoadFunction> load,
+                                           uint64_t seed,
+                                           ClientEmulator::Options options) {
+  assert(scheduler != nullptr);
+  loads_.push_back(std::move(load));
+  emulators_.push_back(std::make_unique<ClientEmulator>(
+      &sim_, &scheduler->app(), scheduler, loads_.back().get(), seed,
+      options));
+  if (started_) emulators_.back()->Start();
+  return emulators_.back().get();
+}
+
+ClientEmulator* ClusterHarness::AddConstantClients(Scheduler* scheduler,
+                                                   double clients,
+                                                   uint64_t seed) {
+  return AddClients(scheduler, std::make_unique<ConstantLoad>(clients), seed);
+}
+
+ApplicationSpec* ClusterHarness::mutable_app(Scheduler* scheduler) {
+  for (auto& spec : specs_) {
+    if (spec.get() == &scheduler->app()) return spec.get();
+  }
+  return nullptr;
+}
+
+void ClusterHarness::Start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& emulator : emulators_) emulator->Start();
+  retuner_.Start();
+}
+
+void ClusterHarness::RunFor(double seconds) {
+  sim_.RunUntil(sim_.Now() + seconds);
+}
+
+ClusterHarness::WindowSummary ClusterHarness::Summarize(AppId app,
+                                                        SimTime from,
+                                                        SimTime to) const {
+  WindowSummary summary;
+  double latency_weighted = 0;
+  for (const auto& sample : retuner_.samples()) {
+    if (sample.time < from || sample.time >= to) continue;
+    for (const auto& as : sample.apps) {
+      if (as.app != app) continue;
+      ++summary.intervals;
+      summary.queries += as.queries;
+      latency_weighted += as.avg_latency * static_cast<double>(as.queries);
+      summary.avg_throughput += as.throughput;
+      if (!as.sla_met) ++summary.sla_violations;
+    }
+  }
+  if (summary.queries > 0) {
+    summary.avg_latency = latency_weighted / summary.queries;
+  }
+  if (summary.intervals > 0) {
+    summary.avg_throughput /= summary.intervals;
+  }
+  return summary;
+}
+
+}  // namespace fglb

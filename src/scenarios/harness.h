@@ -1,0 +1,86 @@
+#ifndef FGLB_SCENARIOS_HARNESS_H_
+#define FGLB_SCENARIOS_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/resource_manager.h"
+#include "cluster/scheduler.h"
+#include "core/selective_retuner.h"
+#include "sim/simulator.h"
+#include "workload/application.h"
+#include "workload/client_emulator.h"
+#include "workload/load_function.h"
+
+namespace fglb {
+
+// Convenience bundle wiring a whole experiment together: simulator,
+// server pool, per-application schedulers/clients, and the retuning
+// controller. Owns everything; tests, examples and benchmarks build
+// their scenarios through it.
+class ClusterHarness {
+ public:
+  explicit ClusterHarness(SelectiveRetuner::Config config = {});
+  ClusterHarness(const ClusterHarness&) = delete;
+  ClusterHarness& operator=(const ClusterHarness&) = delete;
+
+  // Adds `count` identical servers to the pool.
+  void AddServers(int count, const PhysicalServer::Options& options = {});
+
+  // Registers an application: creates its scheduler and registers it
+  // with the retuner. The spec is copied and kept alive by the harness.
+  Scheduler* AddApplication(ApplicationSpec spec);
+
+  // Attaches a closed-loop client population to an application.
+  // The load function is kept alive by the harness.
+  ClientEmulator* AddClients(Scheduler* scheduler,
+                             std::unique_ptr<LoadFunction> load,
+                             uint64_t seed,
+                             ClientEmulator::Options options = {});
+
+  // Shorthand: constant client population.
+  ClientEmulator* AddConstantClients(Scheduler* scheduler, double clients,
+                                     uint64_t seed);
+
+  // Starts every emulator plus the retuner's interval ticks.
+  void Start();
+
+  // Advances simulated time by `seconds`.
+  void RunFor(double seconds);
+
+  // Mutable access to a registered application's spec, for scenarios
+  // that change the workload mid-run (e.g. dropping an index swaps a
+  // template's access components in place).
+  ApplicationSpec* mutable_app(Scheduler* scheduler);
+
+  Simulator& sim() { return sim_; }
+  ResourceManager& resources() { return resources_; }
+  SelectiveRetuner& retuner() { return retuner_; }
+  const std::vector<std::unique_ptr<Scheduler>>& schedulers() const {
+    return schedulers_;
+  }
+
+  // Averages app metrics over the retuner samples within [from, to).
+  struct WindowSummary {
+    double avg_latency = 0;
+    double avg_throughput = 0;
+    uint64_t queries = 0;
+    int intervals = 0;
+    int sla_violations = 0;
+  };
+  WindowSummary Summarize(AppId app, SimTime from, SimTime to) const;
+
+ private:
+  Simulator sim_;
+  ResourceManager resources_;
+  SelectiveRetuner retuner_;
+  std::vector<std::unique_ptr<ApplicationSpec>> specs_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<std::unique_ptr<LoadFunction>> loads_;
+  std::vector<std::unique_ptr<ClientEmulator>> emulators_;
+  bool started_ = false;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_SCENARIOS_HARNESS_H_

@@ -1,0 +1,115 @@
+#include "scenarios/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fglb {
+
+namespace {
+
+void Append(std::string& out, const char* format, ...) {
+  char buf[320];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out += buf;
+}
+
+// CSV-escapes a free-text field (quotes + embedded commas/newlines).
+std::string Quoted(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += "\"\"";
+    else if (c == '\n') out += ' ';
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string FormatSamplesTable(
+    const std::vector<SelectiveRetuner::IntervalSample>& samples) {
+  std::string out;
+  Append(out, "%8s  %4s  %8s  %10s  %10s  %9s  %4s  %7s\n", "time_s", "app",
+         "queries", "avg_lat_s", "p95_lat_s", "tput_qps", "sla", "servers");
+  for (const auto& sample : samples) {
+    for (const auto& app : sample.apps) {
+      Append(out, "%8.0f  %4u  %8llu  %10.3f  %10.3f  %9.1f  %4s  %7d\n",
+             sample.time, app.app,
+             static_cast<unsigned long long>(app.queries), app.avg_latency,
+             app.p95_latency, app.throughput, app.sla_met ? "ok" : "VIO",
+             app.servers_used);
+    }
+  }
+  return out;
+}
+
+std::string SamplesCsv(
+    const std::vector<SelectiveRetuner::IntervalSample>& samples) {
+  std::string out =
+      "time_s,app,queries,avg_latency_s,p95_latency_s,throughput_qps,"
+      "sla_met,servers_used\n";
+  for (const auto& sample : samples) {
+    for (const auto& app : sample.apps) {
+      Append(out, "%.1f,%u,%llu,%.6f,%.6f,%.3f,%d,%d\n", sample.time,
+             app.app, static_cast<unsigned long long>(app.queries),
+             app.avg_latency, app.p95_latency, app.throughput,
+             app.sla_met ? 1 : 0, app.servers_used);
+    }
+  }
+  return out;
+}
+
+std::string ServerUtilizationCsv(
+    const std::vector<SelectiveRetuner::IntervalSample>& samples) {
+  std::string out = "time_s,server,cpu_utilization,io_utilization\n";
+  for (const auto& sample : samples) {
+    for (const auto& server : sample.servers) {
+      Append(out, "%.1f,%d,%.4f,%.4f\n", sample.time, server.server_id,
+             server.cpu_utilization, server.io_utilization);
+    }
+  }
+  return out;
+}
+
+std::string FormatActions(
+    const std::vector<SelectiveRetuner::Action>& actions) {
+  std::string out;
+  for (const auto& action : actions) {
+    Append(out, "t=%7.0f  [%s]  %s\n", action.time,
+           SelectiveRetuner::ActionKindName(action.kind),
+           action.description.c_str());
+  }
+  return out;
+}
+
+std::string ActionsCsv(
+    const std::vector<SelectiveRetuner::Action>& actions) {
+  std::string out = "time_s,kind,app,description\n";
+  for (const auto& action : actions) {
+    Append(out, "%.1f,%s,%u,", action.time,
+           SelectiveRetuner::ActionKindName(action.kind), action.app);
+    out += Quoted(action.description);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatDiagnoses(
+    const std::vector<SelectiveRetuner::DiagnosisRecord>& diagnoses) {
+  std::string out;
+  for (const auto& d : diagnoses) {
+    Append(out,
+           "t=%7.0f  app=%u replica=%d  outliers=%zu new=%zu suspects=%zu "
+           "cleared=%zu\n",
+           d.time, d.app, d.replica_id, d.outliers.outliers.size(),
+           d.outliers.new_classes.size(), d.memory.suspects.size(),
+           d.memory.cleared.size());
+  }
+  return out;
+}
+
+}  // namespace fglb

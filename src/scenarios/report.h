@@ -1,0 +1,45 @@
+#ifndef FGLB_SCENARIOS_REPORT_H_
+#define FGLB_SCENARIOS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/selective_retuner.h"
+
+namespace fglb {
+
+// Text/CSV rendering of what the controller recorded: the interval
+// time series (one row per app per interval, the data behind Fig. 3's
+// three panels), the action log, and diagnosis summaries. Examples,
+// benchmarks and the CLI all print through these, so output formats
+// stay consistent.
+
+// Fixed-width human-readable table of the per-app interval series.
+std::string FormatSamplesTable(
+    const std::vector<SelectiveRetuner::IntervalSample>& samples);
+
+// CSV with header:
+//   time_s,app,queries,avg_latency_s,p95_latency_s,throughput_qps,
+//   sla_met,servers_used
+std::string SamplesCsv(
+    const std::vector<SelectiveRetuner::IntervalSample>& samples);
+
+// CSV with header: time_s,server,cpu_utilization,io_utilization
+std::string ServerUtilizationCsv(
+    const std::vector<SelectiveRetuner::IntervalSample>& samples);
+
+// Human-readable action log, one line per action.
+std::string FormatActions(
+    const std::vector<SelectiveRetuner::Action>& actions);
+
+// CSV with header: time_s,kind,app,description (description quoted).
+std::string ActionsCsv(
+    const std::vector<SelectiveRetuner::Action>& actions);
+
+// One-line-per-diagnosis summary (outlier/new/suspect/cleared counts).
+std::string FormatDiagnoses(
+    const std::vector<SelectiveRetuner::DiagnosisRecord>& diagnoses);
+
+}  // namespace fglb
+
+#endif  // FGLB_SCENARIOS_REPORT_H_

@@ -1,0 +1,72 @@
+#include "sim/queue_resource.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fglb {
+
+QueueResource::QueueResource(Simulator* sim, int servers, std::string name)
+    : sim_(sim), servers_(servers), name_(std::move(name)) {
+  assert(sim != nullptr);
+  assert(servers > 0);
+  last_change_ = sim_->Now();
+  accounting_start_ = sim_->Now();
+}
+
+void QueueResource::AccumulateBusy() {
+  const SimTime now = sim_->Now();
+  busy_integral_ += static_cast<double>(busy_) * (now - last_change_);
+  last_change_ = now;
+}
+
+void QueueResource::Submit(double service_time,
+                           std::function<void(double)> on_complete) {
+  assert(service_time >= 0);
+  Job job{service_time, sim_->Now(), std::move(on_complete)};
+  if (busy_ < servers_) {
+    StartService(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void QueueResource::StartService(Job job) {
+  AccumulateBusy();
+  ++busy_;
+  const SimTime arrival = job.arrival;
+  // Move the callback into the completion event.
+  auto on_complete = std::move(job.on_complete);
+  sim_->ScheduleAfter(job.service_time, [this, arrival, on_complete]() {
+    AccumulateBusy();
+    --busy_;
+    ++completed_;
+    if (!waiting_.empty()) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop_front();
+      StartService(std::move(next));
+    }
+    if (on_complete) on_complete(sim_->Now() - arrival);
+  });
+}
+
+double QueueResource::UtilizationSinceReset() const {
+  const SimTime now = sim_->Now();
+  const double window = now - accounting_start_;
+  if (window <= 0) return 0.0;
+  const double busy_in_window = (busy_integral_ - accounting_baseline_) +
+                                static_cast<double>(busy_) *
+                                    (now - last_change_);
+  return busy_in_window / (window * servers_);
+}
+
+double QueueResource::busy_time() const {
+  return busy_integral_ +
+         static_cast<double>(busy_) * (sim_->Now() - last_change_);
+}
+
+void QueueResource::ResetAccounting() {
+  accounting_start_ = sim_->Now();
+  accounting_baseline_ = busy_time();
+}
+
+}  // namespace fglb

@@ -1,0 +1,73 @@
+#ifndef FGLB_SIM_QUEUE_RESOURCE_H_
+#define FGLB_SIM_QUEUE_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace fglb {
+
+// A FIFO queueing station with `servers` identical parallel servers.
+// Models both a multi-core CPU (servers = cores) and a disk channel
+// (servers = 1). Jobs carry a service demand in seconds; completion
+// callbacks fire when the job finishes service. Utilization is the
+// time-integral of busy servers divided by capacity.
+class QueueResource {
+ public:
+  QueueResource(Simulator* sim, int servers, std::string name);
+  QueueResource(const QueueResource&) = delete;
+  QueueResource& operator=(const QueueResource&) = delete;
+
+  // Enqueues a job. `on_complete` runs (via the simulator) when service
+  // finishes; it receives the time the job spent queued + in service.
+  void Submit(double service_time,
+              std::function<void(double sojourn)> on_complete);
+
+  int servers() const { return servers_; }
+  const std::string& name() const { return name_; }
+  size_t queue_length() const { return waiting_.size(); }
+  int busy_servers() const { return busy_; }
+
+  // Utilization since the last ResetAccounting(): fraction of
+  // server-seconds busy over the accounting window ending now.
+  double UtilizationSinceReset() const;
+
+  // Total busy server-seconds since construction.
+  double busy_time() const;
+
+  uint64_t completed_jobs() const { return completed_; }
+
+  // Starts a new utilization accounting window at the current time.
+  // In-flight jobs are unaffected.
+  void ResetAccounting();
+
+ private:
+  struct Job {
+    double service_time;
+    SimTime arrival;
+    std::function<void(double)> on_complete;
+  };
+
+  void StartService(Job job);
+  void AccumulateBusy();
+
+  Simulator* sim_;
+  int servers_;
+  std::string name_;
+  int busy_ = 0;
+  std::deque<Job> waiting_;
+  uint64_t completed_ = 0;
+
+  // Busy-time integral bookkeeping.
+  double busy_integral_ = 0;
+  SimTime last_change_ = 0;
+  SimTime accounting_start_ = 0;
+  double accounting_baseline_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_SIM_QUEUE_RESOURCE_H_

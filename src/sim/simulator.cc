@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fglb {
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  queue_.push(Event{when, next_sequence_++, std::move(fn)});
+}
+
+void Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    ++executed_;
+    event.fn();
+  }
+  if (now_ < until && queue_.empty()) {
+    // Nothing left before `until`; advance the clock so callers can
+    // keep stepping in fixed intervals.
+    now_ = until;
+  } else if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::RunToCompletion() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    ++executed_;
+    event.fn();
+  }
+}
+
+}  // namespace fglb

@@ -1,0 +1,64 @@
+#ifndef FGLB_SIM_SIMULATOR_H_
+#define FGLB_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fglb {
+
+// Simulated time, in seconds.
+using SimTime = double;
+
+// Discrete-event simulation kernel. Events are closures ordered by
+// firing time; ties break by scheduling order so runs are fully
+// deterministic. The whole cluster model (clients, schedulers, CPU and
+// disk queues, the retuning controller) is driven off one Simulator.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= Now()).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` (>= 0) seconds from now.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  // Runs events in time order until the queue drains or the next event
+  // would fire after `until`. The clock is left at min(until, time of
+  // last executed event); events beyond `until` stay queued.
+  void RunUntil(SimTime until);
+
+  // Runs until the event queue is empty.
+  void RunToCompletion();
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_SIM_SIMULATOR_H_

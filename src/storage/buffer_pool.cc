@@ -1,0 +1,53 @@
+#include "storage/buffer_pool.h"
+
+namespace fglb {
+
+BufferPool::BufferPool(uint64_t capacity_pages) : capacity_(capacity_pages) {}
+
+bool BufferPool::Access(PageId page) {
+  ++stats_.accesses;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return false;
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  EvictIfNeeded();
+  return false;
+}
+
+bool BufferPool::Insert(PageId page) {
+  if (capacity_ == 0) return false;
+  if (map_.contains(page)) return false;
+  ++stats_.prefetch_inserts;
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  EvictIfNeeded();
+  return true;
+}
+
+bool BufferPool::Contains(PageId page) const { return map_.contains(page); }
+
+void BufferPool::Resize(uint64_t capacity_pages) {
+  capacity_ = capacity_pages;
+  EvictIfNeeded();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace fglb

@@ -1,0 +1,73 @@
+#ifndef FGLB_STORAGE_BUFFER_POOL_H_
+#define FGLB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace fglb {
+
+// Cumulative counters for one buffer pool (or pool partition).
+struct BufferPoolStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t prefetch_inserts = 0;
+
+  double hit_ratio() const {
+    return accesses > 0 ? static_cast<double>(hits) / accesses : 0.0;
+  }
+  double miss_ratio() const {
+    return accesses > 0 ? static_cast<double>(misses) / accesses : 0.0;
+  }
+};
+
+// LRU page cache modeling one InnoDB buffer pool (or one partition of
+// it). Purely a containment simulator: it answers hit/miss and tracks
+// counters; I/O timing for misses is the disk model's job.
+class BufferPool {
+ public:
+  explicit BufferPool(uint64_t capacity_pages);
+
+  // References `page`, promoting it to most-recently-used. Returns true
+  // on a hit. On a miss the page is brought in, evicting the LRU page
+  // if the pool is full.
+  bool Access(PageId page);
+
+  // Inserts a page without counting an access (read-ahead landing).
+  // Returns true if the page was actually brought in; no-op returning
+  // false if already resident (residency is refreshed to MRU by real
+  // accesses only, matching InnoDB's treatment of prefetched pages).
+  // A zero-capacity pool also returns false.
+  bool Insert(PageId page);
+
+  bool Contains(PageId page) const;
+
+  // Shrinks or grows the pool, evicting LRU pages as needed. A zero
+  // capacity pool misses every access and caches nothing.
+  void Resize(uint64_t capacity_pages);
+
+  // Drops all resident pages (counters are retained).
+  void Clear();
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t resident_pages() const { return map_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  void EvictIfNeeded();
+
+  uint64_t capacity_;
+  // Front = most recently used.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,63 @@
+#include "storage/clock_buffer_pool.h"
+
+#include <cassert>
+
+namespace fglb {
+
+ClockBufferPool::ClockBufferPool(uint64_t capacity_pages)
+    : capacity_(capacity_pages), frames_(capacity_pages) {}
+
+size_t ClockBufferPool::FindVictim() {
+  assert(capacity_ > 0);
+  for (;;) {
+    Frame& frame = frames_[hand_];
+    if (!frame.occupied) {
+      const size_t index = hand_;
+      hand_ = (hand_ + 1) % frames_.size();
+      return index;
+    }
+    if (!frame.referenced) {
+      const size_t index = hand_;
+      hand_ = (hand_ + 1) % frames_.size();
+      return index;
+    }
+    frame.referenced = false;  // second chance
+    hand_ = (hand_ + 1) % frames_.size();
+  }
+}
+
+void ClockBufferPool::InstallAt(size_t index, PageId page, bool referenced) {
+  Frame& frame = frames_[index];
+  if (frame.occupied) {
+    map_.erase(frame.page);
+    ++stats_.evictions;
+  }
+  frame.page = page;
+  frame.occupied = true;
+  frame.referenced = referenced;
+  map_[page] = index;
+}
+
+bool ClockBufferPool::Access(PageId page) {
+  ++stats_.accesses;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    frames_[it->second].referenced = true;
+    return true;
+  }
+  ++stats_.misses;
+  if (capacity_ == 0) return false;
+  InstallAt(FindVictim(), page, /*referenced=*/true);
+  return false;
+}
+
+bool ClockBufferPool::Insert(PageId page) {
+  if (capacity_ == 0) return false;
+  if (map_.contains(page)) return false;
+  ++stats_.prefetch_inserts;
+  InstallAt(FindVictim(), page, /*referenced=*/false);
+  return true;
+}
+
+}  // namespace fglb

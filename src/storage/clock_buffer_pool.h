@@ -1,0 +1,62 @@
+#ifndef FGLB_STORAGE_CLOCK_BUFFER_POOL_H_
+#define FGLB_STORAGE_CLOCK_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// CLOCK (second-chance) page cache with the same interface surface as
+// BufferPool. Real engines often approximate LRU with CLOCK because it
+// avoids list maintenance on every hit; but CLOCK does *not* satisfy
+// the inclusion property Mattson's stack algorithm depends on, so MRC
+// predictions are only approximate for it. The
+// bench_ablation_replacement binary quantifies that gap — the
+// sensitivity of the paper's whole memory-diagnosis pipeline to its
+// LRU assumption.
+class ClockBufferPool {
+ public:
+  explicit ClockBufferPool(uint64_t capacity_pages);
+
+  // References `page`, setting its reference bit. Returns true on hit.
+  bool Access(PageId page);
+
+  // Read-ahead landing: installs the page with a clear reference bit
+  // (first in line for eviction unless actually used). Returns true if
+  // the page was brought in.
+  bool Insert(PageId page);
+
+  bool Contains(PageId page) const { return map_.contains(page); }
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t resident_pages() const { return map_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  struct Frame {
+    PageId page = 0;
+    bool occupied = false;
+    bool referenced = false;
+  };
+
+  // Finds a victim frame index, advancing the hand and clearing
+  // reference bits (second chance). Requires capacity > 0.
+  size_t FindVictim();
+  void InstallAt(size_t index, PageId page, bool referenced);
+
+  uint64_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> map_;
+  size_t hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_STORAGE_CLOCK_BUFFER_POOL_H_

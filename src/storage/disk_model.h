@@ -1,0 +1,34 @@
+#ifndef FGLB_STORAGE_DISK_MODEL_H_
+#define FGLB_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+
+namespace fglb {
+
+// Timing model for one disk (or one Xen dom0 I/O channel). The queueing
+// itself lives in a sim::QueueResource; this struct converts a query's
+// miss/read-ahead counts into a service demand in seconds.
+struct DiskModel {
+  // One random 16 KiB page read (seek + rotation + transfer, amortized
+  // over the controller cache / command queueing of a server-class
+  // array).
+  double random_read_seconds = 0.002;
+  // One 64-page (1 MiB) sequential extent fetch issued by read-ahead.
+  double extent_read_seconds = 0.006;
+  // One page write (log + data, amortized by group commit).
+  double page_write_seconds = 0.001;
+
+  // Service demand for a query that took `random_misses` random-read
+  // misses, issued `readahead_requests` extent fetches and wrote
+  // `page_writes` pages.
+  double ServiceDemand(uint64_t random_misses, uint64_t readahead_requests,
+                       uint64_t page_writes) const {
+    return static_cast<double>(random_misses) * random_read_seconds +
+           static_cast<double>(readahead_requests) * extent_read_seconds +
+           static_cast<double>(page_writes) * page_write_seconds;
+  }
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_STORAGE_DISK_MODEL_H_

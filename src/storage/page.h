@@ -1,0 +1,64 @@
+#ifndef FGLB_STORAGE_PAGE_H_
+#define FGLB_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace fglb {
+
+// Global page identifier. The high 16 bits name the table, the low 48
+// bits the page offset within it, so page ids from different tables
+// (and different applications' tables) never collide inside a shared
+// buffer pool.
+using PageId = uint64_t;
+
+using TableId = uint16_t;
+
+inline constexpr uint64_t kPageOffsetBits = 48;
+inline constexpr uint64_t kPageOffsetMask = (1ULL << kPageOffsetBits) - 1;
+
+constexpr PageId MakePageId(TableId table, uint64_t offset) {
+  return (static_cast<uint64_t>(table) << kPageOffsetBits) |
+         (offset & kPageOffsetMask);
+}
+
+constexpr TableId TableOf(PageId page) {
+  return static_cast<TableId>(page >> kPageOffsetBits);
+}
+
+constexpr uint64_t OffsetOf(PageId page) { return page & kPageOffsetMask; }
+
+// InnoDB-style page and extent geometry. 16 KiB pages; read-ahead
+// operates on 64-page extents (1 MiB).
+inline constexpr uint64_t kPageSizeBytes = 16 * 1024;
+inline constexpr uint64_t kExtentPages = 64;
+
+// Write-lock striping: exclusive commit locks are taken per 512-page
+// stripe of a table, approximating row/page lock contention without
+// tracking individual rows.
+inline constexpr uint64_t kLockStripePages = 512;
+
+constexpr PageId StripeOf(PageId page) {
+  return MakePageId(TableOf(page), OffsetOf(page) / kLockStripePages);
+}
+
+constexpr uint64_t PagesForBytes(uint64_t bytes) {
+  return (bytes + kPageSizeBytes - 1) / kPageSizeBytes;
+}
+
+// How a query touches a page. Sequential accesses are eligible for
+// read-ahead; random accesses pay a full random I/O on a miss.
+enum class AccessKind : uint8_t {
+  kRandom = 0,
+  kSequential = 1,
+};
+
+// One page reference in a query's access trace.
+struct PageAccess {
+  PageId page = 0;
+  AccessKind kind = AccessKind::kRandom;
+  bool is_write = false;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_STORAGE_PAGE_H_

@@ -1,0 +1,79 @@
+#include "storage/partitioned_buffer_pool.h"
+
+#include <cassert>
+
+namespace fglb {
+
+PartitionedBufferPool::PartitionedBufferPool(uint64_t capacity_pages)
+    : capacity_(capacity_pages), shared_(capacity_pages) {}
+
+bool PartitionedBufferPool::SetQuota(PartitionKey key, uint64_t quota_pages) {
+  assert(key != kSharedPartition);
+  auto it = dedicated_.find(key);
+  const uint64_t current = it != dedicated_.end() ? it->second->capacity() : 0;
+  const uint64_t new_total = dedicated_total_ - current + quota_pages;
+  if (new_total > capacity_) return false;
+  if (it != dedicated_.end()) {
+    it->second->Resize(quota_pages);
+  } else {
+    dedicated_.emplace(key, std::make_unique<BufferPool>(quota_pages));
+  }
+  dedicated_total_ = new_total;
+  shared_.Resize(capacity_ - dedicated_total_);
+  return true;
+}
+
+void PartitionedBufferPool::DropQuota(PartitionKey key) {
+  auto it = dedicated_.find(key);
+  if (it == dedicated_.end()) return;
+  dedicated_total_ -= it->second->capacity();
+  dedicated_.erase(it);
+  shared_.Resize(capacity_ - dedicated_total_);
+}
+
+bool PartitionedBufferPool::HasQuota(PartitionKey key) const {
+  return dedicated_.contains(key);
+}
+
+uint64_t PartitionedBufferPool::QuotaOf(PartitionKey key) const {
+  auto it = dedicated_.find(key);
+  return it != dedicated_.end() ? it->second->capacity() : 0;
+}
+
+BufferPool* PartitionedBufferPool::PoolFor(PartitionKey key) {
+  auto it = dedicated_.find(key);
+  return it != dedicated_.end() ? it->second.get() : &shared_;
+}
+
+bool PartitionedBufferPool::Access(PartitionKey key, PageId page) {
+  return PoolFor(key)->Access(page);
+}
+
+bool PartitionedBufferPool::Insert(PartitionKey key, PageId page) {
+  return PoolFor(key)->Insert(page);
+}
+
+bool PartitionedBufferPool::Contains(PartitionKey key, PageId page) const {
+  auto it = dedicated_.find(key);
+  const BufferPool& pool = it != dedicated_.end() ? *it->second : shared_;
+  return pool.Contains(page);
+}
+
+const BufferPoolStats& PartitionedBufferPool::StatsOf(PartitionKey key) const {
+  auto it = dedicated_.find(key);
+  return it != dedicated_.end() ? it->second->stats() : shared_.stats();
+}
+
+std::vector<PartitionKey> PartitionedBufferPool::DedicatedKeys() const {
+  std::vector<PartitionKey> keys;
+  keys.reserve(dedicated_.size());
+  for (const auto& [key, pool] : dedicated_) keys.push_back(key);
+  return keys;
+}
+
+void PartitionedBufferPool::ResetStats() {
+  shared_.ResetStats();
+  for (auto& [key, pool] : dedicated_) pool->ResetStats();
+}
+
+}  // namespace fglb

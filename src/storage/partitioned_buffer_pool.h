@@ -1,0 +1,80 @@
+#ifndef FGLB_STORAGE_PARTITIONED_BUFFER_POOL_H_
+#define FGLB_STORAGE_PARTITIONED_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// Key selecting which partition an access is charged to. The engine
+// maps query classes to partition keys; kSharedPartition is the default
+// partition holding every class without a dedicated quota.
+using PartitionKey = uint64_t;
+inline constexpr PartitionKey kSharedPartition = 0;
+
+// A buffer pool divided into a shared region plus zero or more
+// dedicated per-query-class partitions with fixed page quotas — the
+// paper's memory-quota enforcement mechanism (§3.3.2, Table 1). The
+// shared region always owns whatever capacity the dedicated quotas do
+// not take. Each partition runs its own LRU.
+class PartitionedBufferPool {
+ public:
+  explicit PartitionedBufferPool(uint64_t capacity_pages);
+  PartitionedBufferPool(const PartitionedBufferPool&) = delete;
+  PartitionedBufferPool& operator=(const PartitionedBufferPool&) = delete;
+
+  // Creates (or resizes) the dedicated partition for `key` with
+  // `quota_pages`. Returns false (and changes nothing) if the combined
+  // quotas would exceed total capacity. `key` must not be
+  // kSharedPartition.
+  bool SetQuota(PartitionKey key, uint64_t quota_pages);
+
+  // Removes a dedicated partition; its pages are dropped and its quota
+  // returns to the shared region. No-op if absent.
+  void DropQuota(PartitionKey key);
+
+  bool HasQuota(PartitionKey key) const;
+  uint64_t QuotaOf(PartitionKey key) const;  // 0 if no dedicated quota
+
+  // References a page on behalf of `key`, hitting that key's partition
+  // (dedicated if present, shared otherwise). Returns true on a hit.
+  bool Access(PartitionKey key, PageId page);
+
+  // Read-ahead landing for `key`'s partition. Returns true if the page
+  // was actually brought in (false if already resident).
+  bool Insert(PartitionKey key, PageId page);
+
+  // Whether `page` is resident in the partition `key` maps to.
+  bool Contains(PartitionKey key, PageId page) const;
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t shared_capacity() const { return shared_.capacity(); }
+  uint64_t dedicated_total() const { return dedicated_total_; }
+
+  // Stats for a key's partition: the dedicated partition if one exists,
+  // otherwise the shared region's aggregate stats.
+  const BufferPoolStats& StatsOf(PartitionKey key) const;
+  const BufferPoolStats& shared_stats() const { return shared_.stats(); }
+
+  // Keys of all dedicated partitions, in key order.
+  std::vector<PartitionKey> DedicatedKeys() const;
+
+  void ResetStats();
+
+ private:
+  BufferPool* PoolFor(PartitionKey key);
+
+  uint64_t capacity_;
+  uint64_t dedicated_total_ = 0;
+  BufferPool shared_;
+  std::map<PartitionKey, std::unique_ptr<BufferPool>> dedicated_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_STORAGE_PARTITIONED_BUFFER_POOL_H_

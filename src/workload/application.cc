@@ -1,0 +1,37 @@
+#include "workload/application.h"
+
+#include <cassert>
+
+namespace fglb {
+
+const QueryTemplate* ApplicationSpec::FindTemplate(QueryClassId id) const {
+  for (const auto& t : templates) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+const QueryTemplate* ApplicationSpec::FindTemplateByName(
+    std::string_view name) const {
+  for (const auto& t : templates) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+size_t ApplicationSpec::SampleTemplateIndex(Rng& rng) const {
+  assert(templates.size() == mix_weights.size());
+  return rng.Discrete(mix_weights);
+}
+
+double ApplicationSpec::WriteFraction() const {
+  double total = 0;
+  double writes = 0;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    total += mix_weights[i];
+    if (templates[i].is_update) writes += mix_weights[i];
+  }
+  return total > 0 ? writes / total : 0;
+}
+
+}  // namespace fglb

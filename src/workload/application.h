@@ -1,0 +1,41 @@
+#ifndef FGLB_WORKLOAD_APPLICATION_H_
+#define FGLB_WORKLOAD_APPLICATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// Everything the cluster needs to know about one hosted database
+// application: its query classes, the workload mix over them, client
+// behaviour, and its service level agreement.
+struct ApplicationSpec {
+  AppId id = 0;
+  std::string name;
+  std::vector<QueryTemplate> templates;
+  // Probability weight of each template in the interaction mix;
+  // parallel to `templates`.
+  std::vector<double> mix_weights;
+  // Mean client think time between interactions (exponential).
+  double think_time_seconds = 1.0;
+  // SLA: average query latency bound per measurement interval (paper
+  // §4 uses 1 second for all applications).
+  double sla_latency_seconds = 1.0;
+
+  const QueryTemplate* FindTemplate(QueryClassId id) const;
+  const QueryTemplate* FindTemplateByName(std::string_view name) const;
+
+  // Samples a template index according to the mix.
+  size_t SampleTemplateIndex(Rng& rng) const;
+
+  // Fraction of the mix weight on update templates.
+  double WriteFraction() const;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_APPLICATION_H_

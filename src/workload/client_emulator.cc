@@ -1,0 +1,116 @@
+#include "workload/client_emulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fglb {
+
+ClientEmulator::ClientEmulator(Simulator* sim, const ApplicationSpec* app,
+                               QuerySink* sink, const LoadFunction* load,
+                               uint64_t seed, Options options)
+    : sim_(sim),
+      app_(app),
+      sink_(sink),
+      load_(load),
+      options_(options),
+      rng_(seed) {
+  assert(sim && app && sink && load);
+}
+
+ClientEmulator::ClientEmulator(Simulator* sim, const ApplicationSpec* app,
+                               QuerySink* sink, const LoadFunction* load,
+                               uint64_t seed)
+    : ClientEmulator(sim, app, sink, load, seed, Options()) {}
+
+void ClientEmulator::Start() {
+  if (running_) return;
+  running_ = true;
+  sim_->ScheduleAfter(0, [this] { ControlTick(); });
+}
+
+void ClientEmulator::Stop() { running_ = false; }
+
+void ClientEmulator::ControlTick() {
+  if (!running_) {
+    retire_pending_ = active_clients_;
+    return;
+  }
+  double target = load_->TargetClients(sim_->Now());
+  if (options_.noise_fraction > 0) {
+    target *= std::max(0.0, rng_.Normal(1.0, options_.noise_fraction));
+  }
+  const uint64_t want =
+      static_cast<uint64_t>(std::max<long long>(0, std::llround(target)));
+  // The live population is active - pending retirements.
+  const uint64_t effective = active_clients_ - std::min(active_clients_,
+                                                        retire_pending_);
+  if (want > effective) {
+    for (uint64_t i = effective; i < want; ++i) {
+      if (retire_pending_ > 0) {
+        // Cancel a pending retirement instead of spawning.
+        --retire_pending_;
+        continue;
+      }
+      // Stagger arrivals across the tick to avoid lockstep.
+      SpawnClient(rng_.UniformDouble(0, options_.tick_seconds));
+    }
+  } else if (want < effective) {
+    retire_pending_ += effective - want;
+  }
+  sim_->ScheduleAfter(options_.tick_seconds, [this] { ControlTick(); });
+}
+
+void ClientEmulator::SpawnClient(double initial_delay) {
+  ++active_clients_;
+  const uint64_t id = next_client_id_++;
+  const SimTime session_end =
+      options_.session_time_seconds > 0
+          ? sim_->Now() + rng_.Exponential(options_.session_time_seconds)
+          : std::numeric_limits<SimTime>::infinity();
+  sim_->ScheduleAfter(initial_delay, [this, id, session_end] {
+    ClientIssue(id, session_end);
+  });
+}
+
+void ClientEmulator::ClientThink(uint64_t client_id, SimTime session_end) {
+  if (retire_pending_ > 0) {
+    --retire_pending_;
+    assert(active_clients_ > 0);
+    --active_clients_;
+    return;
+  }
+  sim_->ScheduleAfter(rng_.Exponential(app_->think_time_seconds),
+                      [this, client_id, session_end] {
+                        ClientIssue(client_id, session_end);
+                      });
+}
+
+void ClientEmulator::ClientIssue(uint64_t client_id, SimTime session_end) {
+  if (retire_pending_ > 0) {
+    --retire_pending_;
+    assert(active_clients_ > 0);
+    --active_clients_;
+    return;
+  }
+  if (sim_->Now() >= session_end) {
+    // Session over: this client leaves; the control loop admits a new
+    // one at the next tick to hold the target population.
+    assert(active_clients_ > 0);
+    --active_clients_;
+    return;
+  }
+  const size_t index = app_->SampleTemplateIndex(rng_);
+  QueryInstance query;
+  query.app = app_->id;
+  query.tmpl = &app_->templates[index];
+  query.client_id = client_id;
+  query.submit_time = sim_->Now();
+  sink_->Submit(query, [this, client_id, session_end](double) {
+    ++completed_queries_;
+    ClientThink(client_id, session_end);
+  });
+}
+
+}  // namespace fglb

@@ -1,0 +1,33 @@
+#include "workload/load_function.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fglb {
+
+SineLoad::SineLoad(double base, double amplitude, double period_seconds)
+    : base_(base), amplitude_(amplitude), period_(period_seconds) {
+  assert(period_seconds > 0);
+}
+
+double SineLoad::TargetClients(SimTime t) const {
+  const double value =
+      base_ + amplitude_ * std::sin(2.0 * std::numbers::pi * t / period_);
+  return std::max(0.0, value);
+}
+
+double StepLoad::TargetClients(SimTime t) const {
+  double current = 0;
+  for (const auto& [start, clients] : steps_) {
+    if (t >= start) {
+      current = clients;
+    } else {
+      break;
+    }
+  }
+  return current;
+}
+
+}  // namespace fglb

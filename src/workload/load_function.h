@@ -1,0 +1,56 @@
+#ifndef FGLB_WORKLOAD_LOAD_FUNCTION_H_
+#define FGLB_WORKLOAD_LOAD_FUNCTION_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fglb {
+
+// Target number of emulated clients as a function of simulated time.
+// The client emulator tracks this (plus noise), modeling load bursts
+// and the paper's Fig. 3 sinusoid.
+class LoadFunction {
+ public:
+  virtual ~LoadFunction() = default;
+  virtual double TargetClients(SimTime t) const = 0;
+};
+
+class ConstantLoad final : public LoadFunction {
+ public:
+  explicit ConstantLoad(double clients) : clients_(clients) {}
+  double TargetClients(SimTime) const override { return clients_; }
+
+ private:
+  double clients_;
+};
+
+// base + amplitude * sin(2*pi * t / period), floored at zero.
+class SineLoad final : public LoadFunction {
+ public:
+  SineLoad(double base, double amplitude, double period_seconds);
+  double TargetClients(SimTime t) const override;
+
+ private:
+  double base_;
+  double amplitude_;
+  double period_;
+};
+
+// Piecewise-constant schedule: (start_time, clients) steps, sorted by
+// time. Before the first step the load is zero.
+class StepLoad final : public LoadFunction {
+ public:
+  explicit StepLoad(std::vector<std::pair<SimTime, double>> steps)
+      : steps_(std::move(steps)) {}
+  double TargetClients(SimTime t) const override;
+
+ private:
+  std::vector<std::pair<SimTime, double>> steps_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_LOAD_FUNCTION_H_

@@ -1,0 +1,73 @@
+#include "workload/oltp.h"
+
+#include <cassert>
+
+namespace fglb {
+
+ApplicationSpec MakeOltp(const OltpOptions& options) {
+  ApplicationSpec app;
+  app.id = options.app_id;
+  app.name = "OLTP";
+  app.think_time_seconds = 1.0;
+  app.sla_latency_seconds = 1.0;
+
+  const TableId accounts = options.table_base;
+  const uint64_t accounts_pages = 20000;
+
+  auto writer = [&](QueryClassId id, const char* name, double weight,
+                    uint64_t region_offset) {
+    AccessComponent c;
+    c.table = accounts;
+    c.table_pages = accounts_pages;
+    // All writers hit offsets < 512: the same lock stripe (hot rows).
+    c.region_offset = region_offset;
+    c.region_pages = 200;
+    c.kind = AccessComponent::Kind::kPointLookups;
+    c.zipf_theta = 1.0;
+    c.mean_pages = 6;
+    c.write_fraction = 0.6;
+    QueryTemplate t;
+    t.id = id;
+    t.name = name;
+    t.components = {c};
+    t.fixed_cpu_seconds = 0.010;
+    t.is_update = true;
+    t.commit_hold_seconds = options.commit_hold_seconds;
+    app.templates.push_back(std::move(t));
+    app.mix_weights.push_back(weight);
+  };
+  auto reader = [&](QueryClassId id, const char* name, double weight,
+                    uint64_t region_offset) {
+    AccessComponent c;
+    c.table = accounts;
+    c.table_pages = accounts_pages;
+    c.region_offset = region_offset;
+    c.region_pages = 400;
+    c.kind = AccessComponent::Kind::kPointLookups;
+    c.zipf_theta = 0.9;
+    c.mean_pages = 12;
+    QueryTemplate t;
+    t.id = id;
+    t.name = name;
+    t.components = {c};
+    t.fixed_cpu_seconds = 0.010;
+    app.templates.push_back(std::move(t));
+    app.mix_weights.push_back(weight);
+  };
+
+  writer(kOltpTransfer, "Transfer", 0.12, 0);
+  writer(kOltpDeposit, "Deposit", 0.10, 100);    // same stripe 0
+  writer(kOltpWithdraw, "Withdraw", 0.08, 300);  // same stripe 0
+  const char* reader_names[kOltpReaderCount] = {
+      "Balance", "Statement", "Search",   "Profile", "History",
+      "Rates",   "Branches",  "Support",  "Offers"};
+  for (int i = 0; i < kOltpReaderCount; ++i) {
+    reader(kOltpFirstReader + static_cast<QueryClassId>(i), reader_names[i],
+           0.70 / kOltpReaderCount, 1024 + 512 * static_cast<uint64_t>(i));
+  }
+
+  assert(app.templates.size() == app.mix_weights.size());
+  return app;
+}
+
+}  // namespace fglb

@@ -1,0 +1,33 @@
+#ifndef FGLB_WORKLOAD_OLTP_H_
+#define FGLB_WORKLOAD_OLTP_H_
+
+#include "workload/application.h"
+
+namespace fglb {
+
+// A small banking-style OLTP application: three write-heavy classes
+// committing into the same hot table stripes (transfer/deposit/
+// withdraw on shared account ranges) plus nine read classes. Not from
+// the paper's evaluation — it exists for the §7 lock-contention
+// extension, where hot-stripe write contention is the anomaly under
+// study, and as a third tenant for consolidation scenarios.
+struct OltpOptions {
+  AppId app_id = 4;
+  TableId table_base = 31;
+  // Commit critical-section length of the writers (inflated by the
+  // lock-contention scenario to model a long-transaction bug).
+  double commit_hold_seconds = 0.0005;
+};
+
+inline constexpr QueryClassId kOltpTransfer = 1;
+inline constexpr QueryClassId kOltpDeposit = 2;
+inline constexpr QueryClassId kOltpWithdraw = 3;
+// Read classes occupy ids 4..12.
+inline constexpr QueryClassId kOltpFirstReader = 4;
+inline constexpr int kOltpReaderCount = 9;
+
+ApplicationSpec MakeOltp(const OltpOptions& options = {});
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_OLTP_H_

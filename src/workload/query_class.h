@@ -1,0 +1,100 @@
+#ifndef FGLB_WORKLOAD_QUERY_CLASS_H_
+#define FGLB_WORKLOAD_QUERY_CLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// Application identifier within the shared cluster.
+using AppId = uint32_t;
+
+// Query class identifier within an application. The paper's scheduling
+// unit: "all query instances of an application with the same query
+// template but different arguments".
+using QueryClassId = uint32_t;
+
+// (app, class) packed into one key; used to tag buffer-pool partitions,
+// statistics, signatures and placements cluster-wide.
+using ClassKey = uint64_t;
+
+constexpr ClassKey MakeClassKey(AppId app, QueryClassId cls) {
+  return (static_cast<uint64_t>(app) << 32) | cls;
+}
+constexpr AppId AppOf(ClassKey key) { return static_cast<AppId>(key >> 32); }
+constexpr QueryClassId ClassOf(ClassKey key) {
+  return static_cast<QueryClassId>(key & 0xFFFFFFFFULL);
+}
+
+// One table-access building block of a query template. A template is a
+// list of these; each generates a burst of page references per query
+// instance.
+struct AccessComponent {
+  enum class Kind : uint8_t {
+    // Index-assisted point reads: pages drawn Zipf-skewed from the
+    // region, spread pseudo-randomly (random I/O on a miss).
+    kPointLookups,
+    // Unindexed range/full scan: a contiguous sequential run inside the
+    // region (read-ahead eligible).
+    kSequentialScan,
+  };
+
+  TableId table = 0;
+  uint64_t table_pages = 0;
+  // Sub-region actually touched; region_pages == 0 means whole table.
+  uint64_t region_offset = 0;
+  uint64_t region_pages = 0;
+
+  Kind kind = Kind::kPointLookups;
+  // Zipf skew of page popularity for point lookups (0 = uniform).
+  double zipf_theta = 0.9;
+  // Expected pages touched by this component per query instance.
+  double mean_pages = 8;
+  // Fraction of touched pages also written.
+  double write_fraction = 0;
+
+  uint64_t EffectiveRegionPages() const {
+    return region_pages > 0 ? region_pages : table_pages;
+  }
+};
+
+// A query template ("query class" once instantiated with arguments).
+struct QueryTemplate {
+  QueryClassId id = 0;
+  std::string name;
+  std::vector<AccessComponent> components;
+  // CPU demand: fixed parse/plan/network cost plus per-page processing.
+  double fixed_cpu_seconds = 0.002;
+  double cpu_seconds_per_page = 30e-6;
+  // Update templates run on every replica (read-one, write-all).
+  bool is_update = false;
+  // How long the commit critical section holds this query's write locks
+  // (base cost; per-page write work is added on top). A misbehaving
+  // transaction that holds locks too long is modeled by inflating this.
+  double commit_hold_seconds = 0.0005;
+
+  double MeanPages() const {
+    double total = 0;
+    for (const auto& c : components) total += c.mean_pages;
+    return total;
+  }
+};
+
+// One in-flight query instance, created by the client emulator and
+// routed by a scheduler to a replica.
+struct QueryInstance {
+  AppId app = 0;
+  const QueryTemplate* tmpl = nullptr;
+  uint64_t client_id = 0;
+  SimTime submit_time = 0;
+
+  ClassKey class_key() const { return MakeClassKey(app, tmpl->id); }
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_QUERY_CLASS_H_

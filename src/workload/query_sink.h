@@ -1,0 +1,25 @@
+#ifndef FGLB_WORKLOAD_QUERY_SINK_H_
+#define FGLB_WORKLOAD_QUERY_SINK_H_
+
+#include <functional>
+
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// Where clients hand queries off to. The cluster's per-application
+// Scheduler implements this; tests can plug in fakes.
+class QuerySink {
+ public:
+  virtual ~QuerySink() = default;
+
+  // Submits one query. `on_complete` fires (through the simulator) when
+  // the query finishes, carrying its end-to-end latency in seconds.
+  virtual void Submit(const QueryInstance& query,
+                      std::function<void(double latency_seconds)>
+                          on_complete) = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_QUERY_SINK_H_

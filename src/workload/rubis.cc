@@ -1,0 +1,135 @@
+#include "workload/rubis.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace fglb {
+
+namespace {
+
+uint64_t Scaled(double scale, uint64_t pages) {
+  return std::max<uint64_t>(64, static_cast<uint64_t>(pages * scale));
+}
+
+// Disjoint per-class hot regions (see tpcw.cc for rationale).
+class RegionAllocator {
+ public:
+  uint64_t Take(TableId table, uint64_t table_pages, uint64_t pages) {
+    uint64_t& cursor = cursors_[table];
+    assert(cursor + pages <= table_pages);
+    (void)table_pages;
+    const uint64_t offset = cursor;
+    cursor += pages;
+    return offset;
+  }
+
+ private:
+  std::map<TableId, uint64_t> cursors_;
+};
+
+}  // namespace
+
+ApplicationSpec MakeRubis(const RubisOptions& options) {
+  ApplicationSpec app;
+  app.id = options.app_id;
+  app.name = "RUBiS";
+  app.think_time_seconds = 1.0;
+  app.sla_latency_seconds = 1.0;
+
+  const double s = options.scale;
+  const TableId items = options.table_base + 0;
+  const TableId users = options.table_base + 1;
+  const TableId bids = options.table_base + 2;
+  const TableId comments = options.table_base + 3;
+  const TableId categories = options.table_base + 4;
+  const TableId old_items = options.table_base + 5;
+  const uint64_t items_pages = Scaled(s, 30000);
+  const uint64_t users_pages = Scaled(s, 40000);
+  const uint64_t bids_pages = Scaled(s, 50000);
+  const uint64_t comments_pages = Scaled(s, 20000);
+  const uint64_t categories_pages = Scaled(s, 1000);
+  const uint64_t old_items_pages = Scaled(s, 60000);
+
+  RegionAllocator regions;
+  auto hot = [&regions, s](TableId table, uint64_t table_pages,
+                           uint64_t region_pages, double theta, double mean,
+                           double write_fraction = 0) {
+    AccessComponent c;
+    c.table = table;
+    c.table_pages = table_pages;
+    c.region_pages = Scaled(s, region_pages);
+    c.region_offset = regions.Take(table, table_pages, c.region_pages);
+    c.kind = AccessComponent::Kind::kPointLookups;
+    c.zipf_theta = theta;
+    c.mean_pages = mean;
+    c.write_fraction = write_fraction;
+    return c;
+  };
+  auto scan = [&regions, s](TableId table, uint64_t table_pages,
+                            uint64_t region_pages, double mean) {
+    AccessComponent c;
+    c.table = table;
+    c.table_pages = table_pages;
+    c.region_pages = Scaled(s, region_pages);
+    c.region_offset = regions.Take(table, table_pages, c.region_pages);
+    c.kind = AccessComponent::Kind::kSequentialScan;
+    c.mean_pages = mean;
+    return c;
+  };
+
+  auto add = [&app](QueryClassId id, const char* name, double weight,
+                    bool is_update, double fixed_cpu,
+                    std::vector<AccessComponent> components) {
+    QueryTemplate t;
+    t.id = id;
+    t.name = name;
+    t.components = std::move(components);
+    t.fixed_cpu_seconds = fixed_cpu;
+    t.cpu_seconds_per_page = 25e-6;
+    t.is_update = is_update;
+    app.templates.push_back(std::move(t));
+    app.mix_weights.push_back(weight);
+  };
+
+  add(kRubisHome, "Home", 0.06, false, 0.008,
+      {hot(categories, categories_pages, 64, 1.0, 3)});
+  add(kRubisBrowseCategories, "BrowseCategories", 0.08, false, 0.008,
+      {hot(categories, categories_pages, 80, 0.9, 5)});
+  add(kRubisSearchItemsByCategory, "SearchItemsByCategory", 0.22, false,
+      0.014, {hot(items, items_pages, 320, 0.9, 40)});
+  // SearchItemsByRegion: the items-by-region secondary index is poorly
+  // clustered, so results spray point reads across a large, weakly
+  // skewed region, plus a scan over closed auctions. Its working set
+  // dominates the application and approaches a full 128 MB pool on its
+  // own (the paper measures ~7906 pages acceptable memory), and it
+  // contributes the large majority of RUBiS's I/O.
+  add(kRubisSearchItemsByRegion, "SearchItemsByRegion", 0.12, false, 0.020,
+      {hot(items, items_pages, 9500, 0.3, 140),
+       scan(old_items, old_items_pages, 55000, 400)});
+  add(kRubisViewItem, "ViewItem", 0.22, false, 0.009,
+      {hot(items, items_pages, 200, 1.0, 8)});
+  add(kRubisViewUserInfo, "ViewUserInfo", 0.08, false, 0.009,
+      {hot(users, users_pages, 160, 0.9, 8)});
+  add(kRubisViewBidHistory, "ViewBidHistory", 0.06, false, 0.012,
+      {hot(bids, bids_pages, 160, 0.8, 15),
+       hot(users, users_pages, 80, 0.9, 4)});
+  add(kRubisStoreBid, "StoreBid", 0.09, true, 0.012,
+      {hot(bids, bids_pages, 120, 1.1, 5, /*write_fraction=*/0.8),
+       hot(items, items_pages, 80, 1.0, 3)});
+  add(kRubisStoreComment, "StoreComment", 0.03, true, 0.012,
+      {hot(comments, comments_pages, 80, 1.0, 4, /*write_fraction=*/0.8)});
+  add(kRubisRegisterItem, "RegisterItem", 0.02, true, 0.012,
+      {hot(items, items_pages, 80, 0.8, 5, /*write_fraction=*/0.6)});
+  add(kRubisRegisterUser, "RegisterUser", 0.01, true, 0.012,
+      {hot(users, users_pages, 80, 0.6, 4, /*write_fraction=*/0.6)});
+  add(kRubisAboutMe, "AboutMe", 0.01, false, 0.012,
+      {hot(users, users_pages, 80, 0.9, 6),
+       hot(bids, bids_pages, 80, 0.8, 12),
+       hot(comments, comments_pages, 80, 0.8, 6)});
+
+  assert(app.templates.size() == app.mix_weights.size());
+  return app;
+}
+
+}  // namespace fglb

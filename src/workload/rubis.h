@@ -1,0 +1,40 @@
+#ifndef FGLB_WORKLOAD_RUBIS_H_
+#define FGLB_WORKLOAD_RUBIS_H_
+
+#include "workload/application.h"
+
+namespace fglb {
+
+// Synthetic model of the RUBiS auction benchmark (eBay-like) with the
+// default bidding mix (~15% writes). SearchItemsByRegion is the
+// I/O-heavy class the paper's §5.4/§5.5 scenarios pivot on: a large,
+// weakly-skewed working set plus an unclustered scan, contributing the
+// large majority of the application's I/O.
+struct RubisOptions {
+  AppId app_id = 2;
+  // Database scale multiplier (1.0 = ~200K pages, ~3 GB).
+  double scale = 1.0;
+  // First TableId used by this instance; a second RUBiS instance (the
+  // paper's Table 3 runs two on separate data) must use a disjoint
+  // base.
+  TableId table_base = 11;
+};
+
+inline constexpr QueryClassId kRubisHome = 1;
+inline constexpr QueryClassId kRubisBrowseCategories = 2;
+inline constexpr QueryClassId kRubisSearchItemsByCategory = 3;
+inline constexpr QueryClassId kRubisSearchItemsByRegion = 4;
+inline constexpr QueryClassId kRubisViewItem = 5;
+inline constexpr QueryClassId kRubisViewUserInfo = 6;
+inline constexpr QueryClassId kRubisViewBidHistory = 7;
+inline constexpr QueryClassId kRubisStoreBid = 8;
+inline constexpr QueryClassId kRubisStoreComment = 9;
+inline constexpr QueryClassId kRubisRegisterItem = 10;
+inline constexpr QueryClassId kRubisRegisterUser = 11;
+inline constexpr QueryClassId kRubisAboutMe = 12;
+
+ApplicationSpec MakeRubis(const RubisOptions& options = {});
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_RUBIS_H_

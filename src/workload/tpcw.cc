@@ -1,0 +1,179 @@
+#include "workload/tpcw.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace fglb {
+
+namespace {
+
+uint64_t Scaled(double scale, uint64_t pages) {
+  return std::max<uint64_t>(64, static_cast<uint64_t>(pages * scale));
+}
+
+// Hands out disjoint hot regions within each table. Each query class
+// gets its own slice, which keeps per-class MRC parameters additive:
+// the quota planner sums acceptable memory across classes, and
+// overlapping hot sets would make that sum double-count. (Real classes
+// share pages; the slices model each class's *marginal* footprint.)
+class RegionAllocator {
+ public:
+  // Returns the offset of a fresh `pages`-page region in `table`.
+  uint64_t Take(TableId table, uint64_t table_pages, uint64_t pages) {
+    uint64_t& cursor = cursors_[table];
+    assert(cursor + pages <= table_pages);
+    (void)table_pages;
+    const uint64_t offset = cursor;
+    cursor += pages;
+    return offset;
+  }
+
+ private:
+  std::map<TableId, uint64_t> cursors_;
+};
+
+}  // namespace
+
+ApplicationSpec MakeTpcw(const TpcwOptions& options) {
+  ApplicationSpec app;
+  app.id = options.app_id;
+  app.name = "TPC-W";
+  app.think_time_seconds = 1.0;
+  app.sla_latency_seconds = 1.0;
+
+  const double s = options.scale;
+  // Tables, sized to total ~262K pages (~4 GB) at scale 1.0.
+  const TableId item = options.table_base + 0;
+  const TableId customer = options.table_base + 1;
+  const TableId orders = options.table_base + 2;
+  const TableId order_line = options.table_base + 3;
+  const TableId author = options.table_base + 4;
+  const TableId address = options.table_base + 5;
+  const TableId cc_xacts = options.table_base + 6;
+  const uint64_t item_pages = Scaled(s, 20000);
+  const uint64_t customer_pages = Scaled(s, 80000);
+  const uint64_t orders_pages = Scaled(s, 30000);
+  const uint64_t order_line_pages = Scaled(s, 110000);
+  const uint64_t author_pages = Scaled(s, 4000);
+  const uint64_t address_pages = Scaled(s, 12000);
+  const uint64_t cc_xacts_pages = Scaled(s, 8000);
+
+  RegionAllocator regions;
+  auto hot = [&regions, s](TableId table, uint64_t table_pages,
+                           uint64_t region_pages, double theta, double mean,
+                           double write_fraction = 0) {
+    AccessComponent c;
+    c.table = table;
+    c.table_pages = table_pages;
+    c.region_pages = Scaled(s, region_pages);
+    c.region_offset = regions.Take(table, table_pages, c.region_pages);
+    c.kind = AccessComponent::Kind::kPointLookups;
+    c.zipf_theta = theta;
+    c.mean_pages = mean;
+    c.write_fraction = write_fraction;
+    return c;
+  };
+  auto scan = [&regions, s](TableId table, uint64_t table_pages,
+                            uint64_t region_pages, double mean) {
+    AccessComponent c;
+    c.table = table;
+    c.table_pages = table_pages;
+    c.region_pages = Scaled(s, region_pages);
+    c.region_offset = regions.Take(table, table_pages, c.region_pages);
+    c.kind = AccessComponent::Kind::kSequentialScan;
+    c.mean_pages = mean;
+    return c;
+  };
+
+  // Mix weights: shopping is the calibrated default; browsing shifts
+  // weight from update interactions to browse/search ones, ordering the
+  // other way. Weights are renormalized below.
+  auto mix_weight = [&options](double shopping_weight, bool is_update) {
+    switch (options.mix) {
+      case TpcwMix::kShopping:
+        return shopping_weight;
+      case TpcwMix::kBrowsing:
+        return is_update ? shopping_weight * 0.2 : shopping_weight * 1.2;
+      case TpcwMix::kOrdering:
+        return is_update ? shopping_weight * 2.8 : shopping_weight * 0.6;
+    }
+    return shopping_weight;
+  };
+  auto add = [&app, &mix_weight](QueryClassId id, const char* name,
+                                 double weight, bool is_update,
+                                 double fixed_cpu,
+                                 std::vector<AccessComponent> components) {
+    QueryTemplate t;
+    t.id = id;
+    t.name = name;
+    t.components = std::move(components);
+    t.fixed_cpu_seconds = fixed_cpu;
+    t.cpu_seconds_per_page = 25e-6;
+    t.is_update = is_update;
+    app.templates.push_back(std::move(t));
+    app.mix_weights.push_back(mix_weight(weight, is_update));
+  };
+
+  add(kTpcwHome, "Home", 0.16, false, 0.010,
+      {hot(item, item_pages, 240, 0.9, 10),
+       hot(customer, customer_pages, 160, 0.9, 4)});
+  add(kTpcwProductDetail, "ProductDetail", 0.23, false, 0.010,
+      {hot(item, item_pages, 360, 0.9, 12),
+       hot(author, author_pages, 120, 0.9, 3)});
+  add(kTpcwSearchByAuthor, "SearchByAuthor", 0.06, false, 0.014,
+      {hot(author, author_pages, 200, 0.9, 8),
+       hot(item, item_pages, 280, 0.8, 30)});
+  add(kTpcwSearchByTitle, "SearchByTitle", 0.08, false, 0.014,
+      {hot(item, item_pages, 320, 0.8, 40)});
+  add(kTpcwSearchBySubject, "SearchBySubject", 0.06, false, 0.014,
+      {hot(item, item_pages, 280, 0.85, 35)});
+  add(kTpcwShoppingCart, "ShoppingCart", 0.07, true, 0.012,
+      {hot(item, item_pages, 200, 0.9, 10),
+       hot(customer, customer_pages, 120, 0.9, 2, /*write_fraction=*/0.5)});
+  add(kTpcwOrderInquiry, "OrderInquiry", 0.04, false, 0.010,
+      {hot(orders, orders_pages, 120, 0.8, 6),
+       hot(customer, customer_pages, 120, 0.9, 3)});
+
+  // BestSeller: "best selling items of the last 3333 orders". With the
+  // O_DATE index present it walks recent order_line entries via the
+  // index (a large but cacheable working set, the dominant memory need
+  // in TPC-W); without it, it scans a huge unindexed chunk of
+  // order_line (flat MRC, read-ahead heavy) plus the same item probes.
+  if (options.o_date_index) {
+    add(kTpcwBestSeller, "BestSeller", 0.05, false, 0.018,
+        {hot(order_line, order_line_pages, 2500, 0.55, 90),
+         hot(item, item_pages, 240, 0.9, 40)});
+  } else {
+    add(kTpcwBestSeller, "BestSeller", 0.05, false, 0.018,
+        {scan(order_line, order_line_pages, 100000, 12000),
+         hot(item, item_pages, 240, 0.9, 40)});
+  }
+
+  add(kTpcwNewProducts, "NewProducts", 0.05, false, 0.012,
+      {hot(item, item_pages, 320, 0.5, 60)});
+  add(kTpcwOrderDisplay, "OrderDisplay", 0.03, false, 0.010,
+      {hot(orders, orders_pages, 160, 0.8, 10),
+       hot(order_line, order_line_pages, 160, 0.7, 10)});
+  add(kTpcwBuyRequest, "BuyRequest", 0.06, true, 0.012,
+      {hot(customer, customer_pages, 160, 0.9, 6, /*write_fraction=*/0.3),
+       hot(address, address_pages, 120, 0.8, 2)});
+  add(kTpcwBuyConfirm, "BuyConfirm", 0.05, true, 0.016,
+      {hot(orders, orders_pages, 120, 1.2, 8, /*write_fraction=*/0.8),
+       hot(order_line, order_line_pages, 120, 1.2, 10,
+           /*write_fraction=*/0.8),
+       hot(cc_xacts, cc_xacts_pages, 80, 1.0, 2, /*write_fraction=*/0.9)});
+  add(kTpcwAdminUpdate, "AdminUpdate", 0.02, true, 0.012,
+      {hot(item, item_pages, 120, 0.9, 6, /*write_fraction=*/0.5)});
+  add(kTpcwCustomerRegistration, "CustomerRegistration", 0.04, true, 0.012,
+      {hot(customer, customer_pages, 200, 0.6, 4, /*write_fraction=*/0.6)});
+
+  assert(app.templates.size() == app.mix_weights.size());
+  // Renormalize the mix (browsing/ordering scaling changes the sum).
+  double total = 0;
+  for (double w : app.mix_weights) total += w;
+  for (double& w : app.mix_weights) w /= total;
+  return app;
+}
+
+}  // namespace fglb

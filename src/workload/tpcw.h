@@ -1,0 +1,58 @@
+#ifndef FGLB_WORKLOAD_TPCW_H_
+#define FGLB_WORKLOAD_TPCW_H_
+
+#include "workload/application.h"
+
+namespace fglb {
+
+// Synthetic model of the TPC-W e-commerce benchmark (on-line book
+// store) at the scale the paper uses: 100K items, 2.8M customers,
+// ~4 GB database, shopping mix with ~20% writes. Interactions are
+// modeled as one query class each; page-access patterns are calibrated
+// per class (see DESIGN.md §2 on substitutions).
+// The three TPC-W interaction mixes. The paper uses the shopping mix
+// ("considered the most representative e-commerce workload by the
+// TPC", ~20% writes); browsing (~5%) and ordering (~50%) are provided
+// for workload-shift scenarios.
+enum class TpcwMix {
+  kBrowsing,
+  kShopping,
+  kOrdering,
+};
+
+struct TpcwOptions {
+  AppId app_id = 1;
+  // Database scale multiplier (1.0 = ~4 GB = ~262K 16 KiB pages).
+  double scale = 1.0;
+  TpcwMix mix = TpcwMix::kShopping;
+  // Whether the O_DATE index exists. Dropping it (the paper's §5.3
+  // misconfiguration scenario) turns BestSeller's order_line access
+  // from index-assisted lookups into a large unindexed scan.
+  bool o_date_index = true;
+  // First TableId used by this instance; distinct instances sharing an
+  // engine must not overlap.
+  TableId table_base = 1;
+};
+
+// Query class ids; Fig. 4 of the paper numbers BestSeller #8 and
+// NewProducts #9, which we preserve.
+inline constexpr QueryClassId kTpcwHome = 1;
+inline constexpr QueryClassId kTpcwProductDetail = 2;
+inline constexpr QueryClassId kTpcwSearchByAuthor = 3;
+inline constexpr QueryClassId kTpcwSearchByTitle = 4;
+inline constexpr QueryClassId kTpcwSearchBySubject = 5;
+inline constexpr QueryClassId kTpcwShoppingCart = 6;
+inline constexpr QueryClassId kTpcwOrderInquiry = 7;
+inline constexpr QueryClassId kTpcwBestSeller = 8;
+inline constexpr QueryClassId kTpcwNewProducts = 9;
+inline constexpr QueryClassId kTpcwOrderDisplay = 10;
+inline constexpr QueryClassId kTpcwBuyRequest = 11;
+inline constexpr QueryClassId kTpcwBuyConfirm = 12;
+inline constexpr QueryClassId kTpcwAdminUpdate = 13;
+inline constexpr QueryClassId kTpcwCustomerRegistration = 14;
+
+ApplicationSpec MakeTpcw(const TpcwOptions& options = {});
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_TPCW_H_

@@ -1,0 +1,88 @@
+#include "workload/trace.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace fglb {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'G', 'L', 'B', 'T', 'R', 'C', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// On-disk record: class key, page id, flags (bit 0: sequential,
+// bit 1: write). Fixed width, little-endian as written by the host.
+struct DiskRecord {
+  uint64_t class_key;
+  uint64_t page;
+  uint8_t flags;
+  uint8_t padding[7];
+};
+static_assert(sizeof(DiskRecord) == 24);
+
+}  // namespace
+
+bool WriteTrace(const std::string& path,
+                const std::vector<TraceRecord>& records) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, file.get()) != 1) return false;
+  const uint64_t count = records.size();
+  if (std::fwrite(&count, sizeof(count), 1, file.get()) != 1) return false;
+  for (const TraceRecord& record : records) {
+    DiskRecord disk{};
+    disk.class_key = record.class_key;
+    disk.page = record.access.page;
+    disk.flags = 0;
+    if (record.access.kind == AccessKind::kSequential) disk.flags |= 1;
+    if (record.access.is_write) disk.flags |= 2;
+    if (std::fwrite(&disk, sizeof(disk), 1, file.get()) != 1) return false;
+  }
+  return true;
+}
+
+bool ReadTrace(const std::string& path, std::vector<TraceRecord>* records) {
+  records->clear();
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return false;
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, sizeof(magic), 1, file.get()) != 1) return false;
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, file.get()) != 1) return false;
+  records->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DiskRecord disk;
+    if (std::fread(&disk, sizeof(disk), 1, file.get()) != 1) {
+      records->clear();
+      return false;
+    }
+    TraceRecord record;
+    record.class_key = disk.class_key;
+    record.access.page = disk.page;
+    record.access.kind = (disk.flags & 1) != 0 ? AccessKind::kSequential
+                                               : AccessKind::kRandom;
+    record.access.is_write = (disk.flags & 2) != 0;
+    records->push_back(record);
+  }
+  return true;
+}
+
+std::vector<PageId> PagesOfClass(const std::vector<TraceRecord>& records,
+                                 ClassKey key) {
+  std::vector<PageId> pages;
+  for (const TraceRecord& record : records) {
+    if (record.class_key == key) pages.push_back(record.access.page);
+  }
+  return pages;
+}
+
+}  // namespace fglb

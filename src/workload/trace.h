@@ -1,0 +1,38 @@
+#ifndef FGLB_WORKLOAD_TRACE_H_
+#define FGLB_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// One record of a per-class page-access trace: which class touched
+// which page, and how. The paper's prototype logs these from the
+// instrumented engine and analyzes them off-line (its Table 1 is
+// produced by a trace-driven buffer-pool simulation); this module is
+// that log format.
+struct TraceRecord {
+  ClassKey class_key = 0;
+  PageAccess access;
+};
+
+// Serializes records to a file in a compact binary format (magic +
+// version header, fixed-width records). Returns false on I/O error.
+bool WriteTrace(const std::string& path,
+                const std::vector<TraceRecord>& records);
+
+// Reads a trace file written by WriteTrace. Returns false on I/O error
+// or malformed contents (in which case *records is left empty).
+bool ReadTrace(const std::string& path, std::vector<TraceRecord>* records);
+
+// Filters a trace to one class's page ids, preserving order — the
+// input shape MRC computation expects.
+std::vector<PageId> PagesOfClass(const std::vector<TraceRecord>& records,
+                                 ClassKey key);
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_TRACE_H_

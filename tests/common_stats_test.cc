@@ -1,0 +1,153 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/ring_window.h"
+
+namespace fglb {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    all.Add(x);
+    (i < 37 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+}
+
+TEST(QuartilesTest, KnownValues) {
+  // Type-7 quartiles of 1..9: Q1 = 3, median = 5, Q3 = 7.
+  std::vector<double> v = {9, 1, 5, 3, 7, 2, 8, 4, 6};
+  const QuartileSummary q = Quartiles(v);
+  EXPECT_DOUBLE_EQ(q.q1, 3.0);
+  EXPECT_DOUBLE_EQ(q.median, 5.0);
+  EXPECT_DOUBLE_EQ(q.q3, 7.0);
+  EXPECT_DOUBLE_EQ(q.iqr, 4.0);
+}
+
+TEST(QuartilesTest, ConstantSampleHasZeroIqr) {
+  std::vector<double> v(10, 3.3);
+  const QuartileSummary q = Quartiles(v);
+  EXPECT_DOUBLE_EQ(q.iqr, 0.0);
+  EXPECT_DOUBLE_EQ(q.median, 3.3);
+}
+
+TEST(RingWindowTest, FillsThenWraps) {
+  RingWindow<int> w(3);
+  EXPECT_TRUE(w.empty());
+  w.Push(1);
+  w.Push(2);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], 1);
+  EXPECT_EQ(w[1], 2);
+  w.Push(3);
+  EXPECT_TRUE(w.full());
+  w.Push(4);  // overwrites 1
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 2);
+  EXPECT_EQ(w[1], 3);
+  EXPECT_EQ(w[2], 4);
+}
+
+TEST(RingWindowTest, ToVectorOldestFirst) {
+  RingWindow<int> w(4);
+  for (int i = 0; i < 10; ++i) w.Push(i);
+  EXPECT_EQ(w.ToVector(), (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingWindowTest, ClearResets) {
+  RingWindow<int> w(2);
+  w.Push(1);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+  w.Push(7);
+  EXPECT_EQ(w[0], 7);
+}
+
+TEST(HistogramTest, CountsAndMean) {
+  Histogram h;
+  h.Add(0.1);
+  h.Add(0.2);
+  h.Add(0.3);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_NEAR(h.mean(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 0.3);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(i * 0.001);
+  double last = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_NEAR(h.Percentile(50), 0.5, 0.1);
+}
+
+TEST(HistogramTest, MergeAccumulates) {
+  Histogram a, b;
+  a.Add(0.5);
+  b.Add(1.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.max(), 1.5);
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "mrc/miss_ratio_curve.h"
+#include "sim/queue_resource.h"
+#include "sim/simulator.h"
+#include "storage/partitioned_buffer_pool.h"
+
+namespace fglb {
+namespace {
+
+// Cross-module edge cases that do not fit the per-module suites.
+
+TEST(SimEdgeTest, SubmitFromCompletionCallback) {
+  Simulator sim;
+  QueueResource q(&sim, 1, "disk");
+  int completions = 0;
+  std::function<void(double)> chain = [&](double) {
+    ++completions;
+    if (completions < 5) q.Submit(1.0, chain);
+  };
+  q.Submit(1.0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(completions, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimEdgeTest, RunUntilIncludesBoundaryEvent) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(10.0, [&] { fired = true; });
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEdgeTest, ManyTinyJobsAllComplete) {
+  Simulator sim;
+  QueueResource q(&sim, 3, "cpu");
+  int done = 0;
+  for (int i = 0; i < 10000; ++i) {
+    q.Submit(0.001, [&](double) { ++done; });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(done, 10000);
+  EXPECT_NEAR(sim.Now(), 10.0 / 3.0, 0.01);
+}
+
+TEST(HistogramEdgeTest, PercentileExtremes) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i * 0.01);
+  EXPECT_NEAR(h.Percentile(0), 0.01, 0.02);
+  EXPECT_NEAR(h.Percentile(100), 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(Histogram().Percentile(50), 0.0);
+}
+
+TEST(RngEdgeTest, DiscreteSingleElement) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Discrete({42.0}), 0u);
+  }
+}
+
+TEST(RngEdgeTest, ZipfThetaExactlyOne) {
+  // theta = 1 hits the (1 - theta) = 0 stability branch of the
+  // Hormann helpers.
+  Rng rng(2);
+  ZipfGenerator zipf(1000, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = zipf.Sample(rng);
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[100]);
+}
+
+TEST(MrcEdgeTest, ParametersOfEmptyCurve) {
+  const MissRatioCurve curve;
+  MrcConfig config;
+  const MrcParameters params = curve.ComputeParameters(config);
+  // An empty curve is flat at 1.0 everywhere: nothing is needed.
+  EXPECT_EQ(params.total_memory_pages, 0u);
+  EXPECT_EQ(params.acceptable_memory_pages, 0u);
+  EXPECT_DOUBLE_EQ(params.ideal_miss_ratio, 1.0);
+}
+
+TEST(MrcEdgeTest, ThresholdZeroMeansAcceptableEqualsTotal) {
+  std::vector<PageId> trace;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    trace.push_back(MakePageId(1, rng.NextUint64(200)));
+  }
+  const MissRatioCurve curve = MissRatioCurve::FromTrace(trace);
+  MrcConfig config;
+  config.acceptable_threshold = 0.0;
+  const MrcParameters params = curve.ComputeParameters(config);
+  // With no slack, the first size achieving the ideal ratio is the
+  // total need itself (or an earlier size with the same ratio).
+  EXPECT_DOUBLE_EQ(params.acceptable_miss_ratio, params.ideal_miss_ratio);
+  EXPECT_LE(params.acceptable_memory_pages, params.total_memory_pages);
+}
+
+TEST(PartitionedPoolEdgeTest, QuotaConsumingWholePool) {
+  PartitionedBufferPool pool(64);
+  ASSERT_TRUE(pool.SetQuota(1, 64));
+  EXPECT_EQ(pool.shared_capacity(), 0u);
+  // Shared-region users now miss everything and cache nothing.
+  EXPECT_FALSE(pool.Access(2, MakePageId(1, 1)));
+  EXPECT_FALSE(pool.Access(2, MakePageId(1, 1)));
+  // The dedicated partition still works.
+  pool.Access(1, MakePageId(1, 9));
+  EXPECT_TRUE(pool.Access(1, MakePageId(1, 9)));
+  // Releasing the quota restores the shared region.
+  pool.DropQuota(1);
+  EXPECT_EQ(pool.shared_capacity(), 64u);
+  pool.Access(2, MakePageId(1, 1));
+  EXPECT_TRUE(pool.Access(2, MakePageId(1, 1)));
+}
+
+TEST(PartitionedPoolEdgeTest, ManyDedicatedPartitions) {
+  PartitionedBufferPool pool(1024);
+  for (PartitionKey key = 1; key <= 16; ++key) {
+    ASSERT_TRUE(pool.SetQuota(key, 32));
+  }
+  EXPECT_EQ(pool.dedicated_total(), 512u);
+  EXPECT_EQ(pool.shared_capacity(), 512u);
+  EXPECT_EQ(pool.DedicatedKeys().size(), 16u);
+  for (PartitionKey key = 1; key <= 16; ++key) {
+    pool.Access(key, MakePageId(2, key));
+    EXPECT_TRUE(pool.Access(key, MakePageId(2, key)));
+  }
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "engine/database_engine.h"
+#include "storage/page.h"
+
+namespace fglb {
+namespace {
+
+// Focused tests of the engine's extent read-ahead and counter
+// bookkeeping on hand-built templates.
+
+QueryTemplate ScanTemplate(uint64_t region_pages, double mean_pages,
+                           uint64_t region_offset = 0) {
+  AccessComponent c;
+  c.table = 3;
+  c.table_pages = 200000;
+  c.region_offset = region_offset;
+  c.region_pages = region_pages;
+  c.kind = AccessComponent::Kind::kSequentialScan;
+  c.mean_pages = mean_pages;
+  QueryTemplate t;
+  t.id = 50;
+  t.name = "scan";
+  t.components = {c};
+  return t;
+}
+
+QueryTemplate LookupTemplate(double mean_pages, double write_fraction = 0) {
+  AccessComponent c;
+  c.table = 4;
+  c.table_pages = 5000;
+  c.kind = AccessComponent::Kind::kPointLookups;
+  c.zipf_theta = 0.8;
+  c.mean_pages = mean_pages;
+  c.write_fraction = write_fraction;
+  QueryTemplate t;
+  t.id = 51;
+  t.name = "lookup";
+  t.components = {c};
+  return t;
+}
+
+class ReadAheadTest : public ::testing::Test {
+ protected:
+  ReadAheadTest() {
+    DatabaseEngine::Options options;
+    options.buffer_pool_pages = 4096;
+    options.seed = 99;
+    engine_ = std::make_unique<DatabaseEngine>("ra", options, &disk_);
+  }
+
+  ExecutionCounters Run(const QueryTemplate& tmpl) {
+    QueryInstance q;
+    q.app = 1;
+    q.tmpl = &tmpl;
+    return engine_->Execute(q);
+  }
+
+  DiskModel disk_;
+  std::unique_ptr<DatabaseEngine> engine_;
+};
+
+TEST_F(ReadAheadTest, ExtentCountMatchesScanLength) {
+  // A 640-page scan spans 10 or 11 extents depending on alignment.
+  const QueryTemplate scan = ScanTemplate(100000, 640);
+  const ExecutionCounters c = Run(scan);
+  EXPECT_GE(c.read_aheads, 10u);
+  EXPECT_LE(c.read_aheads, 12u);
+  // Physical reads: each fetch brings a whole extent.
+  EXPECT_EQ(c.buffer_misses, c.read_aheads * kExtentPages);
+  EXPECT_EQ(c.random_misses, 0u);
+}
+
+TEST_F(ReadAheadTest, RepeatScanOfCachedRegionIsFree) {
+  // A small region that fits the pool: the second scan hits entirely.
+  const QueryTemplate scan = ScanTemplate(1024, 1024);
+  Run(scan);
+  uint64_t second_fetches = 0;
+  // Scans pick random starts; run a few to cover the region and then
+  // measure.
+  for (int i = 0; i < 5; ++i) Run(scan);
+  second_fetches = Run(scan).read_aheads;
+  EXPECT_EQ(second_fetches, 0u);
+}
+
+TEST_F(ReadAheadTest, CountersAreInternallyConsistent) {
+  const QueryTemplate lookup = LookupTemplate(200, 0.3);
+  for (int i = 0; i < 10; ++i) {
+    const ExecutionCounters c = Run(lookup);
+    EXPECT_GE(c.buffer_misses, c.random_misses);
+    EXPECT_EQ(c.io_requests,
+              c.random_misses + c.read_aheads + c.page_writes);
+    EXPECT_GT(c.page_accesses, 0u);
+    EXPECT_GT(c.cpu_seconds, 0.0);
+  }
+}
+
+TEST_F(ReadAheadTest, WriteStripesAreSortedAndUnique) {
+  const QueryTemplate writer = LookupTemplate(100, 0.8);
+  for (int i = 0; i < 5; ++i) {
+    const ExecutionCounters c = Run(writer);
+    ASSERT_FALSE(c.write_stripes.empty());
+    for (size_t j = 1; j < c.write_stripes.size(); ++j) {
+      EXPECT_LT(c.write_stripes[j - 1], c.write_stripes[j]);
+    }
+    EXPECT_GT(c.commit_seconds, 0.0);
+  }
+}
+
+TEST_F(ReadAheadTest, ReadOnlyQueryHasNoCommitWork) {
+  const QueryTemplate reader = LookupTemplate(50, 0.0);
+  const ExecutionCounters c = Run(reader);
+  EXPECT_TRUE(c.write_stripes.empty());
+  EXPECT_DOUBLE_EQ(c.commit_seconds, 0.0);
+  EXPECT_EQ(c.page_writes, 0u);
+}
+
+TEST_F(ReadAheadTest, QuotaConfinesReadAheadPollution) {
+  // Without a quota, a big scan evicts the lookup class's hot set;
+  // with one, the lookup class keeps hitting.
+  const QueryTemplate lookup = LookupTemplate(100);
+  const QueryTemplate scan = ScanTemplate(100000, 4000);
+
+  // Warm the lookup class.
+  for (int i = 0; i < 80; ++i) Run(lookup);
+  const ExecutionCounters warm = Run(lookup);
+
+  QueryInstance sq;
+  sq.app = 1;
+  sq.tmpl = &scan;
+  ASSERT_TRUE(engine_->SetQuota(sq.class_key(), 256));
+  Run(scan);
+  const ExecutionCounters after_contained = Run(lookup);
+  // The contained scan displaced (almost) nothing.
+  EXPECT_LE(after_contained.random_misses, warm.random_misses + 5);
+
+  engine_->DropQuota(sq.class_key());
+  Run(scan);
+  Run(scan);
+  const ExecutionCounters after_polluted = Run(lookup);
+  EXPECT_GT(after_polluted.random_misses,
+            after_contained.random_misses + 10);
+}
+
+TEST_F(ReadAheadTest, ScanInsideQuotaStillHitsViaReadAhead) {
+  const QueryTemplate scan = ScanTemplate(100000, 2000);
+  QueryInstance sq;
+  sq.app = 1;
+  sq.tmpl = &scan;
+  ASSERT_TRUE(engine_->SetQuota(sq.class_key(), 256));
+  const ExecutionCounters c = Run(scan);
+  // Logical accesses mostly hit (prefetch landed them just in time)
+  // even though the partition is tiny.
+  const double stall_fraction =
+      static_cast<double>(c.random_misses + c.read_aheads) /
+      static_cast<double>(c.page_accesses);
+  EXPECT_LT(stall_fraction, 0.05);
+}
+
+}  // namespace
+}  // namespace fglb

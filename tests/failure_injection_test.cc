@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "scenarios/harness.h"
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+// Failure-injection style tests: components are removed or broken
+// while work is in flight; the system must degrade gracefully, never
+// crash, and recover where the controller can.
+
+TEST(FailureInjectionTest, DecommissionUnderLoadDrainsSafely) {
+  ClusterHarness h;
+  h.AddServers(2);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* a = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  Replica* b = h.resources().CreateReplica(h.resources().servers()[1].get(),
+                                           8192);
+  tpcw->AddReplica(a);
+  tpcw->AddReplica(b);
+  h.AddConstantClients(tpcw, 80, /*seed=*/21);
+  h.Start();
+  h.RunFor(60);
+  // Pull replica b while it has queries in flight.
+  EXPECT_GT(b->inflight() + b->completed(), 0u);
+  h.resources().Decommission(tpcw, b);
+  h.RunFor(120);
+  // Work continues on a; no queries are lost (the emulator's closed
+  // loop would stall otherwise).
+  const auto summary = h.Summarize(tpcw->app().id, 70, 180);
+  EXPECT_GT(summary.queries, 500u);
+  EXPECT_EQ(tpcw->replicas().size(), 1u);
+}
+
+TEST(FailureInjectionTest, LosingTheOnlyReplicaTriggersReprovisioning) {
+  ClusterHarness h;
+  h.AddServers(2);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* only = h.resources().CreateReplica(
+      h.resources().servers()[0].get(), 8192);
+  tpcw->AddReplica(only);
+  h.AddConstantClients(tpcw, 20, /*seed=*/23);
+  h.Start();
+  h.RunFor(100);
+  // The replica "fails" (operator removes it).
+  h.resources().Decommission(tpcw, only);
+  EXPECT_TRUE(tpcw->replicas().empty());
+  h.RunFor(100);
+  // The controller bootstrap-provisions a replacement and service
+  // resumes within the SLA.
+  EXPECT_GE(tpcw->replicas().size(), 1u);
+  const auto tail = h.Summarize(tpcw->app().id, 150, 200);
+  EXPECT_GT(tail.queries, 0u);
+  EXPECT_LT(tail.avg_latency, tpcw->app().sla_latency_seconds);
+}
+
+TEST(FailureInjectionTest, EmulatorStopMidRunLeavesSystemQuiescent) {
+  ClusterHarness h;
+  h.AddServers(1);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  ClientEmulator* clients = h.AddConstantClients(tpcw, 40, /*seed=*/25);
+  h.Start();
+  h.RunFor(60);
+  clients->Stop();
+  h.RunFor(120);
+  EXPECT_EQ(clients->active_clients(), 0u);
+  EXPECT_EQ(r->inflight(), 0u);
+  // Idle intervals are SLA-clean by definition.
+  const auto tail = h.Summarize(tpcw->app().id, 120, 180);
+  EXPECT_EQ(tail.sla_violations, 0);
+}
+
+TEST(FailureInjectionTest, ExhaustedServerPoolDegradesGracefully) {
+  // Demand needs ~3 servers; the pool only has 1. The controller keeps
+  // trying, nothing crashes, and throughput saturates at one server's
+  // capacity.
+  ClusterHarness h;
+  h.AddServers(1);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  h.AddConstantClients(tpcw, 900, /*seed=*/27);
+  h.Start();
+  h.RunFor(400);
+  EXPECT_EQ(h.resources().ServersUsedBy(*tpcw), 1);
+  const auto summary = h.Summarize(tpcw->app().id, 200, 400);
+  EXPECT_GT(summary.avg_throughput, 100.0);  // still serving
+  EXPECT_GT(summary.sla_violations, 0);      // but over the SLA
+}
+
+TEST(FailureInjectionTest, MidRunWorkloadSwapDoesNotBreakDeterminism) {
+  auto run = [] {
+    ClusterHarness h;
+    h.AddServers(3);
+    Scheduler* tpcw = h.AddApplication(MakeTpcw());
+    Replica* r = h.resources().CreateReplica(
+        h.resources().servers()[0].get(), 8192);
+    tpcw->AddReplica(r);
+    h.AddConstantClients(tpcw, 100, /*seed=*/29);
+    h.Start();
+    h.RunFor(200);
+    TpcwOptions no_index;
+    no_index.o_date_index = false;
+    const ApplicationSpec degraded = MakeTpcw(no_index);
+    ApplicationSpec* live = h.mutable_app(tpcw);
+    for (auto& tmpl : live->templates) {
+      if (tmpl.id == kTpcwBestSeller) {
+        tmpl.components = degraded.FindTemplate(kTpcwBestSeller)->components;
+      }
+    }
+    h.RunFor(300);
+    return std::make_tuple(tpcw->total_completed(),
+                           h.retuner().actions().size(),
+                           h.retuner().diagnoses().size());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,96 @@
+#include "scenarios/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+TEST(HarnessTest, AddServersPopulatesPool) {
+  ClusterHarness h;
+  h.AddServers(4);
+  EXPECT_EQ(h.resources().servers().size(), 4u);
+}
+
+TEST(HarnessTest, AddApplicationKeepsSpecAlive) {
+  ClusterHarness h;
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  ASSERT_NE(tpcw, nullptr);
+  EXPECT_EQ(tpcw->app().name, "TPC-W");
+  EXPECT_EQ(h.mutable_app(tpcw), &tpcw->app());
+}
+
+TEST(HarnessTest, MutableAppUnknownSchedulerIsNull) {
+  ClusterHarness h1, h2;
+  Scheduler* foreign = h2.AddApplication(MakeTpcw());
+  EXPECT_EQ(h1.mutable_app(foreign), nullptr);
+}
+
+TEST(HarnessTest, RunForAdvancesClock) {
+  ClusterHarness h;
+  EXPECT_DOUBLE_EQ(h.sim().Now(), 0.0);
+  h.RunFor(42.5);
+  EXPECT_DOUBLE_EQ(h.sim().Now(), 42.5);
+  h.RunFor(7.5);
+  EXPECT_DOUBLE_EQ(h.sim().Now(), 50.0);
+}
+
+TEST(HarnessTest, ClientsAddedAfterStartBeginImmediately) {
+  ClusterHarness h;
+  h.AddServers(1);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  h.Start();
+  h.RunFor(50);
+  EXPECT_EQ(tpcw->total_completed(), 0u);
+  ClientEmulator* late = h.AddConstantClients(tpcw, 5, 3);
+  h.RunFor(50);
+  EXPECT_GT(late->completed_queries(), 0u);
+}
+
+TEST(HarnessTest, SummarizeWindowsAreHalfOpen) {
+  ClusterHarness h;
+  h.AddServers(1);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  h.AddConstantClients(tpcw, 10, 5);
+  h.Start();
+  h.RunFor(100);
+  const auto all = h.Summarize(tpcw->app().id, 0, 101);
+  const auto first = h.Summarize(tpcw->app().id, 0, 50);
+  const auto second = h.Summarize(tpcw->app().id, 50, 101);
+  EXPECT_EQ(all.queries, first.queries + second.queries);
+  EXPECT_EQ(all.intervals, first.intervals + second.intervals);
+}
+
+TEST(HarnessTest, SummarizeEmptyWindow) {
+  ClusterHarness h;
+  h.AddServers(1);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  const auto summary = h.Summarize(tpcw->app().id, 1000, 2000);
+  EXPECT_EQ(summary.queries, 0u);
+  EXPECT_EQ(summary.intervals, 0);
+  EXPECT_DOUBLE_EQ(summary.avg_latency, 0.0);
+}
+
+TEST(HarnessTest, StartIsIdempotent) {
+  ClusterHarness h;
+  h.AddServers(1);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  h.AddConstantClients(tpcw, 5, 7);
+  h.Start();
+  h.Start();  // no double-started emulators / ticks
+  h.RunFor(55);
+  EXPECT_EQ(h.retuner().samples().size(), 5u);
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,160 @@
+#include "scenarios/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+using ActionKind = SelectiveRetuner::ActionKind;
+
+int CountActions(const SelectiveRetuner& retuner, ActionKind kind) {
+  int count = 0;
+  for (const auto& a : retuner.actions()) count += (a.kind == kind);
+  return count;
+}
+
+TEST(IntegrationTest, StableModerateLoadStaysWithinSla) {
+  ClusterHarness h;
+  h.AddServers(2);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  ASSERT_NE(r, nullptr);
+  tpcw->AddReplica(r);
+  h.AddConstantClients(tpcw, 10, /*seed=*/1);
+  h.Start();
+  h.RunFor(300);
+
+  const auto summary = h.Summarize(tpcw->app().id, 100, 300);
+  EXPECT_GT(summary.queries, 500u);
+  EXPECT_LT(summary.avg_latency, tpcw->app().sla_latency_seconds);
+  EXPECT_EQ(summary.sla_violations, 0);
+  // Nothing for the controller to do.
+  EXPECT_EQ(CountActions(h.retuner(), ActionKind::kClassRescheduled), 0);
+  EXPECT_EQ(CountActions(h.retuner(), ActionKind::kCoarseFallback), 0);
+}
+
+TEST(IntegrationTest, BootstrapProvisionsFirstReplica) {
+  ClusterHarness h;
+  h.AddServers(2);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  h.AddConstantClients(tpcw, 5, /*seed=*/2);
+  h.Start();
+  h.RunFor(120);
+  EXPECT_GE(tpcw->replicas().size(), 1u);
+  EXPECT_GE(CountActions(h.retuner(), ActionKind::kCpuProvision), 1);
+  // After bootstrap the app serves within SLA.
+  const auto summary = h.Summarize(tpcw->app().id, 60, 120);
+  EXPECT_LT(summary.avg_latency, tpcw->app().sla_latency_seconds);
+}
+
+TEST(IntegrationTest, LoadBurstProvisionsMoreServers) {
+  ClusterHarness h;
+  h.AddServers(5);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  // Modest load for 200s, then a burst past one server's capacity.
+  h.AddClients(tpcw,
+               std::make_unique<StepLoad>(
+                   std::vector<std::pair<SimTime, double>>{{0, 50},
+                                                           {200, 800}}),
+               /*seed=*/3);
+  h.Start();
+  h.RunFor(600);
+
+  // The burst saturates whichever resource binds first (CPU or the
+  // I/O channel); either way reactive provisioning must kick in.
+  EXPECT_GE(CountActions(h.retuner(), ActionKind::kCpuProvision) +
+                CountActions(h.retuner(), ActionKind::kIoProvision),
+            1);
+  EXPECT_GE(h.resources().ServersUsedBy(*tpcw), 2);
+  // Latency recovers below the SLA once capacity catches up.
+  const auto late = h.Summarize(tpcw->app().id, 450, 600);
+  EXPECT_LT(late.avg_latency, tpcw->app().sla_latency_seconds);
+}
+
+TEST(IntegrationTest, LoadDropReleasesServers) {
+  ClusterHarness h;
+  h.AddServers(5);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  h.AddClients(tpcw,
+               std::make_unique<StepLoad>(
+                   std::vector<std::pair<SimTime, double>>{{0, 800},
+                                                           {400, 10}}),
+               /*seed=*/4);
+  h.Start();
+  h.RunFor(900);
+  const int peak_servers = [&] {
+    int peak = 0;
+    for (const auto& s : h.retuner().samples()) {
+      for (const auto& as : s.apps) peak = std::max(peak, as.servers_used);
+    }
+    return peak;
+  }();
+  EXPECT_GE(peak_servers, 2);
+  EXPECT_GE(CountActions(h.retuner(), ActionKind::kCpuRelease), 1);
+  EXPECT_LT(h.resources().ServersUsedBy(*tpcw), peak_servers);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    ClusterHarness h;
+    h.AddServers(3);
+    Scheduler* tpcw = h.AddApplication(MakeTpcw());
+    Replica* r = h.resources().CreateReplica(
+        h.resources().servers()[0].get(), 8192);
+    tpcw->AddReplica(r);
+    h.AddConstantClients(tpcw, 40, /*seed=*/7);
+    h.Start();
+    h.RunFor(200);
+    return std::make_tuple(tpcw->total_completed(),
+                           h.retuner().actions().size(),
+                           h.retuner().samples().size());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IntegrationTest, SharedEngineInterferenceTriggersFineGrainedAction) {
+  // The Table 2 situation in miniature: TPC-W stabilizes alone in one
+  // engine; RUBiS then joins the same engine and wrecks the buffer
+  // pool; the controller responds with a fine-grained action (quota or
+  // re-placement) rather than coarse provisioning first.
+  SelectiveRetuner::Config config;
+  ClusterHarness h(config);
+  h.AddServers(3);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  Scheduler* rubis = h.AddApplication(MakeRubis(rubis_options));
+  Replica* shared = h.resources().CreateReplica(
+      h.resources().servers()[0].get(), 8192);
+  tpcw->AddReplica(shared);
+  rubis->AddReplica(shared);
+
+  h.AddConstantClients(tpcw, 30, /*seed=*/11);
+  h.Start();
+  h.RunFor(400);  // TPC-W alone, stable baselines form
+
+  // RUBiS arrives in the shared engine.
+  h.AddClients(rubis,
+               std::make_unique<StepLoad>(
+                   std::vector<std::pair<SimTime, double>>{{400, 30}}),
+               /*seed=*/13);
+  h.RunFor(500);
+
+  const int fine = CountActions(h.retuner(), ActionKind::kQuotaEnforced) +
+                   CountActions(h.retuner(), ActionKind::kClassRescheduled) +
+                   CountActions(h.retuner(), ActionKind::kIoEviction);
+  EXPECT_GE(fine, 1);
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,193 @@
+#include "cluster/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/replica.h"
+#include "cluster/resource_manager.h"
+#include "engine/metrics.h"
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+PageId Stripe(uint64_t n) { return MakePageId(1, n); }
+
+TEST(LockManagerTest, UncontendedGrantIsImmediate) {
+  Simulator sim;
+  LockManager locks(&sim);
+  double wait = -1;
+  locks.AcquireAll({Stripe(1), Stripe(2)},
+                   [&](double w) { wait = w; });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(wait, 0.0);
+  EXPECT_EQ(locks.held_stripes(), 2u);
+  EXPECT_EQ(locks.granted_total(), 1u);
+}
+
+TEST(LockManagerTest, ReleaseFreesStripes) {
+  Simulator sim;
+  LockManager locks(&sim);
+  uint64_t ticket = locks.AcquireAll({Stripe(1)}, [](double) {});
+  sim.RunToCompletion();
+  locks.Release(ticket);
+  EXPECT_EQ(locks.held_stripes(), 0u);
+}
+
+TEST(LockManagerTest, ConflictingRequestWaits) {
+  Simulator sim;
+  LockManager locks(&sim);
+  uint64_t first = locks.AcquireAll({Stripe(7)}, [](double) {});
+  double second_wait = -1;
+  bool second_granted = false;
+  locks.AcquireAll({Stripe(7)}, [&](double w) {
+    second_wait = w;
+    second_granted = true;
+  });
+  sim.RunUntil(5.0);
+  EXPECT_FALSE(second_granted);
+  // Holder releases at t = 5.
+  locks.Release(first);
+  sim.RunToCompletion();
+  EXPECT_TRUE(second_granted);
+  EXPECT_DOUBLE_EQ(second_wait, 5.0);
+  EXPECT_DOUBLE_EQ(locks.total_wait_seconds(), 5.0);
+}
+
+TEST(LockManagerTest, FifoFairnessPerStripe) {
+  Simulator sim;
+  LockManager locks(&sim);
+  std::vector<int> order;
+  uint64_t holder = locks.AcquireAll({Stripe(1)}, [](double) {});
+  std::vector<uint64_t> tickets(3);
+  for (int i = 0; i < 3; ++i) {
+    tickets[i] = locks.AcquireAll({Stripe(1)}, [&order, i](double) {
+      order.push_back(i);
+    });
+  }
+  sim.RunToCompletion();
+  EXPECT_TRUE(order.empty());
+  locks.Release(holder);
+  sim.RunToCompletion();
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 0);
+  locks.Release(tickets[0]);
+  sim.RunToCompletion();
+  locks.Release(tickets[1]);
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(LockManagerTest, PartialOverlapBlocksOnlyOnConflict) {
+  Simulator sim;
+  LockManager locks(&sim);
+  uint64_t holder = locks.AcquireAll({Stripe(2)}, [](double) {});
+  bool granted = false;
+  // Wants {1, 2}: gets 1 immediately, blocks on 2.
+  locks.AcquireAll({Stripe(1), Stripe(2)}, [&](double) { granted = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(locks.held_stripes(), 2u);  // stripe 1 held by the waiter
+  locks.Release(holder);
+  sim.RunToCompletion();
+  EXPECT_TRUE(granted);
+}
+
+TEST(LockManagerTest, DisjointSetsNeverBlock) {
+  Simulator sim;
+  LockManager locks(&sim);
+  int granted = 0;
+  locks.AcquireAll({Stripe(1), Stripe(2)}, [&](double) { ++granted; });
+  locks.AcquireAll({Stripe(3), Stripe(4)}, [&](double) { ++granted; });
+  sim.RunToCompletion();
+  EXPECT_EQ(granted, 2);
+}
+
+// Sorted-order acquisition means two requests with overlapping sets
+// cannot deadlock: whoever wins the lowest common stripe finishes.
+TEST(LockManagerTest, OverlappingSetsNoDeadlock) {
+  Simulator sim;
+  LockManager locks(&sim);
+  std::vector<uint64_t> tickets;
+  int granted = 0;
+  auto chain = [&](std::vector<PageId> stripes) {
+    tickets.push_back(0);
+    size_t slot = tickets.size() - 1;
+    tickets[slot] = locks.AcquireAll(stripes, [&, slot](double) {
+      ++granted;
+      sim.ScheduleAfter(1.0, [&, slot] { locks.Release(tickets[slot]); });
+    });
+  };
+  chain({Stripe(1), Stripe(2), Stripe(3)});
+  chain({Stripe(2), Stripe(3), Stripe(4)});
+  chain({Stripe(1), Stripe(4)});
+  sim.RunToCompletion();
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(locks.held_stripes(), 0u);
+}
+
+TEST(ReplicaLockTest, UpdateQueriesRecordLockWaits) {
+  Simulator sim;
+  ResourceManager resources(&sim);
+  PhysicalServer* server = resources.AddServer({});
+  Replica* replica = resources.CreateReplica(server, 4096);
+  const ApplicationSpec app = MakeTpcw();
+
+  // Two identical updates submitted back to back: the second commits
+  // after the first and may wait on shared stripes.
+  QueryInstance q;
+  q.app = app.id;
+  q.tmpl = app.FindTemplate(kTpcwBuyConfirm);
+  double total_wait = 0;
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    replica->Run(q, [&](double, const ExecutionCounters& c) {
+      ++completed;
+      total_wait += c.lock_wait_seconds;
+      EXPECT_FALSE(c.write_stripes.empty());
+      EXPECT_GT(c.commit_seconds, 0.0);
+    });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(completed, 20);
+  EXPECT_GT(replica->locks().granted_total(), 0u);
+  EXPECT_GE(total_wait, 0.0);
+}
+
+TEST(ReplicaLockTest, ReadOnlyQueriesNeverLock) {
+  Simulator sim;
+  ResourceManager resources(&sim);
+  PhysicalServer* server = resources.AddServer({});
+  Replica* replica = resources.CreateReplica(server, 4096);
+  const ApplicationSpec app = MakeTpcw();
+  QueryInstance q;
+  q.app = app.id;
+  q.tmpl = app.FindTemplate(kTpcwHome);
+  replica->Run(q, [&](double, const ExecutionCounters& c) {
+    EXPECT_TRUE(c.write_stripes.empty());
+    EXPECT_DOUBLE_EQ(c.lock_wait_seconds, 0.0);
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(replica->locks().granted_total(), 0u);
+}
+
+TEST(ReplicaLockTest, LockWaitsSurfaceInClassMetrics) {
+  Simulator sim;
+  ResourceManager resources(&sim);
+  PhysicalServer* server = resources.AddServer({});
+  Replica* replica = resources.CreateReplica(server, 4096);
+  ApplicationSpec app = MakeTpcw();
+  // Make the commit hold pathologically long so waits are guaranteed.
+  for (auto& tmpl : app.templates) tmpl.commit_hold_seconds = 0.5;
+  QueryInstance q;
+  q.app = app.id;
+  q.tmpl = app.FindTemplate(kTpcwBuyConfirm);
+  for (int i = 0; i < 10; ++i) replica->Run(q, nullptr);
+  sim.RunToCompletion();
+  auto snap = replica->engine().stats().EndInterval(10.0);
+  const ClassKey key = MakeClassKey(app.id, kTpcwBuyConfirm);
+  ASSERT_TRUE(snap.contains(key));
+  EXPECT_GT(At(snap[key], Metric::kLockWaits), 0.0);
+}
+
+}  // namespace
+}  // namespace fglb

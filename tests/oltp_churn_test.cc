@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "cluster/resource_manager.h"
+#include "cluster/scheduler.h"
+#include "workload/client_emulator.h"
+#include "workload/oltp.h"
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+TEST(OltpSpecTest, WellFormed) {
+  const ApplicationSpec app = MakeOltp();
+  EXPECT_EQ(app.templates.size(),
+            static_cast<size_t>(3 + kOltpReaderCount));
+  double total = 0;
+  for (double w : app.mix_weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(app.WriteFraction(), 0.30, 0.02);
+  EXPECT_TRUE(app.FindTemplate(kOltpTransfer)->is_update);
+  EXPECT_FALSE(app.FindTemplate(kOltpFirstReader)->is_update);
+}
+
+TEST(OltpSpecTest, WritersShareOneLockStripe) {
+  const ApplicationSpec app = MakeOltp();
+  // All three writers touch offsets below one lock stripe (512 pages):
+  // their commits contend by construction.
+  for (QueryClassId id : {kOltpTransfer, kOltpDeposit, kOltpWithdraw}) {
+    const QueryTemplate* t = app.FindTemplate(id);
+    ASSERT_NE(t, nullptr);
+    for (const auto& c : t->components) {
+      EXPECT_LT(c.region_offset + c.region_pages, kLockStripePages + 1);
+    }
+  }
+}
+
+TEST(OltpSpecTest, CommitHoldConfigurable) {
+  OltpOptions options;
+  options.commit_hold_seconds = 0.25;
+  const ApplicationSpec app = MakeOltp(options);
+  EXPECT_DOUBLE_EQ(app.FindTemplate(kOltpTransfer)->commit_hold_seconds,
+                   0.25);
+}
+
+// A sink that completes instantly.
+class NullSink : public QuerySink {
+ public:
+  explicit NullSink(Simulator* sim) : sim_(sim) {}
+  void Submit(const QueryInstance&,
+              std::function<void(double)> on_complete) override {
+    sim_->ScheduleAfter(0.01, [on_complete] {
+      if (on_complete) on_complete(0.01);
+    });
+  }
+
+ private:
+  Simulator* sim_;
+};
+
+TEST(SessionChurnTest, DisabledByDefaultNoChurn) {
+  Simulator sim;
+  ApplicationSpec app = MakeTpcw();
+  NullSink sink(&sim);
+  ConstantLoad load(20);
+  ClientEmulator::Options options;
+  options.noise_fraction = 0;
+  ClientEmulator emulator(&sim, &app, &sink, &load, 3, options);
+  emulator.Start();
+  sim.RunUntil(300);
+  EXPECT_EQ(emulator.total_clients_spawned(), 20u);
+  EXPECT_EQ(emulator.active_clients(), 20u);
+}
+
+TEST(SessionChurnTest, SessionsExpireAndAreReplaced) {
+  Simulator sim;
+  ApplicationSpec app = MakeTpcw();
+  NullSink sink(&sim);
+  ConstantLoad load(20);
+  ClientEmulator::Options options;
+  options.noise_fraction = 0;
+  options.session_time_seconds = 30;
+  ClientEmulator emulator(&sim, &app, &sink, &load, 5, options);
+  emulator.Start();
+  sim.RunUntil(300);
+  // ~10 session generations: far more distinct clients than the target.
+  EXPECT_GT(emulator.total_clients_spawned(), 100u);
+  // Population still tracks the target (within churn slack).
+  EXPECT_GE(emulator.active_clients(), 15u);
+  EXPECT_LE(emulator.active_clients(), 21u);
+}
+
+TEST(SessionChurnTest, ChurnKeepsThroughputComparable) {
+  auto run = [](double session) {
+    Simulator sim;
+    ApplicationSpec app = MakeTpcw();
+    NullSink sink(&sim);
+    ConstantLoad load(30);
+    ClientEmulator::Options options;
+    options.noise_fraction = 0;
+    options.session_time_seconds = session;
+    ClientEmulator emulator(&sim, &app, &sink, &load, 7, options);
+    emulator.Start();
+    sim.RunUntil(300);
+    return emulator.completed_queries();
+  };
+  const uint64_t steady = run(0);
+  const uint64_t churning = run(60);
+  EXPECT_NEAR(static_cast<double>(churning), static_cast<double>(steady),
+              0.15 * static_cast<double>(steady));
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/outlier_detector.h"
+
+namespace fglb {
+namespace {
+
+constexpr AppId kApp = 1;
+
+// Randomized populations for property checks.
+struct Population {
+  std::map<ClassKey, MetricVector> current;
+  StableStateStore stable;
+};
+
+Population RandomPopulation(int classes, uint64_t seed) {
+  Population pop;
+  Rng rng(seed);
+  for (int i = 1; i <= classes; ++i) {
+    const ClassKey key = MakeClassKey(kApp, static_cast<uint32_t>(i));
+    MetricVector stable{};
+    MetricVector current{};
+    for (Metric m : kAllMetrics) {
+      const double base = rng.UniformDouble(10, 1000);
+      At(stable, m) = base;
+      At(current, m) = base * rng.UniformDouble(0.5, 2.0);
+    }
+    pop.stable.Update(key, stable, 0.0);
+    pop.current[key] = current;
+  }
+  return pop;
+}
+
+bool SameOutliers(const OutlierReport& a, const OutlierReport& b) {
+  if (a.outliers.size() != b.outliers.size()) return false;
+  for (size_t i = 0; i < a.outliers.size(); ++i) {
+    if (a.outliers[i].key != b.outliers[i].key) return false;
+    if (a.outliers[i].metric != b.outliers[i].metric) return false;
+    if (a.outliers[i].degree != b.outliers[i].degree) return false;
+    if (a.outliers[i].high_side != b.outliers[i].high_side) return false;
+  }
+  return true;
+}
+
+class OutlierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Scaling every class's current AND stable values of a metric by the
+// same positive constant changes neither ratios nor (normalized)
+// weights, so the verdicts are identical.
+TEST_P(OutlierPropertyTest, ScaleInvariance) {
+  Population pop = RandomPopulation(12, GetParam());
+  OutlierDetector detector;
+  const OutlierReport base = detector.Detect(pop.current, pop.stable);
+
+  Population scaled;
+  for (const auto& [key, vec] : pop.current) {
+    MetricVector v = vec;
+    for (Metric m : kAllMetrics) At(v, m) *= 1000.0;
+    scaled.current[key] = v;
+    MetricVector s = pop.stable.Find(key)->averages;
+    for (Metric m : kAllMetrics) At(s, m) *= 1000.0;
+    scaled.stable.Update(key, s, 0.0);
+  }
+  const OutlierReport after = detector.Detect(scaled.current, scaled.stable);
+  EXPECT_TRUE(SameOutliers(base, after));
+}
+
+// Detection is a pure function of its inputs.
+TEST_P(OutlierPropertyTest, Deterministic) {
+  Population pop = RandomPopulation(10, GetParam() + 17);
+  OutlierDetector detector;
+  const OutlierReport a = detector.Detect(pop.current, pop.stable);
+  const OutlierReport b = detector.Detect(pop.current, pop.stable);
+  EXPECT_TRUE(SameOutliers(a, b));
+  EXPECT_EQ(a.impacts, b.impacts);
+  EXPECT_EQ(a.ratios, b.ratios);
+}
+
+// Every reported outlier's impact genuinely lies outside the fences
+// computed from the report's own impact values.
+TEST_P(OutlierPropertyTest, OutliersAreOutsideFences) {
+  Population pop = RandomPopulation(14, GetParam() + 31);
+  // Inject some real anomalies.
+  Rng rng(GetParam());
+  for (int i = 0; i < 3; ++i) {
+    const ClassKey key =
+        MakeClassKey(kApp, 1 + static_cast<uint32_t>(rng.NextUint64(14)));
+    At(pop.current[key], Metric::kBufferMisses) *= 40.0;
+  }
+  OutlierDetector detector;
+  const OutlierReport report = detector.Detect(pop.current, pop.stable);
+  for (const auto& o : report.outliers) {
+    std::vector<double> impacts;
+    for (const auto& [key, impact] : report.impacts.at(o.metric)) {
+      impacts.push_back(impact);
+    }
+    const QuartileSummary q = Quartiles(impacts);
+    const double lo = q.q1 - detector.config().mild_fence * q.iqr;
+    const double hi = q.q3 + detector.config().mild_fence * q.iqr;
+    if (o.high_side) {
+      EXPECT_GT(o.impact, hi);
+    } else {
+      EXPECT_LT(o.impact, lo);
+    }
+  }
+}
+
+// Extreme outliers are also outside the mild fence (fences nest).
+TEST_P(OutlierPropertyTest, ExtremeImpliesBeyondMildFence) {
+  Population pop = RandomPopulation(12, GetParam() + 47);
+  At(pop.current[MakeClassKey(kApp, 5)], Metric::kReadAheads) *= 500.0;
+  OutlierDetector detector;
+  const OutlierReport report = detector.Detect(pop.current, pop.stable);
+  for (const auto& o : report.outliers) {
+    if (o.degree != OutlierDegree::kExtreme) continue;
+    std::vector<double> impacts;
+    for (const auto& [key, impact] : report.impacts.at(o.metric)) {
+      impacts.push_back(impact);
+    }
+    const QuartileSummary q = Quartiles(impacts);
+    if (o.high_side) {
+      EXPECT_GT(o.impact, q.q3 + detector.config().extreme_fence * q.iqr);
+    } else {
+      EXPECT_LT(o.impact, q.q1 - detector.config().extreme_fence * q.iqr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutlierPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace fglb

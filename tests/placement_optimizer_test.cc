@@ -1,0 +1,153 @@
+#include "core/placement_optimizer.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fglb {
+namespace {
+
+ClassLoad Load(uint32_t cls, uint64_t pages, double cpu, double io,
+               AppId app = 1) {
+  ClassLoad load;
+  load.key = MakeClassKey(app, cls);
+  load.acceptable_pages = pages;
+  load.cpu_rate = cpu;
+  load.io_rate = io;
+  return load;
+}
+
+PlacementConfig SmallConfig() {
+  PlacementConfig config;
+  config.server_pool_pages = 1000;
+  config.cpu_capacity = 4.0;
+  config.io_capacity = 1.0;
+  config.target_fill = 1.0;  // exact fits for arithmetic tests
+  config.memory_fill = 1.0;
+  return config;
+}
+
+TEST(PlacementOptimizerTest, EmptyInputIsFeasibleAndEmpty) {
+  const PlacementPlan plan = ComputePlacement({}, SmallConfig());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used(), 0);
+}
+
+TEST(PlacementOptimizerTest, EverythingFitsOneServer) {
+  const PlacementPlan plan = ComputePlacement(
+      {Load(1, 300, 0.5, 0.1), Load(2, 300, 0.5, 0.1),
+       Load(3, 300, 0.5, 0.1)},
+      SmallConfig());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used(), 1);
+}
+
+TEST(PlacementOptimizerTest, MemoryForcesSplit) {
+  const PlacementPlan plan = ComputePlacement(
+      {Load(1, 700, 0.1, 0.1), Load(2, 700, 0.1, 0.1)}, SmallConfig());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used(), 2);
+  EXPECT_NE(plan.ServerOf(MakeClassKey(1, 1)),
+            plan.ServerOf(MakeClassKey(1, 2)));
+}
+
+TEST(PlacementOptimizerTest, IoForcesSplitEvenWhenMemoryFits) {
+  const PlacementPlan plan = ComputePlacement(
+      {Load(1, 100, 0.1, 0.8), Load(2, 100, 0.1, 0.8)}, SmallConfig());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used(), 2);
+}
+
+TEST(PlacementOptimizerTest, CpuDimensionHonored) {
+  // Four classes at 1.5 cores each: two per 4-core server.
+  const PlacementPlan plan = ComputePlacement(
+      {Load(1, 10, 1.5, 0.0), Load(2, 10, 1.5, 0.0),
+       Load(3, 10, 1.5, 0.0), Load(4, 10, 1.5, 0.0)},
+      SmallConfig());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used(), 2);
+}
+
+TEST(PlacementOptimizerTest, OversizedClassInfeasible) {
+  const PlacementPlan plan =
+      ComputePlacement({Load(1, 2000, 0.1, 0.1)}, SmallConfig());
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.ServerOf(MakeClassKey(1, 1)), -1);
+}
+
+TEST(PlacementOptimizerTest, MaxServersBoundsThePlan) {
+  PlacementConfig config = SmallConfig();
+  config.max_servers = 1;
+  const PlacementPlan plan = ComputePlacement(
+      {Load(1, 700, 0.1, 0.1), Load(2, 700, 0.1, 0.1)}, config);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.servers_used(), 1);
+}
+
+TEST(PlacementOptimizerTest, TargetFillLeavesHeadroom) {
+  PlacementConfig config = SmallConfig();
+  config.memory_fill = 0.5;
+  // 400 + 400 pages would fit a 1000-page server at fill 1.0 but not
+  // at 0.5.
+  const PlacementPlan plan = ComputePlacement(
+      {Load(1, 400, 0.1, 0.1), Load(2, 400, 0.1, 0.1)}, config);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.servers_used(), 2);
+}
+
+TEST(PlacementOptimizerTest, PlanCoversEveryFeasibleClassExactlyOnce) {
+  Rng rng(11);
+  std::vector<ClassLoad> classes;
+  for (uint32_t i = 1; i <= 40; ++i) {
+    classes.push_back(Load(i, rng.NextUint64(600),
+                           rng.NextDouble() * 2.0, rng.NextDouble() * 0.4));
+  }
+  const PlacementPlan plan = ComputePlacement(classes, SmallConfig());
+  std::set<ClassKey> seen;
+  for (const auto& server : plan.servers) {
+    for (ClassKey key : server) {
+      EXPECT_TRUE(seen.insert(key).second) << "class placed twice";
+    }
+  }
+  if (plan.feasible) {
+    EXPECT_EQ(seen.size(), classes.size());
+  }
+}
+
+TEST(PlacementOptimizerTest, CapacityInvariantsHoldPerServer) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ClassLoad> classes;
+    for (uint32_t i = 1; i <= 30; ++i) {
+      classes.push_back(Load(i, rng.NextUint64(500),
+                             rng.NextDouble() * 1.5,
+                             rng.NextDouble() * 0.3));
+    }
+    PlacementConfig config = SmallConfig();
+    config.target_fill = 0.8;
+    config.memory_fill = 0.8;
+    const PlacementPlan plan = ComputePlacement(classes, config);
+    for (const auto& server : plan.servers) {
+      uint64_t pages = 0;
+      double cpu = 0, io = 0;
+      for (ClassKey key : server) {
+        for (const auto& c : classes) {
+          if (c.key == key) {
+            pages += c.acceptable_pages;
+            cpu += c.cpu_rate;
+            io += c.io_rate;
+          }
+        }
+      }
+      EXPECT_LE(static_cast<double>(pages),
+                config.memory_fill * config.server_pool_pages + 1e-9);
+      EXPECT_LE(cpu, config.target_fill * config.cpu_capacity + 1e-9);
+      EXPECT_LE(io, config.target_fill * config.io_capacity + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,120 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/quota_planner.h"
+
+namespace fglb {
+namespace {
+
+// Property-based checks over randomized inputs: whatever the profiles
+// look like, every plan the planner emits must satisfy the §3.3.2
+// invariants.
+class QuotaPlannerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, int,
+                                                 uint64_t>> {
+ protected:
+  static std::vector<ClassMemoryProfile> RandomProfiles(int count,
+                                                        uint64_t max_pages,
+                                                        Rng& rng,
+                                                        uint32_t base_id) {
+    std::vector<ClassMemoryProfile> profiles;
+    for (int i = 0; i < count; ++i) {
+      ClassMemoryProfile p;
+      p.key = MakeClassKey(1, base_id + static_cast<uint32_t>(i));
+      p.params.acceptable_memory_pages = rng.NextUint64(max_pages + 1);
+      p.params.total_memory_pages =
+          p.params.acceptable_memory_pages +
+          rng.NextUint64(max_pages / 2 + 1);
+      p.params.ideal_miss_ratio = rng.NextDouble() * 0.2;
+      p.params.acceptable_miss_ratio = p.params.ideal_miss_ratio + 0.02;
+      profiles.push_back(p);
+    }
+    return profiles;
+  }
+};
+
+TEST_P(QuotaPlannerPropertyTest, PlanInvariantsHold) {
+  const auto [pool, n_problem, n_others, max_pages] = GetParam();
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 7919);
+    const auto problem = RandomProfiles(n_problem, max_pages, rng, 100);
+    const auto others = RandomProfiles(n_others, max_pages, rng, 200);
+    QuotaPlanner planner;
+    const QuotaPlan plan = planner.Plan(pool, problem, others);
+
+    uint64_t total_need = 0;
+    for (const auto& p : problem) total_need += p.params.total_memory_pages;
+    for (const auto& p : others) total_need += p.params.total_memory_pages;
+
+    if (plan.placement_fits) {
+      // Placement fits iff the summed total need fits the pool, and
+      // then the plan does nothing else.
+      EXPECT_LE(total_need, pool);
+      EXPECT_TRUE(plan.quotas.empty());
+      EXPECT_TRUE(plan.reschedule.empty());
+      EXPECT_FALSE(plan.infeasible);
+      continue;
+    }
+    EXPECT_GT(total_need, pool);
+
+    // Each problem class lands in exactly one bucket.
+    std::set<ClassKey> in_quota, in_reschedule;
+    for (const auto& [key, pages] : plan.quotas) in_quota.insert(key);
+    for (ClassKey key : plan.reschedule) in_reschedule.insert(key);
+    EXPECT_EQ(in_quota.size() + in_reschedule.size(), problem.size());
+    for (const auto& p : problem) {
+      EXPECT_TRUE(in_quota.contains(p.key) ^ in_reschedule.contains(p.key))
+          << "problem class must be exactly one of quota'd/rescheduled";
+    }
+
+    // Quotas respect the floor and the class's acceptable memory.
+    uint64_t kept_acceptable = 0;
+    for (const auto& p : problem) {
+      if (!in_quota.contains(p.key)) continue;
+      const uint64_t quota = plan.quotas.at(p.key);
+      EXPECT_GE(quota, planner.min_quota_pages());
+      EXPECT_GE(quota, p.params.acceptable_memory_pages);
+      kept_acceptable += p.params.acceptable_memory_pages;
+    }
+
+    uint64_t others_acceptable = 0;
+    for (const auto& p : others) {
+      others_acceptable += p.params.acceptable_memory_pages;
+    }
+    if (!plan.infeasible) {
+      // The fit test that justified keeping the quota'd classes.
+      EXPECT_LE(kept_acceptable + others_acceptable, pool);
+    } else {
+      // Infeasible: every problem class was pushed out and the rest
+      // still does not fit.
+      EXPECT_TRUE(in_quota.empty());
+      EXPECT_EQ(in_reschedule.size(), problem.size());
+      EXPECT_GT(others_acceptable, pool);
+    }
+
+    // Reschedules leave largest-acceptable-first.
+    uint64_t last = UINT64_MAX;
+    for (ClassKey key : plan.reschedule) {
+      uint64_t acceptable = 0;
+      for (const auto& p : problem) {
+        if (p.key == key) acceptable = p.params.acceptable_memory_pages;
+      }
+      EXPECT_LE(acceptable, last);
+      last = acceptable;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuotaPlannerPropertyTest,
+    ::testing::Values(std::make_tuple(8192ULL, 3, 10, 3000ULL),
+                      std::make_tuple(8192ULL, 1, 14, 6000ULL),
+                      std::make_tuple(4096ULL, 5, 5, 2000ULL),
+                      std::make_tuple(1024ULL, 4, 2, 1500ULL),
+                      std::make_tuple(16384ULL, 2, 20, 1000ULL),
+                      std::make_tuple(512ULL, 6, 0, 600ULL)));
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,153 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/queue_resource.h"
+
+namespace fglb {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) sim.ScheduleAfter(1.0, step);
+  };
+  sim.ScheduleAfter(0.0, step);
+  sim.RunToCompletion();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(sim.Now(), 9.0);
+}
+
+TEST(QueueResourceTest, SingleServerSerializes) {
+  Simulator sim;
+  QueueResource q(&sim, 1, "disk");
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    q.Submit(2.0, [&](double) { completions.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 4.0);
+  EXPECT_DOUBLE_EQ(completions[2], 6.0);
+}
+
+TEST(QueueResourceTest, MultiServerRunsInParallel) {
+  Simulator sim;
+  QueueResource q(&sim, 2, "cpu");
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i) {
+    q.Submit(1.0, [&](double) { completions.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 1.0);
+  EXPECT_DOUBLE_EQ(completions[2], 2.0);
+  EXPECT_DOUBLE_EQ(completions[3], 2.0);
+}
+
+TEST(QueueResourceTest, SojournIncludesQueueing) {
+  Simulator sim;
+  QueueResource q(&sim, 1, "disk");
+  std::vector<double> sojourns;
+  q.Submit(1.0, [&](double s) { sojourns.push_back(s); });
+  q.Submit(1.0, [&](double s) { sojourns.push_back(s); });
+  sim.RunToCompletion();
+  ASSERT_EQ(sojourns.size(), 2u);
+  EXPECT_DOUBLE_EQ(sojourns[0], 1.0);
+  EXPECT_DOUBLE_EQ(sojourns[1], 2.0);  // waited 1s, served 1s
+}
+
+TEST(QueueResourceTest, UtilizationTracksBusyFraction) {
+  Simulator sim;
+  QueueResource q(&sim, 1, "disk");
+  q.Submit(3.0, nullptr);
+  sim.RunUntil(10.0);
+  EXPECT_NEAR(q.UtilizationSinceReset(), 0.3, 1e-9);
+  q.ResetAccounting();
+  sim.RunUntil(20.0);
+  EXPECT_NEAR(q.UtilizationSinceReset(), 0.0, 1e-9);
+}
+
+TEST(QueueResourceTest, UtilizationWithMultipleServers) {
+  Simulator sim;
+  QueueResource q(&sim, 4, "cpu");
+  // Two servers busy for 5s out of a 10s window: utilization 0.25.
+  q.Submit(5.0, nullptr);
+  q.Submit(5.0, nullptr);
+  sim.RunUntil(10.0);
+  EXPECT_NEAR(q.UtilizationSinceReset(), 0.25, 1e-9);
+}
+
+TEST(QueueResourceTest, UtilizationMidJob) {
+  Simulator sim;
+  QueueResource q(&sim, 1, "disk");
+  q.Submit(100.0, nullptr);
+  sim.RunUntil(10.0);
+  // Job still in service: the whole window so far was busy.
+  EXPECT_NEAR(q.UtilizationSinceReset(), 1.0, 1e-9);
+}
+
+TEST(QueueResourceTest, CompletedJobsCount) {
+  Simulator sim;
+  QueueResource q(&sim, 2, "cpu");
+  for (int i = 0; i < 7; ++i) q.Submit(0.5, nullptr);
+  sim.RunToCompletion();
+  EXPECT_EQ(q.completed_jobs(), 7u);
+  EXPECT_EQ(q.busy_servers(), 0);
+  EXPECT_EQ(q.queue_length(), 0u);
+}
+
+TEST(QueueResourceTest, ZeroServiceTimeCompletesImmediately) {
+  Simulator sim;
+  QueueResource q(&sim, 1, "disk");
+  bool done = false;
+  q.Submit(0.0, [&](double s) {
+    done = true;
+    EXPECT_DOUBLE_EQ(s, 0.0);
+  });
+  sim.RunToCompletion();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace fglb

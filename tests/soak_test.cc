@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "scenarios/harness.h"
+#include "workload/oltp.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+// Long-horizon soak: three tenants, sine + step + constant loads, a
+// consolidation event, an index drop, and two simulated hours. Asserts
+// global invariants rather than specific outcomes: the run completes,
+// stays deterministic, every sample is well-formed, capacity never
+// exceeds the pool, and the system is not thrashing (bounded actions).
+TEST(SoakTest, TwoSimulatedHoursThreeTenants) {
+  auto run = [] {
+    ClusterHarness h;
+    h.AddServers(6);
+
+    Scheduler* tpcw = h.AddApplication(MakeTpcw());
+    RubisOptions rubis_options;
+    rubis_options.app_id = 2;
+    Scheduler* rubis = h.AddApplication(MakeRubis(rubis_options));
+    OltpOptions oltp_options;
+    oltp_options.app_id = 4;
+    Scheduler* oltp = h.AddApplication(MakeOltp(oltp_options));
+
+    Replica* shared = h.resources().CreateReplica(
+        h.resources().servers()[0].get(), 8192);
+    tpcw->AddReplica(shared);
+    rubis->AddReplica(shared);
+    // OLTP bootstraps through the controller (no initial replica).
+
+    ClientEmulator::Options churn;
+    churn.session_time_seconds = 300;
+    h.AddClients(tpcw, std::make_unique<SineLoad>(200, 150, 1800),
+                 /*seed=*/31, churn);
+    h.AddClients(rubis,
+                 std::make_unique<StepLoad>(
+                     std::vector<std::pair<SimTime, double>>{{1200, 40}}),
+                 /*seed=*/33);
+    h.AddConstantClients(oltp, 30, /*seed=*/35);
+
+    h.Start();
+    h.RunFor(1800);
+    // Mid-run environment change: TPC-W loses the O_DATE index.
+    TpcwOptions no_index;
+    no_index.o_date_index = false;
+    const ApplicationSpec degraded = MakeTpcw(no_index);
+    ApplicationSpec* live = h.mutable_app(tpcw);
+    for (auto& tmpl : live->templates) {
+      if (tmpl.id == kTpcwBestSeller) {
+        tmpl.components = degraded.FindTemplate(kTpcwBestSeller)->components;
+      }
+    }
+    h.RunFor(7200 - 1800);
+
+    // --- invariants ---
+    // 720 intervals sampled, each covering every registered app.
+    EXPECT_EQ(h.retuner().samples().size(), 720u);
+    for (const auto& sample : h.retuner().samples()) {
+      EXPECT_EQ(sample.apps.size(), 3u);
+      EXPECT_EQ(sample.servers.size(), 6u);
+      for (const auto& as : sample.apps) {
+        EXPECT_GE(as.avg_latency, 0.0);
+        // Note: avg may legitimately exceed p95 (a <5% class, e.g.
+        // BestSeller scans, can dominate the mean).
+        EXPECT_GE(as.p95_latency, 0.0);
+        EXPECT_GE(as.servers_used, 0);
+        EXPECT_LE(as.servers_used, 6);
+      }
+      for (const auto& sv : sample.servers) {
+        EXPECT_GE(sv.cpu_utilization, -1e-9);
+        EXPECT_LE(sv.cpu_utilization, 1.0 + 1e-9);
+        EXPECT_GE(sv.io_utilization, -1e-9);
+        EXPECT_LE(sv.io_utilization, 1.0 + 1e-9);
+      }
+    }
+    // Memory never over-committed on any server.
+    for (const auto& server : h.resources().servers()) {
+      uint64_t pool_pages = 0;
+      for (Replica* r : h.resources().ReplicasOn(server.get())) {
+        pool_pages += r->engine().pool().capacity();
+      }
+      EXPECT_LE(pool_pages, server->memory_pages());
+    }
+    // The controller is active but not thrashing: bounded actions over
+    // 2 hours (720 intervals).
+    EXPECT_GE(h.retuner().actions().size(), 2u);
+    EXPECT_LE(h.retuner().actions().size(), 120u);
+    // Work got done for every tenant.
+    EXPECT_GT(tpcw->total_completed(), 100000u);
+    EXPECT_GT(rubis->total_completed(), 10000u);
+    EXPECT_GT(oltp->total_completed(), 50000u);
+
+    return std::make_tuple(tpcw->total_completed(), rubis->total_completed(),
+                           oltp->total_completed(),
+                           h.retuner().actions().size());
+  };
+
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second) << "soak run must be deterministic";
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,63 @@
+#include "core/stable_state.h"
+
+#include <gtest/gtest.h>
+
+namespace fglb {
+namespace {
+
+MetricVector Vec(double latency, double throughput) {
+  MetricVector v{};
+  At(v, Metric::kLatency) = latency;
+  At(v, Metric::kThroughput) = throughput;
+  return v;
+}
+
+TEST(StableStateStoreTest, FindUnknownIsNull) {
+  StableStateStore store;
+  EXPECT_EQ(store.Find(MakeClassKey(1, 1)), nullptr);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(StableStateStoreTest, UpdateAndFind) {
+  StableStateStore store;
+  const ClassKey key = MakeClassKey(1, 2);
+  store.Update(key, Vec(0.5, 10), 100.0);
+  const StableStateSignature* sig = store.Find(key);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_DOUBLE_EQ(At(sig->averages, Metric::kLatency), 0.5);
+  EXPECT_DOUBLE_EQ(sig->recorded_at, 100.0);
+  EXPECT_EQ(sig->intervals_observed, 1u);
+}
+
+TEST(StableStateStoreTest, UpdateReplacesLastStableValue) {
+  StableStateStore store;
+  const ClassKey key = MakeClassKey(1, 2);
+  store.Update(key, Vec(0.5, 10), 100.0);
+  store.Update(key, Vec(0.7, 12), 110.0);
+  const StableStateSignature* sig = store.Find(key);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_DOUBLE_EQ(At(sig->averages, Metric::kLatency), 0.7);
+  EXPECT_DOUBLE_EQ(sig->recorded_at, 110.0);
+  EXPECT_EQ(sig->intervals_observed, 2u);
+}
+
+TEST(StableStateStoreTest, IndependentPerClass) {
+  StableStateStore store;
+  store.Update(MakeClassKey(1, 1), Vec(0.1, 1), 0.0);
+  store.Update(MakeClassKey(1, 2), Vec(0.2, 2), 0.0);
+  store.Update(MakeClassKey(2, 1), Vec(0.3, 3), 0.0);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      At(store.Find(MakeClassKey(2, 1))->averages, Metric::kLatency), 0.3);
+  EXPECT_EQ(store.Keys().size(), 3u);
+}
+
+TEST(StableStateStoreTest, EraseRemoves) {
+  StableStateStore store;
+  store.Update(MakeClassKey(1, 1), Vec(0.1, 1), 0.0);
+  store.Erase(MakeClassKey(1, 1));
+  EXPECT_EQ(store.Find(MakeClassKey(1, 1)), nullptr);
+}
+
+}  // namespace
+}  // namespace fglb

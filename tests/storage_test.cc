@@ -1,0 +1,181 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk_model.h"
+#include "storage/page.h"
+#include "storage/partitioned_buffer_pool.h"
+
+namespace fglb {
+namespace {
+
+TEST(PageIdTest, PacksAndUnpacks) {
+  const PageId p = MakePageId(7, 123456789);
+  EXPECT_EQ(TableOf(p), 7);
+  EXPECT_EQ(OffsetOf(p), 123456789u);
+}
+
+TEST(PageIdTest, DistinctTablesNeverCollide) {
+  EXPECT_NE(MakePageId(1, 5), MakePageId(2, 5));
+  EXPECT_NE(MakePageId(1, 0), MakePageId(0, 0));
+}
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(4);
+  EXPECT_FALSE(pool.Access(MakePageId(1, 1)));
+  EXPECT_TRUE(pool.Access(MakePageId(1, 1)));
+  EXPECT_EQ(pool.stats().accesses, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  pool.Access(MakePageId(1, 1));
+  pool.Access(MakePageId(1, 2));
+  pool.Access(MakePageId(1, 1));  // refresh page 1
+  pool.Access(MakePageId(1, 3));  // evicts page 2
+  EXPECT_TRUE(pool.Contains(MakePageId(1, 1)));
+  EXPECT_FALSE(pool.Contains(MakePageId(1, 2)));
+  EXPECT_TRUE(pool.Contains(MakePageId(1, 3)));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPoolTest, CapacityRespected) {
+  BufferPool pool(8);
+  for (uint64_t i = 0; i < 100; ++i) pool.Access(MakePageId(1, i));
+  EXPECT_EQ(pool.resident_pages(), 8u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityAlwaysMisses) {
+  BufferPool pool(0);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(pool.Access(MakePageId(1, 1)));
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  EXPECT_FALSE(pool.Insert(MakePageId(1, 2)));
+}
+
+TEST(BufferPoolTest, ResizeShrinkEvicts) {
+  BufferPool pool(4);
+  for (uint64_t i = 0; i < 4; ++i) pool.Access(MakePageId(1, i));
+  pool.Resize(2);
+  EXPECT_EQ(pool.resident_pages(), 2u);
+  // The two most recently used survive.
+  EXPECT_TRUE(pool.Contains(MakePageId(1, 2)));
+  EXPECT_TRUE(pool.Contains(MakePageId(1, 3)));
+}
+
+TEST(BufferPoolTest, InsertDoesNotCountAccess) {
+  BufferPool pool(4);
+  EXPECT_TRUE(pool.Insert(MakePageId(1, 9)));
+  EXPECT_EQ(pool.stats().accesses, 0u);
+  EXPECT_EQ(pool.stats().prefetch_inserts, 1u);
+  EXPECT_TRUE(pool.Access(MakePageId(1, 9)));  // prefetched page hits
+}
+
+TEST(BufferPoolTest, InsertExistingIsNoop) {
+  BufferPool pool(4);
+  pool.Access(MakePageId(1, 1));
+  EXPECT_FALSE(pool.Insert(MakePageId(1, 1)));
+  EXPECT_EQ(pool.stats().prefetch_inserts, 0u);
+}
+
+TEST(BufferPoolTest, ClearKeepsCounters) {
+  BufferPool pool(4);
+  pool.Access(MakePageId(1, 1));
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  EXPECT_EQ(pool.stats().accesses, 1u);
+}
+
+TEST(BufferPoolTest, LruOrderUnderMixedInsertAccess) {
+  BufferPool pool(3);
+  pool.Access(MakePageId(1, 1));
+  pool.Insert(MakePageId(1, 2));
+  pool.Access(MakePageId(1, 3));
+  // MRU order: 3, 2, 1... Insert puts at MRU, then 3 accessed after.
+  pool.Access(MakePageId(1, 4));  // evicts LRU = 1
+  EXPECT_FALSE(pool.Contains(MakePageId(1, 1)));
+  EXPECT_TRUE(pool.Contains(MakePageId(1, 2)));
+}
+
+TEST(PartitionedPoolTest, SharedByDefault) {
+  PartitionedBufferPool pool(4);
+  EXPECT_EQ(pool.shared_capacity(), 4u);
+  EXPECT_FALSE(pool.Access(10, MakePageId(1, 1)));
+  EXPECT_TRUE(pool.Access(11, MakePageId(1, 1)));  // same shared region
+}
+
+TEST(PartitionedPoolTest, QuotaCarvesOutShared) {
+  PartitionedBufferPool pool(10);
+  EXPECT_TRUE(pool.SetQuota(42, 4));
+  EXPECT_EQ(pool.shared_capacity(), 6u);
+  EXPECT_EQ(pool.QuotaOf(42), 4u);
+  EXPECT_TRUE(pool.HasQuota(42));
+}
+
+TEST(PartitionedPoolTest, QuotaIsolation) {
+  PartitionedBufferPool pool(4);
+  ASSERT_TRUE(pool.SetQuota(1, 2));
+  // Key 1's pages live in its partition; key 2's in shared. The same
+  // page id is tracked independently per partition.
+  pool.Access(1, MakePageId(1, 5));
+  EXPECT_FALSE(pool.Access(2, MakePageId(1, 5)));
+  EXPECT_TRUE(pool.Access(1, MakePageId(1, 5)));
+}
+
+TEST(PartitionedPoolTest, OverCommitRejected) {
+  PartitionedBufferPool pool(10);
+  EXPECT_TRUE(pool.SetQuota(1, 6));
+  EXPECT_FALSE(pool.SetQuota(2, 5));
+  EXPECT_EQ(pool.QuotaOf(2), 0u);
+  EXPECT_TRUE(pool.SetQuota(2, 4));
+}
+
+TEST(PartitionedPoolTest, ResizeExistingQuota) {
+  PartitionedBufferPool pool(10);
+  ASSERT_TRUE(pool.SetQuota(1, 6));
+  EXPECT_TRUE(pool.SetQuota(1, 8));  // grow within capacity
+  EXPECT_EQ(pool.QuotaOf(1), 8u);
+  EXPECT_EQ(pool.shared_capacity(), 2u);
+}
+
+TEST(PartitionedPoolTest, DropQuotaReturnsCapacity) {
+  PartitionedBufferPool pool(10);
+  ASSERT_TRUE(pool.SetQuota(1, 6));
+  pool.DropQuota(1);
+  EXPECT_FALSE(pool.HasQuota(1));
+  EXPECT_EQ(pool.shared_capacity(), 10u);
+}
+
+TEST(PartitionedPoolTest, StatsPerPartition) {
+  PartitionedBufferPool pool(8);
+  ASSERT_TRUE(pool.SetQuota(1, 4));
+  pool.Access(1, MakePageId(1, 1));
+  pool.Access(2, MakePageId(1, 2));
+  pool.Access(2, MakePageId(1, 2));
+  EXPECT_EQ(pool.StatsOf(1).accesses, 1u);
+  EXPECT_EQ(pool.StatsOf(2).accesses, 2u);
+  EXPECT_EQ(pool.StatsOf(2).hits, 1u);
+}
+
+TEST(PartitionedPoolTest, SharedEvictionDoesNotTouchDedicated) {
+  PartitionedBufferPool pool(6);
+  ASSERT_TRUE(pool.SetQuota(1, 2));
+  pool.Access(1, MakePageId(1, 100));
+  // Flood the shared region (capacity 4).
+  for (uint64_t i = 0; i < 50; ++i) pool.Access(2, MakePageId(2, i));
+  EXPECT_TRUE(pool.Contains(1, MakePageId(1, 100)));
+}
+
+TEST(DiskModelTest, ServiceDemandComposition) {
+  DiskModel disk;
+  disk.random_read_seconds = 0.004;
+  disk.extent_read_seconds = 0.008;
+  disk.page_write_seconds = 0.002;
+  EXPECT_DOUBLE_EQ(disk.ServiceDemand(0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(disk.ServiceDemand(10, 2, 5),
+                   10 * 0.004 + 2 * 0.008 + 5 * 0.002);
+}
+
+}  // namespace
+}  // namespace fglb

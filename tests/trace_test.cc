@@ -1,0 +1,96 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace fglb {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<TraceRecord> SampleRecords() {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    TraceRecord r;
+    r.class_key = MakeClassKey(1 + i % 2, 10 + i % 5);
+    r.access.page = MakePageId(static_cast<TableId>(i % 3), 1000 + i);
+    r.access.kind = i % 4 == 0 ? AccessKind::kSequential
+                               : AccessKind::kRandom;
+    r.access.is_write = i % 7 == 0;
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(TraceTest, RoundTrip) {
+  const std::string path = TempPath("fglb_trace_roundtrip.bin");
+  const auto records = SampleRecords();
+  ASSERT_TRUE(WriteTrace(path, records));
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(ReadTrace(path, &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].class_key, records[i].class_key);
+    EXPECT_EQ(loaded[i].access.page, records[i].access.page);
+    EXPECT_EQ(loaded[i].access.kind, records[i].access.kind);
+    EXPECT_EQ(loaded[i].access.is_write, records[i].access.is_write);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EmptyTraceRoundTrips) {
+  const std::string path = TempPath("fglb_trace_empty.bin");
+  ASSERT_TRUE(WriteTrace(path, {}));
+  std::vector<TraceRecord> loaded = {TraceRecord{}};
+  ASSERT_TRUE(ReadTrace(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileFails) {
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(ReadTrace(TempPath("fglb_trace_does_not_exist.bin"),
+                         &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceTest, BadMagicRejected) {
+  const std::string path = TempPath("fglb_trace_bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACEFILE_____________";
+  }
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(ReadTrace(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, TruncatedFileRejected) {
+  const std::string path = TempPath("fglb_trace_truncated.bin");
+  ASSERT_TRUE(WriteTrace(path, SampleRecords()));
+  // Chop the last record in half.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 12);
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(ReadTrace(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, PagesOfClassFilters) {
+  const auto records = SampleRecords();
+  const ClassKey key = MakeClassKey(1, 10);
+  const auto pages = PagesOfClass(records, key);
+  ASSERT_FALSE(pages.empty());
+  size_t expected = 0;
+  for (const auto& r : records) expected += (r.class_key == key);
+  EXPECT_EQ(pages.size(), expected);
+}
+
+}  // namespace
+}  // namespace fglb

@@ -1,0 +1,123 @@
+// fglb_sim: command-line scenario runner. Assembles one of four canned
+// cluster scenarios, runs it for the requested simulated duration, and
+// prints the interval series / action log as a table or CSV.
+//
+//   ./build/tools/fglb_sim --scenario=consolidation --duration=1800
+//   ./build/tools/fglb_sim --scenario=burst --output=samples-csv > s.csv
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenarios/cli_options.h"
+#include "scenarios/harness.h"
+#include "scenarios/report.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace {
+
+using namespace fglb;
+
+void Assemble(const CliOptions& options, ClusterHarness* harness) {
+  harness->AddServers(options.servers);
+  PhysicalServer* first = harness->resources().servers()[0].get();
+
+  switch (options.scenario) {
+    case CliOptions::Scenario::kSteady: {
+      Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+      tpcw->AddReplica(harness->resources().CreateReplica(first, 8192));
+      harness->AddConstantClients(tpcw, options.tpcw_clients, options.seed);
+      break;
+    }
+    case CliOptions::Scenario::kBurst: {
+      Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+      tpcw->AddReplica(harness->resources().CreateReplica(first, 8192));
+      // Quarter load, then the full client count from one third in.
+      harness->AddClients(
+          tpcw,
+          std::make_unique<StepLoad>(std::vector<std::pair<SimTime, double>>{
+              {0, options.tpcw_clients / 4},
+              {options.duration_seconds / 3, options.tpcw_clients}}),
+          options.seed);
+      break;
+    }
+    case CliOptions::Scenario::kConsolidation: {
+      Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+      RubisOptions rubis_options;
+      rubis_options.app_id = 2;
+      Scheduler* rubis = harness->AddApplication(MakeRubis(rubis_options));
+      Replica* shared = harness->resources().CreateReplica(first, 8192);
+      tpcw->AddReplica(shared);
+      rubis->AddReplica(shared);
+      harness->AddConstantClients(tpcw, options.tpcw_clients, options.seed);
+      harness->AddClients(
+          rubis,
+          std::make_unique<StepLoad>(std::vector<std::pair<SimTime, double>>{
+              {options.duration_seconds / 3, options.rubis_clients}}),
+          options.seed + 1);
+      break;
+    }
+    case CliOptions::Scenario::kIoContention: {
+      RubisOptions a, b;
+      a.app_id = 2;
+      a.table_base = 11;
+      b.app_id = 3;
+      b.table_base = 21;
+      Scheduler* rubis1 = harness->AddApplication(MakeRubis(a));
+      Scheduler* rubis2 = harness->AddApplication(MakeRubis(b));
+      rubis1->AddReplica(harness->resources().CreateReplica(first, 8192, 51));
+      rubis2->AddReplica(harness->resources().CreateReplica(first, 8192, 52));
+      harness->AddConstantClients(rubis1, options.rubis_clients,
+                                  options.seed);
+      harness->AddClients(
+          rubis2,
+          std::make_unique<StepLoad>(std::vector<std::pair<SimTime, double>>{
+              {options.duration_seconds / 3, options.rubis_clients}}),
+          options.seed + 1);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  CliOptions options;
+  std::string error;
+  if (!ParseCliOptions(args, &options, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 CliUsage().c_str());
+    return 2;
+  }
+  if (options.help) {
+    std::printf("%s", CliUsage().c_str());
+    return 0;
+  }
+
+  ClusterHarness harness;
+  Assemble(options, &harness);
+  harness.Start();
+  harness.RunFor(options.duration_seconds);
+
+  const auto& retuner = harness.retuner();
+  switch (options.output) {
+    case CliOptions::Output::kTable:
+      std::printf("%s", FormatSamplesTable(retuner.samples()).c_str());
+      std::printf("\nactions:\n%s", FormatActions(retuner.actions()).c_str());
+      std::printf("\ndiagnoses:\n%s",
+                  FormatDiagnoses(retuner.diagnoses()).c_str());
+      break;
+    case CliOptions::Output::kSamplesCsv:
+      std::printf("%s", SamplesCsv(retuner.samples()).c_str());
+      break;
+    case CliOptions::Output::kActionsCsv:
+      std::printf("%s", ActionsCsv(retuner.actions()).c_str());
+      break;
+    case CliOptions::Output::kServersCsv:
+      std::printf("%s", ServerUtilizationCsv(retuner.samples()).c_str());
+      break;
+  }
+  return 0;
+}
