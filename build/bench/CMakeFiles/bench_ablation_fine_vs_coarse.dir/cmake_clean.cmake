@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fine_vs_coarse.dir/bench_ablation_fine_vs_coarse.cc.o"
+  "CMakeFiles/bench_ablation_fine_vs_coarse.dir/bench_ablation_fine_vs_coarse.cc.o.d"
+  "bench_ablation_fine_vs_coarse"
+  "bench_ablation_fine_vs_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fine_vs_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mattson.dir/bench_ablation_mattson.cc.o"
+  "CMakeFiles/bench_ablation_mattson.dir/bench_ablation_mattson.cc.o.d"
+  "bench_ablation_mattson"
+  "bench_ablation_mattson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mattson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_outlier.dir/bench_ablation_outlier.cc.o"
+  "CMakeFiles/bench_ablation_outlier.dir/bench_ablation_outlier.cc.o.d"
+  "bench_ablation_outlier"
+  "bench_ablation_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wrong_arguments.dir/bench_ext_wrong_arguments.cc.o"
+  "CMakeFiles/bench_ext_wrong_arguments.dir/bench_ext_wrong_arguments.cc.o.d"
+  "bench_ext_wrong_arguments"
+  "bench_ext_wrong_arguments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wrong_arguments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

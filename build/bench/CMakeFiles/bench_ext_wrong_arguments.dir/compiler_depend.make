@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_wrong_arguments.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_index_drop.dir/bench_fig4_index_drop.cc.o"
+  "CMakeFiles/bench_fig4_index_drop.dir/bench_fig4_index_drop.cc.o.d"
+  "bench_fig4_index_drop"
+  "bench_fig4_index_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_index_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_mrc_bestseller.cc" "bench/CMakeFiles/bench_fig5_mrc_bestseller.dir/bench_fig5_mrc_bestseller.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_mrc_bestseller.dir/bench_fig5_mrc_bestseller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/fglb_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fglb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fglb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/fglb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fglb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrc/CMakeFiles/fglb_mrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fglb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fglb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fglb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

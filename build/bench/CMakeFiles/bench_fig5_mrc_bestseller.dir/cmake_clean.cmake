@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mrc_bestseller.dir/bench_fig5_mrc_bestseller.cc.o"
+  "CMakeFiles/bench_fig5_mrc_bestseller.dir/bench_fig5_mrc_bestseller.cc.o.d"
+  "bench_fig5_mrc_bestseller"
+  "bench_fig5_mrc_bestseller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mrc_bestseller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mrc_searchitems.dir/bench_fig6_mrc_searchitems.cc.o"
+  "CMakeFiles/bench_fig6_mrc_searchitems.dir/bench_fig6_mrc_searchitems.cc.o.d"
+  "bench_fig6_mrc_searchitems"
+  "bench_fig6_mrc_searchitems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mrc_searchitems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_memory_contention.dir/bench_table2_memory_contention.cc.o"
+  "CMakeFiles/bench_table2_memory_contention.dir/bench_table2_memory_contention.cc.o.d"
+  "bench_table2_memory_contention"
+  "bench_table2_memory_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_memory_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

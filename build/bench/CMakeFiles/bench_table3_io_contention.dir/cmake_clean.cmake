@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_io_contention.dir/bench_table3_io_contention.cc.o"
+  "CMakeFiles/bench_table3_io_contention.dir/bench_table3_io_contention.cc.o.d"
+  "bench_table3_io_contention"
+  "bench_table3_io_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_io_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

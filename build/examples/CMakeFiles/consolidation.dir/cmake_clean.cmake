@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation.dir/consolidation.cc.o"
+  "CMakeFiles/consolidation.dir/consolidation.cc.o.d"
+  "consolidation"
+  "consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

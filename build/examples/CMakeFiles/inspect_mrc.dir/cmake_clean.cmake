@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_mrc.dir/inspect_mrc.cc.o"
+  "CMakeFiles/inspect_mrc.dir/inspect_mrc.cc.o.d"
+  "inspect_mrc"
+  "inspect_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

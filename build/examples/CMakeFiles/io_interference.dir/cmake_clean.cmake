@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_interference.dir/io_interference.cc.o"
+  "CMakeFiles/io_interference.dir/io_interference.cc.o.d"
+  "io_interference"
+  "io_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/lock_manager.cc" "src/cluster/CMakeFiles/fglb_cluster.dir/lock_manager.cc.o" "gcc" "src/cluster/CMakeFiles/fglb_cluster.dir/lock_manager.cc.o.d"
+  "/root/repo/src/cluster/physical_server.cc" "src/cluster/CMakeFiles/fglb_cluster.dir/physical_server.cc.o" "gcc" "src/cluster/CMakeFiles/fglb_cluster.dir/physical_server.cc.o.d"
+  "/root/repo/src/cluster/replica.cc" "src/cluster/CMakeFiles/fglb_cluster.dir/replica.cc.o" "gcc" "src/cluster/CMakeFiles/fglb_cluster.dir/replica.cc.o.d"
+  "/root/repo/src/cluster/resource_manager.cc" "src/cluster/CMakeFiles/fglb_cluster.dir/resource_manager.cc.o" "gcc" "src/cluster/CMakeFiles/fglb_cluster.dir/resource_manager.cc.o.d"
+  "/root/repo/src/cluster/scheduler.cc" "src/cluster/CMakeFiles/fglb_cluster.dir/scheduler.cc.o" "gcc" "src/cluster/CMakeFiles/fglb_cluster.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fglb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/fglb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fglb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fglb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fglb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_cluster.dir/lock_manager.cc.o"
+  "CMakeFiles/fglb_cluster.dir/lock_manager.cc.o.d"
+  "CMakeFiles/fglb_cluster.dir/physical_server.cc.o"
+  "CMakeFiles/fglb_cluster.dir/physical_server.cc.o.d"
+  "CMakeFiles/fglb_cluster.dir/replica.cc.o"
+  "CMakeFiles/fglb_cluster.dir/replica.cc.o.d"
+  "CMakeFiles/fglb_cluster.dir/resource_manager.cc.o"
+  "CMakeFiles/fglb_cluster.dir/resource_manager.cc.o.d"
+  "CMakeFiles/fglb_cluster.dir/scheduler.cc.o"
+  "CMakeFiles/fglb_cluster.dir/scheduler.cc.o.d"
+  "libfglb_cluster.a"
+  "libfglb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

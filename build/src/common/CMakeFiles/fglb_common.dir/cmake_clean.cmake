@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_common.dir/histogram.cc.o"
+  "CMakeFiles/fglb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/fglb_common.dir/random.cc.o"
+  "CMakeFiles/fglb_common.dir/random.cc.o.d"
+  "CMakeFiles/fglb_common.dir/stats.cc.o"
+  "CMakeFiles/fglb_common.dir/stats.cc.o.d"
+  "libfglb_common.a"
+  "libfglb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/io_interference.cc" "src/core/CMakeFiles/fglb_core.dir/io_interference.cc.o" "gcc" "src/core/CMakeFiles/fglb_core.dir/io_interference.cc.o.d"
+  "/root/repo/src/core/log_analyzer.cc" "src/core/CMakeFiles/fglb_core.dir/log_analyzer.cc.o" "gcc" "src/core/CMakeFiles/fglb_core.dir/log_analyzer.cc.o.d"
+  "/root/repo/src/core/outlier_detector.cc" "src/core/CMakeFiles/fglb_core.dir/outlier_detector.cc.o" "gcc" "src/core/CMakeFiles/fglb_core.dir/outlier_detector.cc.o.d"
+  "/root/repo/src/core/placement_optimizer.cc" "src/core/CMakeFiles/fglb_core.dir/placement_optimizer.cc.o" "gcc" "src/core/CMakeFiles/fglb_core.dir/placement_optimizer.cc.o.d"
+  "/root/repo/src/core/quota_planner.cc" "src/core/CMakeFiles/fglb_core.dir/quota_planner.cc.o" "gcc" "src/core/CMakeFiles/fglb_core.dir/quota_planner.cc.o.d"
+  "/root/repo/src/core/selective_retuner.cc" "src/core/CMakeFiles/fglb_core.dir/selective_retuner.cc.o" "gcc" "src/core/CMakeFiles/fglb_core.dir/selective_retuner.cc.o.d"
+  "/root/repo/src/core/stable_state.cc" "src/core/CMakeFiles/fglb_core.dir/stable_state.cc.o" "gcc" "src/core/CMakeFiles/fglb_core.dir/stable_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/fglb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fglb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/fglb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrc/CMakeFiles/fglb_mrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fglb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fglb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fglb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_core.dir/io_interference.cc.o"
+  "CMakeFiles/fglb_core.dir/io_interference.cc.o.d"
+  "CMakeFiles/fglb_core.dir/log_analyzer.cc.o"
+  "CMakeFiles/fglb_core.dir/log_analyzer.cc.o.d"
+  "CMakeFiles/fglb_core.dir/outlier_detector.cc.o"
+  "CMakeFiles/fglb_core.dir/outlier_detector.cc.o.d"
+  "CMakeFiles/fglb_core.dir/placement_optimizer.cc.o"
+  "CMakeFiles/fglb_core.dir/placement_optimizer.cc.o.d"
+  "CMakeFiles/fglb_core.dir/quota_planner.cc.o"
+  "CMakeFiles/fglb_core.dir/quota_planner.cc.o.d"
+  "CMakeFiles/fglb_core.dir/selective_retuner.cc.o"
+  "CMakeFiles/fglb_core.dir/selective_retuner.cc.o.d"
+  "CMakeFiles/fglb_core.dir/stable_state.cc.o"
+  "CMakeFiles/fglb_core.dir/stable_state.cc.o.d"
+  "libfglb_core.a"
+  "libfglb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/database_engine.cc" "src/engine/CMakeFiles/fglb_engine.dir/database_engine.cc.o" "gcc" "src/engine/CMakeFiles/fglb_engine.dir/database_engine.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/fglb_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/fglb_engine.dir/metrics.cc.o.d"
+  "/root/repo/src/engine/stats_collector.cc" "src/engine/CMakeFiles/fglb_engine.dir/stats_collector.cc.o" "gcc" "src/engine/CMakeFiles/fglb_engine.dir/stats_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fglb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fglb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fglb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fglb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_engine.dir/database_engine.cc.o"
+  "CMakeFiles/fglb_engine.dir/database_engine.cc.o.d"
+  "CMakeFiles/fglb_engine.dir/metrics.cc.o"
+  "CMakeFiles/fglb_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/fglb_engine.dir/stats_collector.cc.o"
+  "CMakeFiles/fglb_engine.dir/stats_collector.cc.o.d"
+  "libfglb_engine.a"
+  "libfglb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

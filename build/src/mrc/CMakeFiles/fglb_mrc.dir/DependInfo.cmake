@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrc/mattson_stack.cc" "src/mrc/CMakeFiles/fglb_mrc.dir/mattson_stack.cc.o" "gcc" "src/mrc/CMakeFiles/fglb_mrc.dir/mattson_stack.cc.o.d"
+  "/root/repo/src/mrc/miss_ratio_curve.cc" "src/mrc/CMakeFiles/fglb_mrc.dir/miss_ratio_curve.cc.o" "gcc" "src/mrc/CMakeFiles/fglb_mrc.dir/miss_ratio_curve.cc.o.d"
+  "/root/repo/src/mrc/mrc_tracker.cc" "src/mrc/CMakeFiles/fglb_mrc.dir/mrc_tracker.cc.o" "gcc" "src/mrc/CMakeFiles/fglb_mrc.dir/mrc_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fglb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fglb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_mrc.dir/mattson_stack.cc.o"
+  "CMakeFiles/fglb_mrc.dir/mattson_stack.cc.o.d"
+  "CMakeFiles/fglb_mrc.dir/miss_ratio_curve.cc.o"
+  "CMakeFiles/fglb_mrc.dir/miss_ratio_curve.cc.o.d"
+  "CMakeFiles/fglb_mrc.dir/mrc_tracker.cc.o"
+  "CMakeFiles/fglb_mrc.dir/mrc_tracker.cc.o.d"
+  "libfglb_mrc.a"
+  "libfglb_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

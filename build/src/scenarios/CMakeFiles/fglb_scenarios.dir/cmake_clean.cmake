@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_scenarios.dir/cli_options.cc.o"
+  "CMakeFiles/fglb_scenarios.dir/cli_options.cc.o.d"
+  "CMakeFiles/fglb_scenarios.dir/harness.cc.o"
+  "CMakeFiles/fglb_scenarios.dir/harness.cc.o.d"
+  "CMakeFiles/fglb_scenarios.dir/report.cc.o"
+  "CMakeFiles/fglb_scenarios.dir/report.cc.o.d"
+  "libfglb_scenarios.a"
+  "libfglb_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfglb_scenarios.a"
+)

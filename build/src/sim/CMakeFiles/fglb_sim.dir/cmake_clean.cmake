@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_sim.dir/queue_resource.cc.o"
+  "CMakeFiles/fglb_sim.dir/queue_resource.cc.o.d"
+  "CMakeFiles/fglb_sim.dir/simulator.cc.o"
+  "CMakeFiles/fglb_sim.dir/simulator.cc.o.d"
+  "libfglb_sim.a"
+  "libfglb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/fglb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/fglb_storage.dir/clock_buffer_pool.cc.o"
+  "CMakeFiles/fglb_storage.dir/clock_buffer_pool.cc.o.d"
+  "CMakeFiles/fglb_storage.dir/partitioned_buffer_pool.cc.o"
+  "CMakeFiles/fglb_storage.dir/partitioned_buffer_pool.cc.o.d"
+  "libfglb_storage.a"
+  "libfglb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

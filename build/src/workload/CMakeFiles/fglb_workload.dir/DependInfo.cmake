@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/access_generator.cc" "src/workload/CMakeFiles/fglb_workload.dir/access_generator.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/access_generator.cc.o.d"
+  "/root/repo/src/workload/application.cc" "src/workload/CMakeFiles/fglb_workload.dir/application.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/application.cc.o.d"
+  "/root/repo/src/workload/client_emulator.cc" "src/workload/CMakeFiles/fglb_workload.dir/client_emulator.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/client_emulator.cc.o.d"
+  "/root/repo/src/workload/load_function.cc" "src/workload/CMakeFiles/fglb_workload.dir/load_function.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/load_function.cc.o.d"
+  "/root/repo/src/workload/oltp.cc" "src/workload/CMakeFiles/fglb_workload.dir/oltp.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/oltp.cc.o.d"
+  "/root/repo/src/workload/rubis.cc" "src/workload/CMakeFiles/fglb_workload.dir/rubis.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/rubis.cc.o.d"
+  "/root/repo/src/workload/tpcw.cc" "src/workload/CMakeFiles/fglb_workload.dir/tpcw.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/tpcw.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/fglb_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/fglb_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fglb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fglb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fglb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_workload.dir/access_generator.cc.o"
+  "CMakeFiles/fglb_workload.dir/access_generator.cc.o.d"
+  "CMakeFiles/fglb_workload.dir/application.cc.o"
+  "CMakeFiles/fglb_workload.dir/application.cc.o.d"
+  "CMakeFiles/fglb_workload.dir/client_emulator.cc.o"
+  "CMakeFiles/fglb_workload.dir/client_emulator.cc.o.d"
+  "CMakeFiles/fglb_workload.dir/load_function.cc.o"
+  "CMakeFiles/fglb_workload.dir/load_function.cc.o.d"
+  "CMakeFiles/fglb_workload.dir/oltp.cc.o"
+  "CMakeFiles/fglb_workload.dir/oltp.cc.o.d"
+  "CMakeFiles/fglb_workload.dir/rubis.cc.o"
+  "CMakeFiles/fglb_workload.dir/rubis.cc.o.d"
+  "CMakeFiles/fglb_workload.dir/tpcw.cc.o"
+  "CMakeFiles/fglb_workload.dir/tpcw.cc.o.d"
+  "CMakeFiles/fglb_workload.dir/trace.cc.o"
+  "CMakeFiles/fglb_workload.dir/trace.cc.o.d"
+  "libfglb_workload.a"
+  "libfglb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

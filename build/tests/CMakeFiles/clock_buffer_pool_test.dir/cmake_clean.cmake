@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_buffer_pool_test.dir/clock_buffer_pool_test.cc.o"
+  "CMakeFiles/clock_buffer_pool_test.dir/clock_buffer_pool_test.cc.o.d"
+  "clock_buffer_pool_test"
+  "clock_buffer_pool_test.pdb"
+  "clock_buffer_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_buffer_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

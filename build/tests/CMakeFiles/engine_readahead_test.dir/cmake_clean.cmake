@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_readahead_test.dir/engine_readahead_test.cc.o"
+  "CMakeFiles/engine_readahead_test.dir/engine_readahead_test.cc.o.d"
+  "engine_readahead_test"
+  "engine_readahead_test.pdb"
+  "engine_readahead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_readahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mattson_stress_test.dir/mattson_stress_test.cc.o"
+  "CMakeFiles/mattson_stress_test.dir/mattson_stress_test.cc.o.d"
+  "mattson_stress_test"
+  "mattson_stress_test.pdb"
+  "mattson_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mattson_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

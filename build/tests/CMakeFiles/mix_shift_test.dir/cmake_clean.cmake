@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_shift_test.dir/mix_shift_test.cc.o"
+  "CMakeFiles/mix_shift_test.dir/mix_shift_test.cc.o.d"
+  "mix_shift_test"
+  "mix_shift_test.pdb"
+  "mix_shift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_shift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

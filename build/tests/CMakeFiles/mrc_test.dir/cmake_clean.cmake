@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrc_test.dir/mrc_test.cc.o"
+  "CMakeFiles/mrc_test.dir/mrc_test.cc.o.d"
+  "mrc_test"
+  "mrc_test.pdb"
+  "mrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

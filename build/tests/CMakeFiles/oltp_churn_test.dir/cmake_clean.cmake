@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_churn_test.dir/oltp_churn_test.cc.o"
+  "CMakeFiles/oltp_churn_test.dir/oltp_churn_test.cc.o.d"
+  "oltp_churn_test"
+  "oltp_churn_test.pdb"
+  "oltp_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

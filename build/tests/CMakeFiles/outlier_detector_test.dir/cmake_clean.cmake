@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_detector_test.dir/outlier_detector_test.cc.o"
+  "CMakeFiles/outlier_detector_test.dir/outlier_detector_test.cc.o.d"
+  "outlier_detector_test"
+  "outlier_detector_test.pdb"
+  "outlier_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

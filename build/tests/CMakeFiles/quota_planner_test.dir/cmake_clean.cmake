@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quota_planner_test.dir/quota_planner_test.cc.o"
+  "CMakeFiles/quota_planner_test.dir/quota_planner_test.cc.o.d"
+  "quota_planner_test"
+  "quota_planner_test.pdb"
+  "quota_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quota_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

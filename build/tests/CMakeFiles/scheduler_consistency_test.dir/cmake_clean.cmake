@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_consistency_test.dir/scheduler_consistency_test.cc.o"
+  "CMakeFiles/scheduler_consistency_test.dir/scheduler_consistency_test.cc.o.d"
+  "scheduler_consistency_test"
+  "scheduler_consistency_test.pdb"
+  "scheduler_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_retuner_test.dir/selective_retuner_test.cc.o"
+  "CMakeFiles/selective_retuner_test.dir/selective_retuner_test.cc.o.d"
+  "selective_retuner_test"
+  "selective_retuner_test.pdb"
+  "selective_retuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_retuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

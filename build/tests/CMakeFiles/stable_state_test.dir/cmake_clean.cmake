@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_state_test.dir/stable_state_test.cc.o"
+  "CMakeFiles/stable_state_test.dir/stable_state_test.cc.o.d"
+  "stable_state_test"
+  "stable_state_test.pdb"
+  "stable_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

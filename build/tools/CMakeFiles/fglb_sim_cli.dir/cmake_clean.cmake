@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fglb_sim_cli.dir/fglb_sim.cc.o"
+  "CMakeFiles/fglb_sim_cli.dir/fglb_sim.cc.o.d"
+  "fglb_sim"
+  "fglb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fglb_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
