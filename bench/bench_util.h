@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -30,6 +31,52 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintSection(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
 }
+
+// Machine-readable benchmark output. Each measured configuration adds
+// one record (name, wall_ms, accesses_per_sec); WriteTo emits a
+// BENCH_<name>.json the perf trajectory can be tracked from across
+// commits:
+//   {"results": [{"name": "...", "wall_ms": 1.2,
+//                 "accesses_per_sec": 3.4e6}, ...]}
+class BenchJsonWriter {
+ public:
+  // `accesses` is the work the measured pass performed (page
+  // references replayed, rows scored, ...); pass 0 when a rate makes
+  // no sense for the stage.
+  void Add(const std::string& name, double wall_ms, double accesses) {
+    const double per_sec =
+        wall_ms > 0 && accesses > 0 ? accesses / (wall_ms / 1000.0) : 0;
+    rows_.emplace_back(Row{name, wall_ms, per_sec});
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"results\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n  {\"name\": \"%s\", \"wall_ms\": %.4f, "
+                   "\"accesses_per_sec\": %.1f}",
+                   i == 0 ? "" : ",", rows_[i].name.c_str(), rows_[i].wall_ms,
+                   rows_[i].accesses_per_sec);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu results)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double wall_ms = 0;
+    double accesses_per_sec = 0;
+  };
+  std::vector<Row> rows_;
+};
 
 // Generates a page-access trace by executing `queries` instances of a
 // template back to back (what the paper's per-class logging would have

@@ -1,9 +1,13 @@
 #ifndef FGLB_COMMON_RING_WINDOW_H_
 #define FGLB_COMMON_RING_WINDOW_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
+
+#include "common/span_pair.h"
 
 namespace fglb {
 
@@ -38,13 +42,21 @@ class RingWindow {
     return buffer_[(start + i) % buffer_.size()];
   }
 
-  // Copies the window contents (oldest first) into a vector.
-  std::vector<T> ToVector() const {
-    std::vector<T> out;
-    out.reserve(size_);
-    for (size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
-    return out;
+  // Zero-copy wrap-aware snapshot of the window contents, oldest
+  // first: one span when the live region is contiguous, two when it
+  // wraps past the end of the buffer. Valid until the next Push or
+  // Clear.
+  SpanPair<T> AsSpans() const {
+    if (size_ == 0) return {};
+    const size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+    const size_t first_len = std::min(size_, buffer_.size() - start);
+    return SpanPair<T>(
+        std::span<const T>(buffer_.data() + start, first_len),
+        std::span<const T>(buffer_.data(), size_ - first_len));
   }
+
+  // Copies the window contents (oldest first) into a vector.
+  std::vector<T> ToVector() const { return AsSpans().ToVector(); }
 
   void Clear() {
     head_ = 0;

@@ -1,0 +1,64 @@
+#ifndef FGLB_COMMON_SPAN_PAIR_H_
+#define FGLB_COMMON_SPAN_PAIR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fglb {
+
+// A logically contiguous, physically two-piece read-only view: the
+// natural zero-copy snapshot of a wrapped ring buffer. Consumers that
+// only iterate (e.g. a Mattson stack replay) read the pieces back to
+// back and never pay the per-call copy that materializing a vector
+// would cost. Views borrow the underlying storage: they stay valid
+// only until the owner mutates it.
+template <typename T>
+struct SpanPair {
+  std::span<const T> first;
+  std::span<const T> second;
+
+  SpanPair() = default;
+  SpanPair(std::span<const T> f, std::span<const T> s = {})
+      : first(f), second(s) {}
+
+  size_t size() const { return first.size() + second.size(); }
+  bool empty() const { return first.empty() && second.empty(); }
+
+  // Element i in logical order (0 = oldest).
+  const T& operator[](size_t i) const {
+    assert(i < size());
+    return i < first.size() ? first[i] : second[i - first.size()];
+  }
+
+  // The last `n` elements (the whole view when n >= size()).
+  SpanPair Suffix(size_t n) const {
+    if (n >= size()) return *this;
+    const size_t drop = size() - n;
+    if (drop >= first.size()) {
+      return SpanPair(second.subspan(drop - first.size()));
+    }
+    return SpanPair(first.subspan(drop), second);
+  }
+
+  // Visits every element in logical order.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const T& v : first) f(v);
+    for (const T& v : second) f(v);
+  }
+
+  // Materializes a contiguous copy (for callers that need one).
+  std::vector<T> ToVector() const {
+    std::vector<T> out;
+    out.reserve(size());
+    out.insert(out.end(), first.begin(), first.end());
+    out.insert(out.end(), second.begin(), second.end());
+    return out;
+  }
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_SPAN_PAIR_H_

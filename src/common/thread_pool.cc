@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fglb {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> helpers_running{0};
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<ForState>();
+  // Blocking until every helper exits keeps the &fn capture safe.
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  state->helpers_running.store(helpers, std::memory_order_relaxed);
+  for (size_t h = 0; h < helpers; ++h) {
+    Enqueue([state, &fn, n] {
+      size_t i;
+      while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        fn(i);
+      }
+      if (state->helpers_running.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done.notify_one();
+      }
+    });
+  }
+  size_t i;
+  while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] {
+    return state->helpers_running.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace fglb

@@ -1,0 +1,69 @@
+#ifndef FGLB_COMMON_THREAD_POOL_H_
+#define FGLB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fglb {
+
+// Small fixed-size worker pool for fan-out/join work on the analysis
+// path (parallel per-class MRC recomputation). The calling thread
+// always participates in ParallelFor, so a pool sized 1 spawns no
+// workers at all and executes everything inline — serial
+// configurations pay nothing for the abstraction.
+class ThreadPool {
+ public:
+  // `threads` is the total concurrency including the calling thread;
+  // 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Threads able to make progress concurrently (workers + caller).
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  // Schedules `fn` on a worker and returns a future for its result.
+  // With no workers the task runs inline before Submit returns.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+    } else {
+      Enqueue([task] { (*task)(); });
+    }
+    return result;
+  }
+
+  // Runs fn(0) .. fn(n-1), returning only when every call finished.
+  // Indices are claimed dynamically by the caller and up to n-1
+  // workers; fn must not throw. Each index is executed exactly once,
+  // so writes keyed by index make the result independent of the
+  // execution interleaving.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_THREAD_POOL_H_

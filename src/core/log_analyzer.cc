@@ -30,7 +30,7 @@ void LogAnalyzer::RecordStableInterval(
     // been observed during stable operation.
     MrcTracker& tracker = TrackerFor(key);
     if (!tracker.has_stable()) {
-      const std::vector<PageId> window = engine_->stats().AccessWindow(key);
+      const SpanPair<PageId> window = engine_->stats().AccessWindowSpans(key);
       if (window.size() >= kMinWindowForMrc) {
         tracker.SetStableFromTrace(window);
       }
@@ -47,26 +47,57 @@ OutlierReport LogAnalyzer::DetectOutliers(
   return detector_.Detect(app_only, stable_store_);
 }
 
+ThreadPool& LogAnalyzer::AnalysisPool() {
+  if (!pool_) {
+    const int threads = mrc_config_.analysis_threads;
+    pool_ = std::make_unique<ThreadPool>(
+        threads <= 0 ? 0 : static_cast<size_t>(threads));
+  }
+  return *pool_;
+}
+
 LogAnalyzer::MemoryDiagnosis LogAnalyzer::DiagnoseMemory(
     const std::set<ClassKey>& candidates) {
   MemoryDiagnosis diagnosis;
+  // Phase 1 (serial): snapshot windows and materialize trackers —
+  // everything that touches shared maps.
+  struct Job {
+    ClassKey key;
+    SpanPair<PageId> window;
+    MrcTracker* tracker;
+    MrcTracker::Recomputation rec;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(candidates.size());
   for (ClassKey key : candidates) {
-    const std::vector<PageId> window = engine_->stats().AccessWindow(key);
+    const SpanPair<PageId> window = engine_->stats().AccessWindowSpans(key);
     if (window.size() < kMinWindowForMrc) {
       diagnosis.insufficient_data.push_back(key);
       continue;
     }
-    MrcTracker& tracker = TrackerFor(key);
-    MrcTracker::Recomputation rec = tracker.Recompute(window);
+    jobs.push_back(Job{key, window, &TrackerFor(key), {}});
+  }
+  // Phase 2 (parallel): each replay reads its own window snapshot and
+  // mutates only its own tracker's scratch stack and its own slot.
+  if (jobs.size() > 1) {
+    AnalysisPool().ParallelFor(jobs.size(), [&jobs](size_t i) {
+      jobs[i].rec = jobs[i].tracker->Recompute(jobs[i].window);
+    });
+  } else if (!jobs.empty()) {
+    jobs[0].rec = jobs[0].tracker->Recompute(jobs[0].window);
+  }
+  // Phase 3 (serial): merge in candidate order, so the diagnosis is
+  // byte-identical to a serial pass.
+  for (Job& job : jobs) {
     ClassMemoryProfile profile;
-    profile.key = key;
-    profile.params = rec.params;
-    if (rec.suspect) {
+    profile.key = job.key;
+    profile.params = job.rec.params;
+    if (job.rec.suspect) {
       diagnosis.suspects.push_back(profile);
     } else {
       diagnosis.cleared.push_back(profile);
     }
-    last_recomputation_[key] = std::move(rec);
+    last_recomputation_[job.key] = std::move(job.rec);
   }
   return diagnosis;
 }

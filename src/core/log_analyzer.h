@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/outlier_detector.h"
 #include "core/quota_planner.h"
 #include "core/stable_state.h"
@@ -56,6 +57,11 @@ class LogAnalyzer {
   };
 
   // Recomputes MRCs from the recent access windows for `candidates`.
+  // Each class's Mattson replay is independent, so the replays fan out
+  // across a worker pool sized by MrcConfig::analysis_threads; windows
+  // are consumed as zero-copy ring snapshots. The result is identical
+  // to a serial pass (each job writes only its own slot and the merge
+  // preserves candidate order).
   MemoryDiagnosis DiagnoseMemory(const std::set<ClassKey>& candidates);
 
   // Adopts the most recent recomputation of `key` as its new stable MRC
@@ -79,6 +85,8 @@ class LogAnalyzer {
 
  private:
   MrcTracker& TrackerFor(ClassKey key);
+  // The diagnosis worker pool, created on first parallel use.
+  ThreadPool& AnalysisPool();
 
   DatabaseEngine* engine_;
   OutlierDetector detector_;
@@ -86,6 +94,7 @@ class LogAnalyzer {
   StableStateStore stable_store_;
   std::map<ClassKey, std::unique_ptr<MrcTracker>> trackers_;
   std::map<ClassKey, MrcTracker::Recomputation> last_recomputation_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace fglb

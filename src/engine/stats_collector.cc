@@ -67,6 +67,12 @@ std::vector<PageId> StatsCollector::AccessWindow(ClassKey key) const {
   return it->second->window.ToVector();
 }
 
+SpanPair<PageId> StatsCollector::AccessWindowSpans(ClassKey key) const {
+  auto it = classes_.find(key);
+  if (it == classes_.end()) return {};
+  return it->second->window.AsSpans();
+}
+
 std::vector<ClassKey> StatsCollector::KnownClasses() const {
   std::vector<ClassKey> keys;
   keys.reserve(classes_.size());

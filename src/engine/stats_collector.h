@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/ring_window.h"
+#include "common/span_pair.h"
 #include "engine/metrics.h"
 #include "storage/page.h"
 #include "workload/query_class.h"
@@ -63,6 +64,12 @@ class StatsCollector {
 
   // Recent page accesses of a class, oldest first. Empty if unseen.
   std::vector<PageId> AccessWindow(ClassKey key) const;
+
+  // Zero-copy wrap-aware snapshot of the same window (at most two
+  // spans). Valid until the class's next RecordPageAccess; the MRC
+  // recomputation path consumes this directly instead of copying the
+  // window per diagnosis.
+  SpanPair<PageId> AccessWindowSpans(ClassKey key) const;
 
   // Classes with any activity since construction.
   std::vector<ClassKey> KnownClasses() const;

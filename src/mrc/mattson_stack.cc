@@ -33,19 +33,55 @@ uint64_t ListMattsonStack::Access(PageId page) {
   return depth;
 }
 
+void ListMattsonStack::Reset() {
+  stack_.clear();
+  index_.clear();
+  hits_.clear();
+  cold_misses_ = 0;
+  total_ = 0;
+}
+
 // --- FenwickMattsonStack ---
 
-FenwickMattsonStack::FenwickMattsonStack() : tree_(1025, 0) {}
+namespace {
+
+size_t FenwickSizeFor(size_t expected_accesses) {
+  size_t size = 1025;
+  while (expected_accesses + 2 > size) size *= 2;
+  return size;
+}
+
+}  // namespace
+
+FenwickMattsonStack::FenwickMattsonStack(size_t expected_accesses)
+    : tree_(FenwickSizeFor(expected_accesses), 0) {}
 
 void FenwickMattsonStack::EnsureCapacity(size_t slot) {
-  if (slot + 2 > tree_.size()) {
-    size_t new_size = tree_.size();
-    while (slot + 2 > new_size) new_size *= 2;
-    tree_.assign(new_size, 0);
-    // Fenwick trees cannot simply be resized: rebuild from the marks.
-    // Callers must ensure last_slot_ holds exactly the marked slots.
-    for (const auto& [page, s] : last_slot_) FenwickAdd(s, +1);
+  if (slot + 2 <= tree_.size()) return;
+  size_t new_size = tree_.size();
+  while (slot + 2 > new_size) new_size *= 2;
+  tree_.assign(new_size, 0);
+  // Fenwick trees cannot simply be resized: rebuild from the marks
+  // (last_slot_ holds exactly the marked slots). Writing each mark's
+  // point value and folding children into parents in one sweep is
+  // O(new_size), versus O(marks * log) for re-inserting mark by mark.
+  for (const auto& [page, s] : last_slot_) tree_[s + 1] = 1;
+  for (size_t i = 1; i < tree_.size(); ++i) {
+    const size_t parent = i + (i & (~i + 1));
+    if (parent < tree_.size()) tree_[parent] += tree_[i];
   }
+  ++capacity_rebuilds_;
+}
+
+void FenwickMattsonStack::Reset() {
+  std::fill(tree_.begin(), tree_.end(), 0);
+  last_slot_.clear();
+  next_slot_ = 0;
+  marked_ = 0;
+  hits_.clear();
+  cold_misses_ = 0;
+  total_ = 0;
+  capacity_rebuilds_ = 0;
 }
 
 void FenwickMattsonStack::FenwickAdd(size_t slot, int64_t delta) {
@@ -104,12 +140,13 @@ uint64_t FenwickMattsonStack::Access(PageId page) {
   return depth;
 }
 
-std::unique_ptr<MattsonStack> MakeMattsonStack(MattsonImpl impl) {
+std::unique_ptr<MattsonStack> MakeMattsonStack(MattsonImpl impl,
+                                               size_t expected_accesses) {
   switch (impl) {
     case MattsonImpl::kList:
       return std::make_unique<ListMattsonStack>();
     case MattsonImpl::kFenwick:
-      return std::make_unique<FenwickMattsonStack>();
+      return std::make_unique<FenwickMattsonStack>(expected_accesses);
   }
   return nullptr;
 }

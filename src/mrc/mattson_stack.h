@@ -26,6 +26,11 @@ class MattsonStack {
   // or 0 if this is the first reference to it.
   virtual uint64_t Access(PageId page) = 0;
 
+  // Returns the stack to its freshly-constructed state while keeping
+  // allocated capacity, so one instance can be reused as a scratch
+  // structure across recomputations instead of reallocating.
+  virtual void Reset() = 0;
+
   virtual const std::vector<uint64_t>& hit_counts() const = 0;
   virtual uint64_t cold_misses() const = 0;
   virtual uint64_t total_accesses() const = 0;
@@ -38,6 +43,7 @@ class MattsonStack {
 class ListMattsonStack final : public MattsonStack {
  public:
   uint64_t Access(PageId page) override;
+  void Reset() override;
   const std::vector<uint64_t>& hit_counts() const override { return hits_; }
   uint64_t cold_misses() const override { return cold_misses_; }
   uint64_t total_accesses() const override { return total_; }
@@ -59,13 +65,22 @@ class ListMattsonStack final : public MattsonStack {
 // the engine.
 class FenwickMattsonStack final : public MattsonStack {
  public:
-  FenwickMattsonStack();
+  // `expected_accesses` presizes the tree so a replay of that many
+  // references never triggers a capacity rebuild; 0 starts small and
+  // grows geometrically on demand.
+  explicit FenwickMattsonStack(size_t expected_accesses = 0);
 
   uint64_t Access(PageId page) override;
+  void Reset() override;
   const std::vector<uint64_t>& hit_counts() const override { return hits_; }
   uint64_t cold_misses() const override { return cold_misses_; }
   uint64_t total_accesses() const override { return total_; }
   uint64_t distinct_pages() const override { return last_slot_.size(); }
+
+  // Times the tree had to grow and be rebuilt (0 when presized
+  // adequately) — observable so benchmarks can assert the presized
+  // path stays rebuild-free.
+  uint64_t capacity_rebuilds() const { return capacity_rebuilds_; }
 
  private:
   void FenwickAdd(size_t slot, int64_t delta);
@@ -80,11 +95,15 @@ class FenwickMattsonStack final : public MattsonStack {
   std::vector<uint64_t> hits_;
   uint64_t cold_misses_ = 0;
   uint64_t total_ = 0;
+  uint64_t capacity_rebuilds_ = 0;
 };
 
 // Factory used where the implementation choice is a tuning knob.
+// `expected_accesses` is a capacity hint (used by the Fenwick
+// implementation; ignored by the list oracle).
 enum class MattsonImpl { kList, kFenwick };
-std::unique_ptr<MattsonStack> MakeMattsonStack(MattsonImpl impl);
+std::unique_ptr<MattsonStack> MakeMattsonStack(MattsonImpl impl,
+                                               size_t expected_accesses = 0);
 
 }  // namespace fglb
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "mrc/sampled_mattson_stack.h"
+
 namespace fglb {
 
 std::string MrcParameters::ToString() const {
@@ -24,21 +26,53 @@ MissRatioCurve MissRatioCurve::FromStack(const MattsonStack& stack) {
   const auto& hits = stack.hit_counts();
   curve.miss_ratio_.resize(hits.size() + 1);
   curve.miss_ratio_[0] = 1.0;
-  const double total = static_cast<double>(curve.total_accesses_);
+  // Normalize by the stack's own mass (hits + cold misses) rather than
+  // total_accesses(). For exact stacks the two are equal; for a
+  // hash-sampled stack the sampled pages' reference share fluctuates
+  // around the nominal rate (badly so on skewed traces, where one head
+  // page in or out of the sample moves the share by whole percents),
+  // and dividing by the sample's own scaled mass — the SHARDS "adjusted"
+  // estimator — cancels that fluctuation instead of folding it into
+  // every point of the curve.
+  uint64_t mass = stack.cold_misses();
+  for (uint64_t h : hits) mass += h;
+  const double total = static_cast<double>(mass);
   uint64_t cumulative_hits = 0;
   for (size_t depth = 1; depth <= hits.size(); ++depth) {
     cumulative_hits += hits[depth - 1];
     curve.miss_ratio_[depth] =
-        1.0 - static_cast<double>(cumulative_hits) / total;
+        std::max(0.0, 1.0 - static_cast<double>(cumulative_hits) / total);
   }
   return curve;
 }
 
 MissRatioCurve MissRatioCurve::FromTrace(std::span<const PageId> trace,
                                          MattsonImpl impl) {
-  auto stack = MakeMattsonStack(impl);
+  auto stack = MakeMattsonStack(impl, trace.size());
   for (PageId page : trace) stack->Access(page);
   return FromStack(*stack);
+}
+
+MissRatioCurve MissRatioCurve::FromTrace(SpanPair<PageId> trace,
+                                         const MrcConfig& config) {
+  auto stack = MakeReplayStack(config, trace.size());
+  return Replay(trace, *stack);
+}
+
+MissRatioCurve MissRatioCurve::Replay(SpanPair<PageId> trace,
+                                      MattsonStack& stack) {
+  stack.Reset();
+  trace.ForEach([&stack](PageId page) { stack.Access(page); });
+  return FromStack(stack);
+}
+
+std::unique_ptr<MattsonStack> MissRatioCurve::MakeReplayStack(
+    const MrcConfig& config, size_t expected_accesses) {
+  if (config.sample_rate < 1.0) {
+    return std::make_unique<SampledMattsonStack>(config.sample_rate,
+                                                 expected_accesses);
+  }
+  return MakeMattsonStack(config.impl, expected_accesses);
 }
 
 double MissRatioCurve::MissRatioAt(uint64_t pages) const {

@@ -2,10 +2,12 @@
 #define FGLB_MRC_MISS_RATIO_CURVE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/span_pair.h"
 #include "mrc/mattson_stack.h"
 #include "storage/page.h"
 
@@ -40,6 +42,18 @@ struct MrcConfig {
   // no-index BestSeller whose acceptable memory *shrank*).
   double significant_change_fraction = 0.5;
   MattsonImpl impl = MattsonImpl::kFenwick;
+  // Hash-sampling rate for Mattson replay (rounded to 1/k): 1.0
+  // replays every reference exactly; smaller rates replay only the
+  // hash-sampled pages and scale counts back up (SHARDS-style),
+  // cutting recomputation cost ~rate-fold. Parameters derived from a
+  // sampled curve carry a small relative error (see the accuracy
+  // tests), which is why significant_change_fraction is much larger
+  // than any sensible rate's error.
+  double sample_rate = 1.0;
+  // Concurrency of the diagnosis fan-out in LogAnalyzer: total
+  // threads including the caller; 1 = fully serial, 0 = use hardware
+  // concurrency.
+  int analysis_threads = 0;
 };
 
 // An LRU miss-ratio curve: miss ratio as a function of cache size in
@@ -53,6 +67,21 @@ class MissRatioCurve {
   static MissRatioCurve FromStack(const MattsonStack& stack);
   static MissRatioCurve FromTrace(std::span<const PageId> trace,
                                   MattsonImpl impl = MattsonImpl::kFenwick);
+
+  // Copy-free variants consuming a (possibly wrapped) ring-window
+  // snapshot directly.
+  static MissRatioCurve FromTrace(SpanPair<PageId> trace,
+                                  const MrcConfig& config);
+  // Resets `stack` and replays `trace` through it — the
+  // allocation-light path for callers holding a reusable scratch
+  // stack.
+  static MissRatioCurve Replay(SpanPair<PageId> trace, MattsonStack& stack);
+
+  // The stack a recomputation replays a window through under
+  // `config`: sampled when config.sample_rate < 1, else the exact
+  // configured implementation, presized for `expected_accesses`.
+  static std::unique_ptr<MattsonStack> MakeReplayStack(
+      const MrcConfig& config, size_t expected_accesses);
 
   // Miss ratio of an LRU cache holding `pages` pages.
   double MissRatioAt(uint64_t pages) const;

@@ -1,9 +1,11 @@
 #ifndef FGLB_MRC_MRC_TRACKER_H_
 #define FGLB_MRC_MRC_TRACKER_H_
 
+#include <memory>
 #include <optional>
 #include <span>
 
+#include "common/span_pair.h"
 #include "mrc/miss_ratio_curve.h"
 #include "storage/page.h"
 
@@ -15,13 +17,24 @@ namespace fglb {
 // the class shows outliers in memory counters. This class holds that
 // lifecycle: a stable baseline plus on-demand recomputation and
 // comparison.
+//
+// Recomputations replay through a per-tracker scratch Mattson stack
+// (created once, Reset() between uses), so the hot diagnosis path
+// allocates no fresh stack per call; with config.sample_rate < 1 the
+// scratch is a hash-sampled stack and replay cost drops ~rate-fold.
+// The scratch makes concurrent Recompute calls on the *same* tracker
+// unsafe; distinct trackers are independent, which is exactly the
+// shape of the parallel per-class diagnosis fan-out.
 class MrcTracker {
  public:
   explicit MrcTracker(MrcConfig config) : config_(config) {}
 
   // Computes the curve from `trace` and installs it as the stable
   // baseline (first scheduling, or after a stable interval re-anchors).
-  void SetStableFromTrace(std::span<const PageId> trace);
+  void SetStableFromTrace(SpanPair<PageId> trace);
+  void SetStableFromTrace(std::span<const PageId> trace) {
+    SetStableFromTrace(SpanPair<PageId>(trace));
+  }
 
   bool has_stable() const { return stable_.has_value(); }
   const MrcParameters& stable_params() const { return *stable_; }
@@ -43,7 +56,10 @@ class MrcTracker {
   // parameters of weakly-skewed patterns grow with trace length, and
   // comparing a long window against a short baseline would flag
   // phantom growth.
-  Recomputation Recompute(std::span<const PageId> trace) const;
+  Recomputation Recompute(SpanPair<PageId> trace) const;
+  Recomputation Recompute(std::span<const PageId> trace) const {
+    return Recompute(SpanPair<PageId>(trace));
+  }
 
   size_t stable_trace_length() const { return stable_trace_length_; }
 
@@ -54,10 +70,14 @@ class MrcTracker {
   const MrcConfig& config() const { return config_; }
 
  private:
+  // The reusable replay stack, created on first use and Reset() after.
+  MattsonStack& ScratchStack(size_t expected_accesses) const;
+
   MrcConfig config_;
   std::optional<MrcParameters> stable_;
   MissRatioCurve stable_curve_;
   size_t stable_trace_length_ = 0;
+  mutable std::unique_ptr<MattsonStack> scratch_;
 };
 
 }  // namespace fglb

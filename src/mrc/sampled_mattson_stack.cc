@@ -1,0 +1,59 @@
+#include "mrc/sampled_mattson_stack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fglb {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates the sample set from any structure
+// in page-id assignment (sequential scans, per-table offsets).
+uint64_t MixPage(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ScaleFor(double rate) {
+  if (!(rate > 0)) return 4096;
+  const double k = std::round(1.0 / rate);
+  return static_cast<uint64_t>(std::clamp(k, 1.0, 4096.0));
+}
+
+}  // namespace
+
+SampledMattsonStack::SampledMattsonStack(double rate, size_t expected_accesses)
+    : scale_(ScaleFor(rate)),
+      inner_(expected_accesses / scale_ + (expected_accesses ? 1 : 0)) {}
+
+bool SampledMattsonStack::InSample(PageId page) const {
+  return MixPage(page) % scale_ == 0;
+}
+
+uint64_t SampledMattsonStack::Access(PageId page) {
+  ++total_;
+  if (scale_ > 1 && !InSample(page)) return 0;
+  const uint64_t depth = inner_.Access(page);
+  if (depth == 0) {
+    cold_misses_ += scale_;
+    return 0;
+  }
+  // A sampled reuse pair saw ~1/k of the distinct pages between its
+  // endpoints, so the true stack depth is ~k times the observed one;
+  // the hit it represents stands for ~k hits of the full trace.
+  const uint64_t scaled_depth = depth * scale_;
+  if (hits_.size() < scaled_depth) hits_.resize(scaled_depth, 0);
+  hits_[scaled_depth - 1] += scale_;
+  return scaled_depth;
+}
+
+void SampledMattsonStack::Reset() {
+  inner_.Reset();
+  hits_.clear();
+  cold_misses_ = 0;
+  total_ = 0;
+}
+
+}  // namespace fglb

@@ -1,0 +1,64 @@
+#ifndef FGLB_MRC_SAMPLED_MATTSON_STACK_H_
+#define FGLB_MRC_SAMPLED_MATTSON_STACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mrc/mattson_stack.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// Spatially hash-sampled Mattson stack in the spirit of SHARDS
+// (Waldspurger et al., FAST'15) and the workload-compression line of
+// work in PAPERS.md: only pages whose hash lands in the sample are
+// replayed through an exact Fenwick stack, and the observed reuse
+// depths and hit counts are scaled back up by the sampling factor.
+// Sampling by page identity (not by position) preserves reuse
+// structure: either every reference to a page is replayed or none is,
+// so a sampled reuse pair has ~rate times the true number of distinct
+// pages between its endpoints. Replay cost drops ~rate-fold while the
+// derived MRC parameters stay within a few percent on realistic
+// traces (the accuracy-bound tests pin this down).
+//
+// Approximations a caller must accept:
+//  - Access() returns 0 for unsampled references, indistinguishable
+//    from cold misses; per-reference depths are only meaningful for
+//    sampled pages (scaled estimates).
+//  - hit_counts()/cold_misses()/distinct_pages() are scaled estimates;
+//    total_accesses() remains exact (every reference is counted).
+class SampledMattsonStack final : public MattsonStack {
+ public:
+  // `rate` in (0, 1] is rounded to 1/k for an integer k (clamped to
+  // [1, 4096]); k = 1 degenerates to the exact Fenwick stack.
+  // `expected_accesses` presizes the inner stack for the *sampled*
+  // share of that many references.
+  explicit SampledMattsonStack(double rate, size_t expected_accesses = 0);
+
+  uint64_t Access(PageId page) override;
+  void Reset() override;
+  const std::vector<uint64_t>& hit_counts() const override { return hits_; }
+  uint64_t cold_misses() const override { return cold_misses_; }
+  uint64_t total_accesses() const override { return total_; }
+  uint64_t distinct_pages() const override {
+    return inner_.distinct_pages() * scale_;
+  }
+
+  // The rounded scaling factor k (references kept ~ 1/k).
+  uint64_t scale() const { return scale_; }
+  // References actually replayed through the inner exact stack.
+  uint64_t sampled_accesses() const { return inner_.total_accesses(); }
+  // Whether a page belongs to the (deterministic) sample.
+  bool InSample(PageId page) const;
+
+ private:
+  uint64_t scale_;
+  FenwickMattsonStack inner_;
+  std::vector<uint64_t> hits_;  // scaled counts at scaled depths
+  uint64_t cold_misses_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_MRC_SAMPLED_MATTSON_STACK_H_

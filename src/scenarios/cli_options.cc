@@ -62,6 +62,9 @@ usage: fglb_sim [options]
   --tpcw-clients=N  TPC-W closed-loop clients               (default 120)
   --rubis-clients=N RUBiS closed-loop clients               (default 45)
   --seed=N          RNG seed (runs are deterministic)       (default 1)
+  --mrc-threads=N   diagnosis worker threads; 0 = all cores (default 0)
+  --mrc-sample-rate=R  Mattson replay sampling rate in (0,1];
+                    1 = exact, 0.125 ~ 8x cheaper           (default 1)
   --help            this text
 )";
 }
@@ -110,6 +113,12 @@ bool ParseCliOptions(const std::vector<std::string>& args,
            options->rubis_clients >= 0;
     } else if (key == "seed") {
       ok = ParseUint64(value, &options->seed);
+    } else if (key == "mrc-threads") {
+      ok = ParseInt(value, &options->mrc_threads) &&
+           options->mrc_threads >= 0;
+    } else if (key == "mrc-sample-rate") {
+      ok = ParseDouble(value, &options->mrc_sample_rate) &&
+           options->mrc_sample_rate > 0 && options->mrc_sample_rate <= 1;
     } else {
       *error = "unknown option --" + key;
       return false;

@@ -31,6 +31,12 @@ struct CliOptions {
   double tpcw_clients = 120;
   double rubis_clients = 45;
   uint64_t seed = 1;
+  // MRC analysis pipeline: worker threads for the diagnosis fan-out
+  // (0 = hardware concurrency, 1 = serial) and the Mattson replay
+  // hash-sampling rate (1.0 = exact; e.g. 0.125 replays ~1/8 of the
+  // pages and scales counts back up).
+  int mrc_threads = 0;
+  double mrc_sample_rate = 1.0;
   bool help = false;
 };
 

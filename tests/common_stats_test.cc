@@ -117,6 +117,68 @@ TEST(RingWindowTest, ClearResets) {
   EXPECT_EQ(w[0], 7);
 }
 
+TEST(RingWindowTest, AsSpansContiguousBeforeWrap) {
+  RingWindow<int> w(4);
+  w.Push(1);
+  w.Push(2);
+  const SpanPair<int> view = w.AsSpans();
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.second.empty());
+  EXPECT_EQ(view.ToVector(), (std::vector<int>{1, 2}));
+}
+
+TEST(RingWindowTest, AsSpansAcrossWrapBoundary) {
+  RingWindow<int> w(4);
+  for (int i = 0; i < 6; ++i) w.Push(i);  // retains 2,3,4,5; head wrapped
+  const SpanPair<int> view = w.AsSpans();
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_FALSE(view.first.empty());
+  EXPECT_FALSE(view.second.empty());
+  EXPECT_EQ(view.ToVector(), w.ToVector());
+  for (size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i], w[i]);
+  }
+}
+
+TEST(RingWindowTest, AsSpansEveryFillLevelMatchesToVector) {
+  RingWindow<int> w(5);
+  for (int i = 0; i < 17; ++i) {
+    w.Push(i);
+    const SpanPair<int> view = w.AsSpans();
+    ASSERT_EQ(view.ToVector(), w.ToVector()) << "after push " << i;
+  }
+}
+
+TEST(SpanPairTest, EmptyWindowYieldsEmptySpans) {
+  RingWindow<int> w(3);
+  const SpanPair<int> view = w.AsSpans();
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+}
+
+TEST(SpanPairTest, SuffixWithinAndAcrossPieces) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{4, 5};
+  const SpanPair<int> view{std::span<const int>(a), std::span<const int>(b)};
+  EXPECT_EQ(view.Suffix(10).ToVector(), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(view.Suffix(5).ToVector(), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(view.Suffix(4).ToVector(), (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_EQ(view.Suffix(2).ToVector(), (std::vector<int>{4, 5}));
+  EXPECT_EQ(view.Suffix(1).ToVector(), (std::vector<int>{5}));
+  EXPECT_EQ(view.Suffix(0).size(), 0u);
+}
+
+TEST(SpanPairTest, ForEachVisitsInLogicalOrder) {
+  const std::vector<int> a{1, 2};
+  const std::vector<int> b{3};
+  const SpanPair<int> view{std::span<const int>(a), std::span<const int>(b)};
+  std::vector<int> seen;
+  view.ForEach([&seen](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(view[0], 1);
+  EXPECT_EQ(view[2], 3);
+}
+
 TEST(HistogramTest, CountsAndMean) {
   Histogram h;
   h.Add(0.1);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build + full test suite, then rebuild with ThreadSanitizer
+# and rerun the concurrency-sensitive tests (the parallel-diagnosis
+# pipeline is the only multithreaded code path, so a TSan pass over the
+# pipeline/analyzer tests covers it).
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+JOBS="$(nproc)"
+
+echo "=== plain build + full tier-1 suite ==="
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "=== TSan build + concurrency tests ==="
+cmake -B "${PREFIX}-tsan" -S . -DFGLB_SANITIZE=thread >/dev/null
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
+  --target mrc_pipeline_test log_analyzer_test selective_retuner_test
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner'
+
+echo "CI OK"

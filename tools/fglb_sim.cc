@@ -96,7 +96,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  ClusterHarness harness;
+  SelectiveRetuner::Config retuner_config;
+  retuner_config.mrc.analysis_threads = options.mrc_threads;
+  retuner_config.mrc.sample_rate = options.mrc_sample_rate;
+  ClusterHarness harness(retuner_config);
   Assemble(options, &harness);
   harness.Start();
   harness.RunFor(options.duration_seconds);
