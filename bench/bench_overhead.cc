@@ -16,6 +16,9 @@
 #include "core/outlier_detector.h"
 #include "core/quota_planner.h"
 #include "mrc/miss_ratio_curve.h"
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
 
 namespace {
 
@@ -90,6 +93,33 @@ BENCHMARK(BM_OutlierDetect)->Arg(14)->Arg(26)->Arg(100)
 BENCHMARK(BM_QuotaPlan)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MrcRecompute)->Unit(benchmark::kMillisecond);
 
+// Wall-clock of a full consolidation-style scenario with the metrics
+// registry and null-check instrumentation either wired in or absent.
+// Tracing stays off in both runs (a trace file is I/O-bound and opt-in)
+// so the ratio isolates the always-on instrumentation cost.
+double RunScenario(bool observability) {
+  SelectiveRetuner::Config config;
+  config.mrc.analysis_threads = 1;
+  ClusterHarness harness(config, observability);
+  harness.AddServers(2);
+  PhysicalServer* first = harness.resources().servers()[0].get();
+  Scheduler* tpcw = harness.AddApplication(MakeTpcw());
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  Scheduler* rubis = harness.AddApplication(MakeRubis(rubis_options));
+  Replica* shared = harness.resources().CreateReplica(first, 8192);
+  tpcw->AddReplica(shared);
+  rubis->AddReplica(shared);
+  harness.AddConstantClients(tpcw, 60, 1);
+  harness.AddConstantClients(rubis, 30, 2);
+  harness.Start();
+  const auto start = std::chrono::steady_clock::now();
+  harness.RunFor(300);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 // Re-times the pipeline stages outside google-benchmark and writes
 // BENCH_overhead.json so the perf trajectory of the diagnosis path is
 // machine-readable across commits.
@@ -145,6 +175,22 @@ void WriteJsonSummary(const std::string& path) {
       benchmark::DoNotOptimize(curve.ComputeParameters(sampled_config));
     });
     json.Add("mrc_recompute_sampled_8x_30k", sampled_ms, 30000);
+  }
+  {
+    // End-to-end instrumentation overhead: metrics on vs fully off,
+    // tracing off in both. The ratio is the headline number
+    // (ISSUE target: < 1.02).
+    const auto time_best = [](int reps, auto&& fn) {
+      double best = 1e300;
+      for (int r = 0; r < reps; ++r) best = std::min(best, fn());
+      return best;
+    };
+    const double off_ms = time_best(3, [] { return RunScenario(false); });
+    const double on_ms = time_best(3, [] { return RunScenario(true); });
+    json.Add("scenario_300s_observability_off", off_ms, 0);
+    json.Add("scenario_300s_observability_on", on_ms, 0);
+    json.AddField("observability_enabled_vs_disabled",
+                  off_ms > 0 ? on_ms / off_ms : 0);
   }
   json.WriteTo(path);
 }

@@ -49,6 +49,12 @@ class BenchJsonWriter {
     rows_.emplace_back(Row{name, wall_ms, per_sec});
   }
 
+  // Extra top-level scalar next to "results" (derived quantities such
+  // as an enabled/disabled overhead ratio).
+  void AddField(const std::string& name, double value) {
+    fields_.emplace_back(name, value);
+  }
+
   bool WriteTo(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -63,7 +69,11 @@ class BenchJsonWriter {
                    i == 0 ? "" : ",", rows_[i].name.c_str(), rows_[i].wall_ms,
                    rows_[i].accesses_per_sec);
     }
-    std::fprintf(f, "\n]}\n");
+    std::fprintf(f, "\n]");
+    for (const auto& [name, value] : fields_) {
+      std::fprintf(f, ",\n \"%s\": %.6g", name.c_str(), value);
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s (%zu results)\n", path.c_str(), rows_.size());
     return true;
@@ -76,6 +86,7 @@ class BenchJsonWriter {
     double accesses_per_sec = 0;
   };
   std::vector<Row> rows_;
+  std::vector<std::pair<std::string, double>> fields_;
 };
 
 // Generates a page-access trace by executing `queries` instances of a

@@ -53,9 +53,24 @@ Replica* ResourceManager::CreateReplica(PhysicalServer* server,
   const int id = next_replica_id_++;
   auto engine = std::make_unique<DatabaseEngine>(
       "engine-" + std::to_string(id), options, &server->disk_model());
+  if (metrics_ != nullptr) engine->BindMetrics(metrics_);
   replicas_.push_back(
       std::make_unique<Replica>(id, sim_, server, std::move(engine)));
   return replicas_.back().get();
+}
+
+void ResourceManager::set_metrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  for (const auto& replica : replicas_) {
+    replica->engine().BindMetrics(registry);
+  }
+}
+
+void ResourceManager::PublishMetrics() const {
+  if (metrics_ == nullptr) return;
+  for (const auto& replica : replicas_) {
+    replica->engine().PublishMetrics();
+  }
 }
 
 Replica* ResourceManager::ProvisionReplica(Scheduler* scheduler,

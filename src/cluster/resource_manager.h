@@ -10,6 +10,7 @@
 #include "cluster/physical_server.h"
 #include "cluster/replica.h"
 #include "cluster/scheduler.h"
+#include "common/metrics_registry.h"
 #include "sim/simulator.h"
 
 namespace fglb {
@@ -55,8 +56,16 @@ class ResourceManager {
   // Number of distinct servers hosting replicas of `scheduler`'s app.
   int ServersUsedBy(const Scheduler& scheduler) const;
 
+  // Registry new replicas' engines bind their metrics to. Existing
+  // replicas are bound retroactively; null stops binding new ones.
+  void set_metrics(MetricsRegistry* registry);
+
+  // Publishes every engine's buffer-pool stats into the bound registry.
+  void PublishMetrics() const;
+
  private:
   Simulator* sim_;
+  MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<PhysicalServer>> servers_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   int next_replica_id_ = 0;

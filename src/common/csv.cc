@@ -1,0 +1,18 @@
+#include "common/csv.h"
+
+namespace fglb {
+
+std::string CsvQuote(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace fglb

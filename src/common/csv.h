@@ -1,0 +1,18 @@
+#ifndef FGLB_COMMON_CSV_H_
+#define FGLB_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+
+namespace fglb {
+
+// RFC 4180 field quoting, shared by every CSV writer in the tree:
+// fields containing a comma, double quote, CR or LF are wrapped in
+// double quotes with embedded quotes doubled; anything else passes
+// through unchanged. Newlines are preserved inside the quotes (a
+// compliant reader reassembles them), never silently rewritten.
+std::string CsvQuote(std::string_view field);
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_CSV_H_

@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace fglb {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+void VLog(const char* prefix, const char* format, va_list args) {
+  std::fprintf(stderr, "[fglb %s] ", prefix);
+  std::vfprintf(stderr, format, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void SetGlobalLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GlobalLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "quiet") *out = LogLevel::kQuiet;
+  else if (text == "info") *out = LogLevel::kInfo;
+  else if (text == "debug") *out = LogLevel::kDebug;
+  else return false;
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kQuiet: return "quiet";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "info";
+}
+
+void LogError(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  VLog("error", format, args);
+  va_end(args);
+}
+
+void LogInfo(const char* format, ...) {
+  if (GlobalLogLevel() < LogLevel::kInfo) return;
+  va_list args;
+  va_start(args, format);
+  VLog("info", format, args);
+  va_end(args);
+}
+
+void LogDebug(const char* format, ...) {
+  if (GlobalLogLevel() < LogLevel::kDebug) return;
+  va_list args;
+  va_start(args, format);
+  VLog("debug", format, args);
+  va_end(args);
+}
+
+}  // namespace fglb

@@ -1,0 +1,29 @@
+#ifndef FGLB_COMMON_LOGGING_H_
+#define FGLB_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace fglb {
+
+// One leveled stderr logger for every tool/binary in the tree, so
+// verbosity is controlled in one place (fglb_sim --log-level=...).
+// kQuiet suppresses info and debug; errors always print. Diagnostic
+// output goes to stderr so CSV/table payloads on stdout stay clean.
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+void SetGlobalLogLevel(LogLevel level);
+LogLevel GlobalLogLevel();
+
+// "quiet" | "info" | "debug" -> level; false on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+const char* LogLevelName(LogLevel level);
+
+// printf-style; LogInfo/LogDebug are dropped below the corresponding
+// global level, LogError always prints.
+void LogError(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogInfo(const char* format, ...) __attribute__((format(printf, 1, 2)));
+void LogDebug(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fglb
+
+#endif  // FGLB_COMMON_LOGGING_H_

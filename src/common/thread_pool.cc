@@ -24,10 +24,25 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::BindMetrics(MetricsRegistry* registry,
+                             const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    queue_depth_ = nullptr;
+    tasks_executed_ = nullptr;
+    return;
+  }
+  queue_depth_ = registry->gauge(prefix + "queue_depth");
+  tasks_executed_ = registry->counter(prefix + "tasks_executed");
+}
+
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
@@ -35,14 +50,20 @@ void ThreadPool::Enqueue(std::function<void()> task) {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    Counter* executed = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_ != nullptr) {
+        queue_depth_->Set(static_cast<double>(queue_.size()));
+      }
+      executed = tasks_executed_;
     }
     task();
+    if (executed != nullptr) executed->Increment();
   }
 }
 

@@ -8,9 +8,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/metrics_registry.h"
 
 namespace fglb {
 
@@ -31,6 +34,11 @@ class ThreadPool {
   // Threads able to make progress concurrently (workers + caller).
   size_t thread_count() const { return workers_.size() + 1; }
 
+  // Registers "<prefix>queue_depth" / "<prefix>tasks_executed" in
+  // `registry` and keeps them current. Call before submitting work; a
+  // null registry unbinds.
+  void BindMetrics(MetricsRegistry* registry, const std::string& prefix);
+
   // Schedules `fn` on a worker and returns a future for its result.
   // With no workers the task runs inline before Submit returns.
   template <typename F>
@@ -40,6 +48,7 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     if (workers_.empty()) {
       (*task)();
+      if (tasks_executed_ != nullptr) tasks_executed_->Increment();
     } else {
       Enqueue([task] { (*task)(); });
     }
@@ -62,6 +71,9 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  // Written under mu_ (depth) or with relaxed atomics (executed).
+  Gauge* queue_depth_ = nullptr;
+  Counter* tasks_executed_ = nullptr;
 };
 
 }  // namespace fglb

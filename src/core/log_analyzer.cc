@@ -1,13 +1,31 @@
 #include "core/log_analyzer.h"
 
 #include <cassert>
+#include <chrono>
 
 namespace fglb {
 
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 LogAnalyzer::LogAnalyzer(DatabaseEngine* engine, OutlierConfig outlier_config,
-                         MrcConfig mrc_config)
-    : engine_(engine), detector_(outlier_config), mrc_config_(mrc_config) {
+                         MrcConfig mrc_config, MetricsRegistry* metrics)
+    : engine_(engine),
+      detector_(outlier_config),
+      mrc_config_(mrc_config),
+      metrics_(metrics) {
   assert(engine_ != nullptr);
+  if (metrics_ != nullptr) {
+    outlier_us_ = metrics_->histogram("controller.diagnose.outlier_us");
+    mrc_us_ = metrics_->histogram("controller.diagnose.mrc_us");
+  }
 }
 
 MrcTracker& LogAnalyzer::TrackerFor(ClassKey key) {
@@ -40,11 +58,14 @@ void LogAnalyzer::RecordStableInterval(
 
 OutlierReport LogAnalyzer::DetectOutliers(
     AppId app, const std::map<ClassKey, MetricVector>& snapshot) const {
+  const auto start = std::chrono::steady_clock::now();
   std::map<ClassKey, MetricVector> app_only;
   for (const auto& [key, vec] : snapshot) {
     if (AppOf(key) == app) app_only.emplace(key, vec);
   }
-  return detector_.Detect(app_only, stable_store_);
+  OutlierReport report = detector_.Detect(app_only, stable_store_);
+  if (outlier_us_ != nullptr) outlier_us_->Record(MicrosSince(start));
+  return report;
 }
 
 ThreadPool& LogAnalyzer::AnalysisPool() {
@@ -52,12 +73,16 @@ ThreadPool& LogAnalyzer::AnalysisPool() {
     const int threads = mrc_config_.analysis_threads;
     pool_ = std::make_unique<ThreadPool>(
         threads <= 0 ? 0 : static_cast<size_t>(threads));
+    if (metrics_ != nullptr) {
+      pool_->BindMetrics(metrics_, "controller.pool.");
+    }
   }
   return *pool_;
 }
 
 LogAnalyzer::MemoryDiagnosis LogAnalyzer::DiagnoseMemory(
     const std::set<ClassKey>& candidates) {
+  const auto start = std::chrono::steady_clock::now();
   MemoryDiagnosis diagnosis;
   // Phase 1 (serial): snapshot windows and materialize trackers —
   // everything that touches shared maps.
@@ -99,6 +124,7 @@ LogAnalyzer::MemoryDiagnosis LogAnalyzer::DiagnoseMemory(
     }
     last_recomputation_[job.key] = std::move(job.rec);
   }
+  if (mrc_us_ != nullptr) mrc_us_->Record(MicrosSince(start));
   return diagnosis;
 }
 

@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/thread_pool.h"
 #include "core/outlier_detector.h"
 #include "core/quota_planner.h"
@@ -23,7 +24,7 @@ namespace fglb {
 class LogAnalyzer {
  public:
   LogAnalyzer(DatabaseEngine* engine, OutlierConfig outlier_config,
-              MrcConfig mrc_config);
+              MrcConfig mrc_config, MetricsRegistry* metrics = nullptr);
   LogAnalyzer(const LogAnalyzer&) = delete;
   LogAnalyzer& operator=(const LogAnalyzer&) = delete;
 
@@ -91,6 +92,10 @@ class LogAnalyzer {
   DatabaseEngine* engine_;
   OutlierDetector detector_;
   MrcConfig mrc_config_;
+  MetricsRegistry* metrics_ = nullptr;
+  // Phase-duration histograms, bound iff metrics_ is set.
+  LatencyHistogram* outlier_us_ = nullptr;
+  LatencyHistogram* mrc_us_ = nullptr;
   StableStateStore stable_store_;
   std::map<ClassKey, std::unique_ptr<MrcTracker>> trackers_;
   std::map<ClassKey, MrcTracker::Recomputation> last_recomputation_;

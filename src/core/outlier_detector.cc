@@ -1,6 +1,7 @@
 #include "core/outlier_detector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -12,6 +13,12 @@ namespace fglb {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 }  // namespace
 
@@ -55,6 +62,7 @@ OutlierReport OutlierDetector::Detect(
   }
 
   for (Metric metric : kAllMetrics) {
+    const auto impact_start = std::chrono::steady_clock::now();
     // 1. current/stable ratios.
     double min_positive_current = std::numeric_limits<double>::infinity();
     for (ClassKey key : with_baseline) {
@@ -90,13 +98,18 @@ OutlierReport OutlierDetector::Detect(
       impact_keys.push_back(key);
     }
 
+    report.impact_us += MicrosSince(impact_start);
+
     // 3. IQR fencing across the application's classes.
     if (impacts.size() < config_.min_classes) continue;
+    const auto fence_start = std::chrono::steady_clock::now();
     const QuartileSummary q = Quartiles(impacts);
     const double inner_lo = q.q1 - config_.mild_fence * q.iqr;
     const double inner_hi = q.q3 + config_.mild_fence * q.iqr;
     const double outer_lo = q.q1 - config_.extreme_fence * q.iqr;
     const double outer_hi = q.q3 + config_.extreme_fence * q.iqr;
+    report.fences.push_back(FenceSummary{metric, q.q1, q.q3, q.iqr, inner_lo,
+                                         inner_hi, outer_lo, outer_hi});
     for (size_t i = 0; i < impacts.size(); ++i) {
       const double x = impacts[i];
       OutlierDegree degree = OutlierDegree::kNone;
@@ -122,6 +135,7 @@ OutlierReport OutlierDetector::Detect(
       outlier.high_side = high_side;
       report.outliers.push_back(outlier);
     }
+    report.fence_us += MicrosSince(fence_start);
   }
   return report;
 }

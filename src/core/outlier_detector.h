@@ -44,6 +44,19 @@ struct MetricOutlier {
   std::string ToString() const;
 };
 
+// The IQR fences actually applied for one metric — kept so decision
+// traces can show WHY a class was (or was not) classified an outlier.
+struct FenceSummary {
+  Metric metric = Metric::kLatency;
+  double q1 = 0;
+  double q3 = 0;
+  double iqr = 0;
+  double inner_lo = 0;
+  double inner_hi = 0;
+  double outer_lo = 0;
+  double outer_hi = 0;
+};
+
 // Result of one detection pass over an application's classes on one
 // engine.
 struct OutlierReport {
@@ -55,6 +68,12 @@ struct OutlierReport {
   std::map<Metric, std::map<ClassKey, double>> impacts;
   // Raw current/stable ratios, the quantity Fig. 4 plots.
   std::map<Metric, std::map<ClassKey, double>> ratios;
+  // Fences per metric that had enough classes for quartiles.
+  std::vector<FenceSummary> fences;
+  // Wall-clock spent computing impacts vs applying fences, for the
+  // controller's phase-duration trace.
+  double impact_us = 0;
+  double fence_us = 0;
 
   // Distinct classes with at least one outlier metric ("outlier query
   // contexts").

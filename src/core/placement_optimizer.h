@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "core/quota_planner.h"
 #include "workload/query_class.h"
 
@@ -70,8 +71,11 @@ struct PlacementPlan {
 // opens when none fits. Replication costs of write-all updates are the
 // caller's concern (the paper's scheduler ships writes everywhere
 // regardless of placement).
+// `metrics` (optional) records the computation's wall-clock into
+// "controller.plan.placement_us".
 PlacementPlan ComputePlacement(const std::vector<ClassLoad>& classes,
-                               const PlacementConfig& config);
+                               const PlacementConfig& config,
+                               MetricsRegistry* metrics = nullptr);
 
 }  // namespace fglb
 

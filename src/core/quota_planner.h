@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "mrc/miss_ratio_curve.h"
 #include "workload/query_class.h"
 
@@ -64,8 +65,17 @@ class QuotaPlanner {
 
   uint64_t min_quota_pages() const { return min_quota_pages_; }
 
+  // Records each Plan() call's wall-clock into
+  // "controller.plan.quota_us". Null unbinds.
+  void BindMetrics(MetricsRegistry* registry) {
+    plan_us_ = registry != nullptr
+                   ? registry->histogram("controller.plan.quota_us")
+                   : nullptr;
+  }
+
  private:
   uint64_t min_quota_pages_;
+  LatencyHistogram* plan_us_ = nullptr;
 };
 
 }  // namespace fglb

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 
+#include "common/json.h"
 #include "core/io_interference.h"
 
 namespace fglb {
@@ -16,12 +18,35 @@ std::string ClassLabel(ClassKey key) {
   return buf;
 }
 
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// {"app":1,"cls":3} fragment used by every per-class trace payload.
+void AppendClassFields(std::string* out, ClassKey key) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"app\":%u,\"cls\":%u", AppOf(key),
+                ClassOf(key));
+  *out += buf;
+}
+
 }  // namespace
 
 SelectiveRetuner::SelectiveRetuner(Simulator* sim, ResourceManager* resources,
                                    Config config)
-    : sim_(sim), resources_(resources), config_(config) {
+    : sim_(sim),
+      resources_(resources),
+      config_(config),
+      metrics_(config.metrics),
+      trace_(config.trace) {
   assert(sim_ && resources_);
+  if (metrics_ != nullptr) {
+    tick_us_ = metrics_->histogram("controller.tick_us");
+    violations_ = metrics_->counter("controller.violations");
+    planner_.BindMetrics(metrics_);
+  }
 }
 
 const char* SelectiveRetuner::ActionKindName(ActionKind kind) {
@@ -53,8 +78,9 @@ LogAnalyzer& SelectiveRetuner::AnalyzerFor(DatabaseEngine* engine) {
   auto it = analyzers_.find(engine);
   if (it == analyzers_.end()) {
     it = analyzers_
-             .emplace(engine, std::make_unique<LogAnalyzer>(
-                                  engine, config_.outlier, config_.mrc))
+             .emplace(engine,
+                      std::make_unique<LogAnalyzer>(engine, config_.outlier,
+                                                    config_.mrc, metrics_))
              .first;
   }
   return *it->second;
@@ -80,6 +106,224 @@ void SelectiveRetuner::Start() {
 void SelectiveRetuner::Log(ActionKind kind, AppId app,
                            std::string description) {
   actions_.push_back(Action{sim_->Now(), kind, app, std::move(description)});
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter(std::string("controller.actions.") + ActionKindName(kind))
+        ->Increment();
+  }
+  // In-scope actions are emitted when the scope closes so the trace
+  // keeps its phase order; out-of-scope ones (e.g. a clean interval
+  // releasing capacity) go out immediately.
+  if (!scope_.active && Tracing()) EmitActionEvent(actions_.back());
+}
+
+void SelectiveRetuner::EmitActionEvent(const Action& action) {
+  TraceEvent event("action");
+  event.Num("t", action.time)
+      .Uint("app", action.app)
+      .Str("kind", ActionKindName(action.kind))
+      .Str("desc", action.description);
+  trace_->Emit(event);
+}
+
+void SelectiveRetuner::BeginViolationScope(
+    Scheduler* scheduler, const Scheduler::IntervalReport& report,
+    double end_interval_us) {
+  scope_ = ViolationScope{};
+  scope_.active = true;
+  scope_.app = scheduler->app().id;
+  scope_.actions_before = actions_.size();
+  if (!Tracing()) return;
+  TraceEvent event("sla");
+  event.Num("t", sim_->Now())
+      .Uint("app", scope_.app)
+      .Uint("queries", report.queries)
+      .Num("avg_latency", report.avg_latency)
+      .Num("p95_latency", report.p95_latency)
+      .Num("throughput", report.throughput)
+      .Bool("sla_met", report.sla_met)
+      .Int("streak", violation_streak_[scope_.app])
+      .Int("servers_used", resources_->ServersUsedBy(*scheduler))
+      .Num("dur_us", end_interval_us);
+  trace_->Emit(event);
+}
+
+void SelectiveRetuner::EndViolationScope(const char* why) {
+  if (!scope_.active) return;
+  if (Tracing()) {
+    // Back-fill the phases the cascade never reached so every violating
+    // interval carries the complete sla->impact->iqr->mrc->action chain.
+    const char* skipped[3] = {
+        scope_.impact_emitted ? nullptr : "impact",
+        scope_.iqr_emitted ? nullptr : "iqr",
+        scope_.mrc_emitted ? nullptr : "mrc",
+    };
+    for (const char* phase : skipped) {
+      if (phase == nullptr) continue;
+      TraceEvent event(phase);
+      event.Num("t", sim_->Now())
+          .Uint("app", scope_.app)
+          .Bool("skipped", true)
+          .Str("why", why)
+          .Num("dur_us", 0);
+      trace_->Emit(event);
+    }
+    if (actions_.size() == scope_.actions_before) {
+      TraceEvent event("action");
+      event.Num("t", sim_->Now())
+          .Uint("app", scope_.app)
+          .Str("kind", "none")
+          .Str("why", why);
+      trace_->Emit(event);
+    } else {
+      for (size_t i = scope_.actions_before; i < actions_.size(); ++i) {
+        EmitActionEvent(actions_[i]);
+      }
+    }
+  }
+  scope_ = ViolationScope{};
+}
+
+void SelectiveRetuner::TraceOutlierPhases(AppId app, int replica_id,
+                                          const OutlierReport& report) {
+  // "impact": the weighted current/stable ratio vectors the fences see.
+  // Metric order inside the arrays is kAllMetrics order.
+  std::string classes = "[";
+  bool first_class = true;
+  std::set<ClassKey> keys;
+  for (const auto& [metric, per_class] : report.ratios) {
+    for (const auto& [key, value] : per_class) keys.insert(key);
+  }
+  for (ClassKey key : keys) {
+    if (!first_class) classes += ',';
+    first_class = false;
+    classes += '{';
+    AppendClassFields(&classes, key);
+    classes += ",\"ratio\":[";
+    for (size_t m = 0; m < kAllMetrics.size(); ++m) {
+      if (m > 0) classes += ',';
+      const auto metric_it = report.ratios.find(kAllMetrics[m]);
+      const double v = metric_it != report.ratios.end() &&
+                               metric_it->second.contains(key)
+                           ? metric_it->second.at(key)
+                           : 0.0;
+      classes += JsonNumber(v);
+    }
+    classes += "],\"impact\":[";
+    for (size_t m = 0; m < kAllMetrics.size(); ++m) {
+      if (m > 0) classes += ',';
+      const auto metric_it = report.impacts.find(kAllMetrics[m]);
+      const double v = metric_it != report.impacts.end() &&
+                               metric_it->second.contains(key)
+                           ? metric_it->second.at(key)
+                           : 0.0;
+      classes += JsonNumber(v);
+    }
+    classes += "]}";
+  }
+  classes += ']';
+  TraceEvent impact("impact");
+  impact.Num("t", sim_->Now())
+      .Uint("app", app)
+      .Int("replica", replica_id)
+      .Raw("classes", classes)
+      .Num("dur_us", report.impact_us);
+  trace_->Emit(impact);
+  scope_.impact_emitted = true;
+
+  // "iqr": the fences applied per metric plus the resulting verdicts.
+  std::string fences = "[";
+  for (size_t i = 0; i < report.fences.size(); ++i) {
+    const FenceSummary& f = report.fences[i];
+    if (i > 0) fences += ',';
+    fences += "{\"metric\":\"";
+    fences += MetricName(f.metric);
+    fences += "\",\"q1\":" + JsonNumber(f.q1) +
+              ",\"q3\":" + JsonNumber(f.q3) + ",\"iqr\":" + JsonNumber(f.iqr) +
+              ",\"inner_lo\":" + JsonNumber(f.inner_lo) +
+              ",\"inner_hi\":" + JsonNumber(f.inner_hi) +
+              ",\"outer_lo\":" + JsonNumber(f.outer_lo) +
+              ",\"outer_hi\":" + JsonNumber(f.outer_hi) + "}";
+  }
+  fences += ']';
+  std::string outliers = "[";
+  for (size_t i = 0; i < report.outliers.size(); ++i) {
+    const MetricOutlier& o = report.outliers[i];
+    if (i > 0) outliers += ',';
+    outliers += '{';
+    AppendClassFields(&outliers, o.key);
+    outliers += ",\"metric\":\"";
+    outliers += MetricName(o.metric);
+    outliers += "\",\"ratio\":" + JsonNumber(o.ratio) +
+                ",\"impact\":" + JsonNumber(o.impact) + ",\"degree\":\"" +
+                (o.degree == OutlierDegree::kExtreme ? "extreme" : "mild") +
+                "\",\"high\":" + (o.high_side ? "true" : "false") + "}";
+  }
+  outliers += ']';
+  std::string fresh = "[";
+  for (size_t i = 0; i < report.new_classes.size(); ++i) {
+    if (i > 0) fresh += ',';
+    fresh += '{';
+    AppendClassFields(&fresh, report.new_classes[i]);
+    fresh += '}';
+  }
+  fresh += ']';
+  TraceEvent iqr("iqr");
+  iqr.Num("t", sim_->Now())
+      .Uint("app", app)
+      .Int("replica", replica_id)
+      .Raw("fences", fences)
+      .Raw("outliers", outliers)
+      .Raw("new_classes", fresh)
+      .Num("dur_us", report.fence_us);
+  trace_->Emit(iqr);
+  scope_.iqr_emitted = true;
+}
+
+void SelectiveRetuner::TraceMrcPhase(
+    AppId app, int replica_id, double dur_us, size_t candidates,
+    LogAnalyzer& analyzer, const LogAnalyzer::MemoryDiagnosis& diagnosis) {
+  auto profile_array = [&analyzer](
+                           const std::vector<ClassMemoryProfile>& profiles) {
+    std::string out = "[";
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      const ClassMemoryProfile& p = profiles[i];
+      if (i > 0) out += ',';
+      out += '{';
+      AppendClassFields(&out, p.key);
+      out += ",\"total_pages\":" + std::to_string(p.params.total_memory_pages);
+      out += ",\"acceptable_pages\":" +
+             std::to_string(p.params.acceptable_memory_pages);
+      if (const MrcParameters* stable = analyzer.StableParamsOf(p.key)) {
+        out += ",\"stable_total_pages\":" +
+               std::to_string(stable->total_memory_pages);
+        out += ",\"stable_acceptable_pages\":" +
+               std::to_string(stable->acceptable_memory_pages);
+      }
+      out += '}';
+    }
+    out += ']';
+    return out;
+  };
+  std::string insufficient = "[";
+  for (size_t i = 0; i < diagnosis.insufficient_data.size(); ++i) {
+    if (i > 0) insufficient += ',';
+    insufficient += '{';
+    AppendClassFields(&insufficient, diagnosis.insufficient_data[i]);
+    insufficient += '}';
+  }
+  insufficient += ']';
+  TraceEvent event("mrc");
+  event.Num("t", sim_->Now())
+      .Uint("app", app)
+      .Int("replica", replica_id)
+      .Uint("candidates", candidates)
+      .Raw("suspects", profile_array(diagnosis.suspects))
+      .Raw("cleared", profile_array(diagnosis.cleared))
+      .Raw("insufficient", insufficient)
+      .Num("dur_us", dur_us);
+  trace_->Emit(event);
+  scope_.mrc_emitted = true;
 }
 
 bool SelectiveRetuner::InWarmup(AppId app) const {
@@ -105,6 +349,7 @@ void SelectiveRetuner::NoteTopologyChange(AppId app) {
 }
 
 void SelectiveRetuner::Tick() {
+  const auto tick_start = std::chrono::steady_clock::now();
   const double interval = config_.interval_seconds;
   IntervalSample sample;
   sample.time = sim_->Now();
@@ -122,12 +367,22 @@ void SelectiveRetuner::Tick() {
     ss.cpu_utilization = server->CpuUtilization();
     ss.io_utilization = server->IoUtilization();
     sample.servers.push_back(ss);
+    if (metrics_ != nullptr) {
+      const std::string prefix =
+          "server." + std::to_string(ss.server_id) + ".";
+      metrics_->gauge(prefix + "cpu_utilization")->Set(ss.cpu_utilization);
+      metrics_->gauge(prefix + "io_utilization")->Set(ss.io_utilization);
+    }
   }
+  if (metrics_ != nullptr) resources_->PublishMetrics();
 
   // 2. Close the interval on every application.
   std::map<Scheduler*, Scheduler::IntervalReport> reports;
+  std::map<Scheduler*, double> end_interval_us;
   for (Scheduler* s : schedulers_) {
+    const auto end_start = std::chrono::steady_clock::now();
     const Scheduler::IntervalReport report = s->EndInterval(interval);
+    end_interval_us[s] = MicrosSince(end_start);
     reports.emplace(s, report);
     AppSample as;
     as.app = s->app().id;
@@ -173,14 +428,26 @@ void SelectiveRetuner::Tick() {
     const AppId app = s->app().id;
     if (report.queries > 0 && !report.sla_met) {
       calm_streak_[app] = 0;
+      if (violations_ != nullptr) violations_->Increment();
       if (config_.enable_actions && s->replicas().empty()) {
         // Bootstrap: an application with no capacity at all.
+        BeginViolationScope(s, report, end_interval_us[s]);
         TryCpuProvisioning(s);
+        EndViolationScope("bootstrap");
         continue;
       }
-      if (InWarmup(app)) continue;  // pools still filling; hold fire
+      if (InWarmup(app)) {
+        // Pools still filling; hold fire.
+        BeginViolationScope(s, report, end_interval_us[s]);
+        EndViolationScope("warmup");
+        continue;
+      }
       ++violation_streak_[app];
+      BeginViolationScope(s, report, end_interval_us[s]);
       HandleViolation(s, report, snapshots);
+      EndViolationScope(!config_.enable_actions        ? "monitoring"
+                        : !config_.enable_fine_grained ? "coarse_only"
+                                                       : "no_action");
     } else {
       violation_streak_[app] = 0;
       ++calm_streak_[app];
@@ -192,6 +459,7 @@ void SelectiveRetuner::Tick() {
     server->ResetUtilizationWindow();
   }
   samples_.push_back(std::move(sample));
+  if (tick_us_ != nullptr) tick_us_->Record(MicrosSince(tick_start));
 }
 
 void SelectiveRetuner::HandleViolation(
@@ -268,6 +536,9 @@ bool SelectiveRetuner::TryMemoryRetuning(
 
     // 4a. Outlier contexts over this app's classes on this engine.
     const OutlierReport outliers = analyzer.DetectOutliers(app, snap);
+    if (Tracing() && scope_.active) {
+      TraceOutlierPhases(app, r->id(), outliers);
+    }
     std::set<ClassKey> candidates = outliers.MemoryProblemContexts();
     for (ClassKey key : outliers.new_classes) candidates.insert(key);
 
@@ -297,8 +568,13 @@ bool SelectiveRetuner::TryMemoryRetuning(
     if (candidates.empty()) continue;
 
     // 4d. MRC recomputation narrows candidates to true suspects.
+    const auto mrc_start = std::chrono::steady_clock::now();
     LogAnalyzer::MemoryDiagnosis diagnosis =
         analyzer.DiagnoseMemory(candidates);
+    if (Tracing() && scope_.active) {
+      TraceMrcPhase(app, r->id(), MicrosSince(mrc_start), candidates.size(),
+                    analyzer, diagnosis);
+    }
     DiagnosisRecord record;
     record.time = sim_->Now();
     record.app = app;

@@ -9,6 +9,8 @@
 
 #include "cluster/resource_manager.h"
 #include "cluster/scheduler.h"
+#include "common/metrics_registry.h"
+#include "common/trace_log.h"
 #include "core/log_analyzer.h"
 #include "core/outlier_detector.h"
 #include "core/quota_planner.h"
@@ -79,6 +81,14 @@ class SelectiveRetuner {
     // Monitoring-only mode: collect samples and diagnoses but take no
     // action at all (benchmarks use this to measure the broken state).
     bool enable_actions = true;
+
+    // Observability hooks, both optional. `metrics` registers
+    // controller.* instruments (tick/phase durations, violation and
+    // per-kind action counters, per-server utilization gauges);
+    // `trace` receives one structured event per diagnosis phase per
+    // violating interval (sla -> impact -> iqr -> mrc -> action).
+    MetricsRegistry* metrics = nullptr;
+    TraceLog* trace = nullptr;
   };
 
   enum class ActionKind {
@@ -178,6 +188,26 @@ class SelectiveRetuner {
 
   void Log(ActionKind kind, AppId app, std::string description);
 
+  // --- decision tracing ---
+  // A violating interval opens a scope (emitting the "sla" event); the
+  // cascade emits "impact"/"iqr"/"mrc" events as those phases run;
+  // closing the scope back-fills skipped:true events for phases that
+  // never ran and then emits the interval's "action" events (deferred
+  // so phase order in the trace is always sla, impact, iqr, mrc,
+  // action) — or a single kind:"none" action carrying `why` when the
+  // interval acted on nothing.
+  void BeginViolationScope(Scheduler* scheduler,
+                           const Scheduler::IntervalReport& report,
+                           double end_interval_us);
+  void EndViolationScope(const char* why);
+  bool Tracing() const { return trace_ != nullptr && trace_->enabled(); }
+  void TraceOutlierPhases(AppId app, int replica_id,
+                          const OutlierReport& report);
+  void TraceMrcPhase(AppId app, int replica_id, double dur_us,
+                     size_t candidates, LogAnalyzer& analyzer,
+                     const LogAnalyzer::MemoryDiagnosis& diagnosis);
+  void EmitActionEvent(const Action& action);
+
   // Whether the app's pools are still warming after a topology change.
   bool InWarmup(AppId app) const;
   // Whether the class was re-placed too recently to move again.
@@ -201,6 +231,20 @@ class SelectiveRetuner {
   std::vector<IntervalSample> samples_;
   std::vector<DiagnosisRecord> diagnoses_;
   bool started_ = false;
+
+  MetricsRegistry* metrics_ = nullptr;
+  TraceLog* trace_ = nullptr;
+  LatencyHistogram* tick_us_ = nullptr;
+  Counter* violations_ = nullptr;
+  struct ViolationScope {
+    bool active = false;
+    AppId app = 0;
+    bool impact_emitted = false;
+    bool iqr_emitted = false;
+    bool mrc_emitted = false;
+    size_t actions_before = 0;
+  };
+  ViolationScope scope_;
 };
 
 }  // namespace fglb

@@ -90,4 +90,20 @@ bool DatabaseEngine::SetQuota(ClassKey key, uint64_t pages) {
 
 void DatabaseEngine::DropQuota(ClassKey key) { pool_.DropQuota(key); }
 
+void DatabaseEngine::BindMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    stats_.BindMetrics(nullptr, nullptr);
+    return;
+  }
+  const std::string prefix = "engine." + name_ + ".";
+  stats_.BindMetrics(registry->counter(prefix + "queries"),
+                     registry->histogram(prefix + "latency_us"));
+}
+
+void DatabaseEngine::PublishMetrics() const {
+  if (metrics_ == nullptr) return;
+  pool_.PublishMetrics(metrics_, "engine." + name_ + ".bufferpool.");
+}
+
 }  // namespace fglb

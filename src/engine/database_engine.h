@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/random.h"
 #include "engine/stats_collector.h"
 #include "storage/disk_model.h"
@@ -53,6 +54,15 @@ class DatabaseEngine {
   bool SetQuota(ClassKey key, uint64_t pages);
   void DropQuota(ClassKey key);
 
+  // Hooks this engine's stats into `registry` under "engine.<name>.":
+  // a completed-query counter and latency histogram updated inline, and
+  // buffer-pool stats published by PublishMetrics(). Null unbinds.
+  void BindMetrics(MetricsRegistry* registry);
+
+  // Copies cumulative buffer-pool stats into the bound registry
+  // ("engine.<name>.bufferpool.*"). Called once per sampling interval.
+  void PublishMetrics() const;
+
   const std::string& name() const { return name_; }
   PartitionedBufferPool& pool() { return pool_; }
   const PartitionedBufferPool& pool() const { return pool_; }
@@ -65,6 +75,7 @@ class DatabaseEngine {
   PartitionedBufferPool pool_;
   StatsCollector stats_;
   const DiskModel* disk_model_;
+  MetricsRegistry* metrics_ = nullptr;
   AccessGenerator generator_;
   Rng rng_;
   std::vector<PageAccess> scratch_;

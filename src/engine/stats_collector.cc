@@ -31,6 +31,10 @@ void StatsCollector::RecordQuery(ClassKey key, double latency_seconds,
   state.io_requests += counters.io_requests;
   state.read_aheads += counters.read_aheads;
   state.lock_wait_seconds += counters.lock_wait_seconds;
+  if (queries_metric_ != nullptr) queries_metric_->Increment();
+  if (latency_us_metric_ != nullptr) {
+    latency_us_metric_->Record(latency_seconds * 1e6);
+  }
 }
 
 std::map<ClassKey, MetricVector> StatsCollector::EndInterval(

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/ring_window.h"
 #include "common/span_pair.h"
 #include "engine/metrics.h"
@@ -74,6 +75,14 @@ class StatsCollector {
   // Classes with any activity since construction.
   std::vector<ClassKey> KnownClasses() const;
 
+  // Points RecordQuery at a queries counter and an end-to-end latency
+  // histogram (microseconds). Null pointers unbind; the unbound path
+  // costs one branch per completed query.
+  void BindMetrics(Counter* queries, LatencyHistogram* latency_us) {
+    queries_metric_ = queries;
+    latency_us_metric_ = latency_us;
+  }
+
   // Total queries completed since construction.
   uint64_t total_queries() const { return total_queries_; }
 
@@ -98,6 +107,8 @@ class StatsCollector {
   size_t window_capacity_;
   std::map<ClassKey, std::unique_ptr<PerClass>> classes_;
   uint64_t total_queries_ = 0;
+  Counter* queries_metric_ = nullptr;
+  LatencyHistogram* latency_us_metric_ = nullptr;
 };
 
 }  // namespace fglb

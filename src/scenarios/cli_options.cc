@@ -65,6 +65,12 @@ usage: fglb_sim [options]
   --mrc-threads=N   diagnosis worker threads; 0 = all cores (default 0)
   --mrc-sample-rate=R  Mattson replay sampling rate in (0,1];
                     1 = exact, 0.125 ~ 8x cheaper           (default 1)
+  --trace-out=FILE  write the controller's JSONL decision trace
+                    (one event per diagnosis phase per interval)
+  --metrics-out=FILE  write a final metrics-registry JSON snapshot
+  --metrics-interval=SEC  engine-stats sampling period;
+                    0 = the retuner interval                 (default 0)
+  --log-level=L     quiet | info | debug                    (default info)
   --help            this text
 )";
 }
@@ -119,6 +125,18 @@ bool ParseCliOptions(const std::vector<std::string>& args,
     } else if (key == "mrc-sample-rate") {
       ok = ParseDouble(value, &options->mrc_sample_rate) &&
            options->mrc_sample_rate > 0 && options->mrc_sample_rate <= 1;
+    } else if (key == "trace-out") {
+      ok = !value.empty();
+      options->trace_out = value;
+    } else if (key == "metrics-out") {
+      ok = !value.empty();
+      options->metrics_out = value;
+    } else if (key == "metrics-interval") {
+      ok = ParseDouble(value, &options->metrics_interval_seconds) &&
+           options->metrics_interval_seconds >= 0;
+    } else if (key == "log-level") {
+      ok = value == "quiet" || value == "info" || value == "debug";
+      options->log_level = value;
     } else {
       *error = "unknown option --" + key;
       return false;

@@ -37,6 +37,14 @@ struct CliOptions {
   // pages and scales counts back up).
   int mrc_threads = 0;
   double mrc_sample_rate = 1.0;
+  // Observability outputs: a JSONL decision trace of the controller's
+  // diagnosis cascade, a final metrics-registry snapshot, and the
+  // engine-stats sampling period (0 = the retuner interval).
+  std::string trace_out;
+  std::string metrics_out;
+  double metrics_interval_seconds = 0;
+  // Stderr verbosity: quiet | info | debug.
+  std::string log_level = "info";
   bool help = false;
 };
 

@@ -5,8 +5,41 @@
 
 namespace fglb {
 
-ClusterHarness::ClusterHarness(SelectiveRetuner::Config config)
-    : resources_(&sim_), retuner_(&sim_, &resources_, config) {}
+ClusterHarness::ClusterHarness(SelectiveRetuner::Config config,
+                               bool observability)
+    : observability_(observability),
+      resources_(&sim_),
+      retuner_(&sim_, &resources_, WithObservability(std::move(config))) {
+  if (observability_) {
+    resources_.set_metrics(&metrics_);
+    sim_.BindMetrics(&metrics_);
+  }
+}
+
+SelectiveRetuner::Config ClusterHarness::WithObservability(
+    SelectiveRetuner::Config config) {
+  if (!observability_) return config;
+  if (config.metrics == nullptr) config.metrics = &metrics_;
+  if (config.trace == nullptr) config.trace = &trace_;
+  return config;
+}
+
+void ClusterHarness::StartMetricsSampler(double period_seconds) {
+  if (sampler_started_ || !observability_) return;
+  sampler_started_ = true;
+  const double period = period_seconds > 0
+                            ? period_seconds
+                            : retuner_.config().interval_seconds;
+  struct Sampler {
+    static void Arm(ClusterHarness* self, double period) {
+      self->sim_.ScheduleAfter(period, [self, period] {
+        self->resources_.PublishMetrics();
+        Arm(self, period);
+      });
+    }
+  };
+  Sampler::Arm(this, period);
+}
 
 void ClusterHarness::AddServers(int count,
                                 const PhysicalServer::Options& options) {
@@ -52,6 +85,7 @@ void ClusterHarness::Start() {
   started_ = true;
   for (auto& emulator : emulators_) emulator->Start();
   retuner_.Start();
+  StartMetricsSampler();
 }
 
 void ClusterHarness::RunFor(double seconds) {

@@ -6,6 +6,8 @@
 
 #include "cluster/resource_manager.h"
 #include "cluster/scheduler.h"
+#include "common/metrics_registry.h"
+#include "common/trace_log.h"
 #include "core/selective_retuner.h"
 #include "sim/simulator.h"
 #include "workload/application.h"
@@ -20,7 +22,13 @@ namespace fglb {
 // their scenarios through it.
 class ClusterHarness {
  public:
-  explicit ClusterHarness(SelectiveRetuner::Config config = {});
+  // `observability` false skips all metrics/trace wiring: no registry
+  // bindings anywhere, so instrumented hot paths take their null-check
+  // branch (bench_overhead measures the difference). When true,
+  // config.metrics/config.trace default to the harness-owned instances
+  // unless the caller already supplied its own.
+  explicit ClusterHarness(SelectiveRetuner::Config config = {},
+                          bool observability = true);
   ClusterHarness(const ClusterHarness&) = delete;
   ClusterHarness& operator=(const ClusterHarness&) = delete;
 
@@ -53,9 +61,17 @@ class ClusterHarness {
   // template's access components in place).
   ApplicationSpec* mutable_app(Scheduler* scheduler);
 
+  // Starts a recurring sim event that publishes cumulative engine /
+  // buffer-pool stats into the registry every `period_seconds` (<= 0
+  // uses the retuner interval). Start() arms the default sampler
+  // automatically when observability is on; call earlier to customize.
+  void StartMetricsSampler(double period_seconds = 0);
+
   Simulator& sim() { return sim_; }
   ResourceManager& resources() { return resources_; }
   SelectiveRetuner& retuner() { return retuner_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceLog& trace() { return trace_; }
   const std::vector<std::unique_ptr<Scheduler>>& schedulers() const {
     return schedulers_;
   }
@@ -71,6 +87,14 @@ class ClusterHarness {
   WindowSummary Summarize(AppId app, SimTime from, SimTime to) const;
 
  private:
+  // Fills in config.metrics/config.trace with the harness-owned
+  // instances (ctor-init helper; members below are declared first so
+  // their addresses are valid here).
+  SelectiveRetuner::Config WithObservability(SelectiveRetuner::Config config);
+
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+  bool observability_;
   Simulator sim_;
   ResourceManager resources_;
   SelectiveRetuner retuner_;
@@ -79,6 +103,7 @@ class ClusterHarness {
   std::vector<std::unique_ptr<LoadFunction>> loads_;
   std::vector<std::unique_ptr<ClientEmulator>> emulators_;
   bool started_ = false;
+  bool sampler_started_ = false;
 };
 
 }  // namespace fglb

@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/csv.h"
+
 namespace fglb {
 
 namespace {
@@ -14,18 +16,6 @@ void Append(std::string& out, const char* format, ...) {
   std::vsnprintf(buf, sizeof(buf), format, args);
   va_end(args);
   out += buf;
-}
-
-// CSV-escapes a free-text field (quotes + embedded commas/newlines).
-std::string Quoted(const std::string& text) {
-  std::string out = "\"";
-  for (char c : text) {
-    if (c == '"') out += "\"\"";
-    else if (c == '\n') out += ' ';
-    else out += c;
-  }
-  out += '"';
-  return out;
 }
 
 }  // namespace
@@ -92,7 +82,7 @@ std::string ActionsCsv(
   for (const auto& action : actions) {
     Append(out, "%.1f,%s,%u,", action.time,
            SelectiveRetuner::ActionKindName(action.kind), action.app);
-    out += Quoted(action.description);
+    out += CsvQuote(action.description);
     out += '\n';
   }
   return out;

@@ -15,13 +15,23 @@ void Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
   ScheduleAt(now_ + delay, std::move(fn));
 }
 
+void Simulator::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    events_executed_ = nullptr;
+    queue_depth_ = nullptr;
+    return;
+  }
+  events_executed_ = registry->counter("sim.events_executed");
+  queue_depth_ = registry->gauge("sim.queue_depth");
+}
+
 void Simulator::RunUntil(SimTime until) {
   while (!queue_.empty() && queue_.top().when <= until) {
     // Copy out before pop: the callback may schedule new events.
     Event event = queue_.top();
     queue_.pop();
     now_ = event.when;
-    ++executed_;
+    NoteExecuted();
     event.fn();
   }
   if (now_ < until && queue_.empty()) {
@@ -38,7 +48,7 @@ void Simulator::RunToCompletion() {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.when;
-    ++executed_;
+    NoteExecuted();
     event.fn();
   }
 }

@@ -6,6 +6,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/metrics_registry.h"
+
 namespace fglb {
 
 // Simulated time, in seconds.
@@ -40,7 +42,20 @@ class Simulator {
   size_t pending_events() const { return queue_.size(); }
   uint64_t executed_events() const { return executed_; }
 
+  // Registers "sim.queue_depth" / "sim.events_executed" in `registry`
+  // and updates them as the event loop runs (one relaxed store and add
+  // per dispatched event; a null registry unbinds and costs one branch).
+  void BindMetrics(MetricsRegistry* registry);
+
  private:
+  void NoteExecuted() {
+    ++executed_;
+    if (events_executed_ != nullptr) {
+      events_executed_->Increment();
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+  }
+
   struct Event {
     SimTime when;
     uint64_t sequence;
@@ -57,6 +72,9 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
   uint64_t executed_ = 0;
+  // Bound together: events_executed_ != nullptr implies queue_depth_.
+  Counter* events_executed_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
 };
 
 }  // namespace fglb

@@ -76,4 +76,40 @@ void PartitionedBufferPool::ResetStats() {
   for (auto& [key, pool] : dedicated_) pool->ResetStats();
 }
 
+namespace {
+
+void PublishPool(MetricsRegistry* registry, const std::string& prefix,
+                 const BufferPool& pool) {
+  const BufferPoolStats& stats = pool.stats();
+  registry->counter(prefix + "accesses")->Set(stats.accesses);
+  registry->counter(prefix + "hits")->Set(stats.hits);
+  registry->counter(prefix + "misses")->Set(stats.misses);
+  registry->counter(prefix + "evictions")->Set(stats.evictions);
+  registry->counter(prefix + "read_ahead_inserts")
+      ->Set(stats.prefetch_inserts);
+  registry->gauge(prefix + "resident_pages")
+      ->Set(static_cast<double>(pool.resident_pages()));
+  registry->gauge(prefix + "capacity_pages")
+      ->Set(static_cast<double>(pool.capacity()));
+}
+
+}  // namespace
+
+void PartitionedBufferPool::PublishMetrics(MetricsRegistry* registry,
+                                           const std::string& prefix) const {
+  if (registry == nullptr) return;
+  PublishPool(registry, prefix + "shared.", shared_);
+  registry->gauge(prefix + "partitions")
+      ->Set(static_cast<double>(dedicated_.size()));
+  registry->gauge(prefix + "dedicated_pages")
+      ->Set(static_cast<double>(dedicated_total_));
+  for (const auto& [key, pool] : dedicated_) {
+    // PartitionKey is a ClassKey: (app << 32) | class.
+    const std::string part =
+        prefix + "class_" + std::to_string(key >> 32) + "_" +
+        std::to_string(key & 0xFFFFFFFFULL) + ".";
+    PublishPool(registry, part, *pool);
+  }
+}
+
 }  // namespace fglb

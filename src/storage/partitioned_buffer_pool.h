@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 
@@ -65,6 +67,14 @@ class PartitionedBufferPool {
   std::vector<PartitionKey> DedicatedKeys() const;
 
   void ResetStats();
+
+  // Publishes cumulative stats into `registry` under `prefix`
+  // ("<prefix>shared.misses", "<prefix>class_<app>_<cls>.hits", ...,
+  // plus "<prefix>partitions" / "<prefix>dedicated_pages" gauges).
+  // Called once per sampling interval, not per access, so the hot
+  // access path stays untouched.
+  void PublishMetrics(MetricsRegistry* registry,
+                      const std::string& prefix) const;
 
  private:
   BufferPool* PoolFor(PartitionKey key);

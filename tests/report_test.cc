@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/csv.h"
 #include "scenarios/cli_options.h"
 
 namespace fglb {
@@ -73,6 +74,25 @@ TEST(ReportTest, ActionsCsvQuotesDescriptions) {
   EXPECT_NE(csv.find("quota_enforced"), std::string::npos);
 }
 
+TEST(CsvQuoteTest, PlainFieldsPassThroughUnquoted) {
+  EXPECT_EQ(CsvQuote("plain"), "plain");
+  EXPECT_EQ(CsvQuote(""), "");
+  EXPECT_EQ(CsvQuote("semicolons; are fine"), "semicolons; are fine");
+}
+
+TEST(CsvQuoteTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvQuote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvQuote("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvQuote("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvQuoteTest, EdgeShapes) {
+  EXPECT_EQ(CsvQuote("\""), "\"\"\"\"");
+  EXPECT_EQ(CsvQuote(","), "\",\"");
+  EXPECT_EQ(CsvQuote("trailing,"), "\"trailing,\"");
+}
+
 TEST(ReportTest, EmptyInputsGiveHeadersOnly) {
   EXPECT_EQ(CountLines(SamplesCsv({})), 1);
   EXPECT_EQ(CountLines(ActionsCsv({})), 1);
@@ -138,6 +158,38 @@ TEST(CliOptionsTest, PositionalArgumentRejected) {
   CliOptions options;
   std::string error;
   EXPECT_FALSE(ParseCliOptions({"steady"}, &options, &error));
+}
+
+TEST(CliOptionsTest, ObservabilityFlags) {
+  CliOptions options;
+  std::string error;
+  ASSERT_TRUE(ParseCliOptions({"--trace-out=t.jsonl", "--metrics-out",
+                               "m.json", "--metrics-interval=5",
+                               "--log-level=debug"},
+                              &options, &error))
+      << error;
+  EXPECT_EQ(options.trace_out, "t.jsonl");
+  EXPECT_EQ(options.metrics_out, "m.json");
+  EXPECT_DOUBLE_EQ(options.metrics_interval_seconds, 5);
+  EXPECT_EQ(options.log_level, "debug");
+}
+
+TEST(CliOptionsTest, ObservabilityDefaultsOff) {
+  CliOptions options;
+  std::string error;
+  ASSERT_TRUE(ParseCliOptions({}, &options, &error));
+  EXPECT_TRUE(options.trace_out.empty());
+  EXPECT_TRUE(options.metrics_out.empty());
+  EXPECT_DOUBLE_EQ(options.metrics_interval_seconds, 0);
+  EXPECT_EQ(options.log_level, "info");
+}
+
+TEST(CliOptionsTest, RejectsBadObservabilityValues) {
+  CliOptions options;
+  std::string error;
+  EXPECT_FALSE(ParseCliOptions({"--log-level=loud"}, &options, &error));
+  EXPECT_FALSE(ParseCliOptions({"--metrics-interval=-1"}, &options, &error));
+  EXPECT_FALSE(ParseCliOptions({"--trace-out="}, &options, &error));
 }
 
 }  // namespace

@@ -16,11 +16,26 @@ cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
+echo "=== observability smoke: fglb_sim trace -> fglb_tracecat ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+"./${PREFIX}/tools/fglb_sim" --scenario=consolidation --duration=600 \
+  --log-level=quiet --trace-out="${SMOKE_DIR}/trace.jsonl" \
+  --metrics-out="${SMOKE_DIR}/metrics.json" >/dev/null
+# --check exits non-zero on any malformed line, schema violation or
+# sequence gap; the other invocations must at least not crash.
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/trace.jsonl" --check
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/trace.jsonl" \
+  --phase=action >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/trace.jsonl" --summary
+test -s "${SMOKE_DIR}/metrics.json"
+
 echo "=== TSan build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DFGLB_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
-  --target mrc_pipeline_test log_analyzer_test selective_retuner_test
+  --target mrc_pipeline_test log_analyzer_test selective_retuner_test \
+  metrics_registry_test trace_log_test observability_integration_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability'
 
 echo "CI OK"

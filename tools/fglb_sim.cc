@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "scenarios/cli_options.h"
 #include "scenarios/harness.h"
 #include "scenarios/report.h"
@@ -96,15 +97,49 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  LogLevel level = LogLevel::kInfo;
+  ParseLogLevel(options.log_level, &level);  // validated by the parser
+  SetGlobalLogLevel(level);
+
   SelectiveRetuner::Config retuner_config;
   retuner_config.mrc.analysis_threads = options.mrc_threads;
   retuner_config.mrc.sample_rate = options.mrc_sample_rate;
   ClusterHarness harness(retuner_config);
+  if (!options.trace_out.empty()) {
+    std::string trace_error;
+    if (!harness.trace().OpenFile(options.trace_out, &trace_error)) {
+      LogError("cannot open --trace-out file: %s", trace_error.c_str());
+      return 1;
+    }
+    LogDebug("decision trace -> %s", options.trace_out.c_str());
+  }
+  if (options.metrics_interval_seconds > 0) {
+    harness.StartMetricsSampler(options.metrics_interval_seconds);
+  }
   Assemble(options, &harness);
   harness.Start();
+  LogInfo("scenario assembled: %d servers, %.0f simulated seconds",
+          options.servers, options.duration_seconds);
   harness.RunFor(options.duration_seconds);
 
   const auto& retuner = harness.retuner();
+  LogInfo("run complete: %zu intervals, %zu actions, %zu diagnoses",
+          retuner.samples().size(), retuner.actions().size(),
+          retuner.diagnoses().size());
+  if (!options.trace_out.empty()) {
+    LogDebug("trace events emitted: %llu",
+             static_cast<unsigned long long>(
+                 harness.trace().events_emitted()));
+    harness.trace().Close();
+  }
+  if (!options.metrics_out.empty()) {
+    if (!harness.metrics().WriteJson(options.metrics_out)) {
+      LogError("cannot write --metrics-out file: %s",
+               options.metrics_out.c_str());
+      return 1;
+    }
+    LogDebug("metrics snapshot -> %s", options.metrics_out.c_str());
+  }
   switch (options.output) {
     case CliOptions::Output::kTable:
       std::printf("%s", FormatSamplesTable(retuner.samples()).c_str());

@@ -1,0 +1,297 @@
+// fglb_tracecat: inspector for the JSONL decision traces fglb_sim
+// writes via --trace-out. Pretty-prints events, filters by phase /
+// app / query class, validates trace well-formedness, and summarizes
+// per-phase durations and action counts.
+//
+//   ./build/tools/fglb_tracecat trace.jsonl
+//   ./build/tools/fglb_tracecat trace.jsonl --phase=action
+//   ./build/tools/fglb_tracecat trace.jsonl --app=2 --phase=mrc
+//   ./build/tools/fglb_tracecat trace.jsonl --summary
+//   ./build/tools/fglb_tracecat trace.jsonl --check
+//
+// `--phase=action` prints the action log in the exact format of the
+// simulator's own table output ("t=... [kind] description"), so the
+// trace can be diffed against it. `--check` exits non-zero on any
+// malformed line or event missing the schema's required fields.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+using fglb::JsonValue;
+
+struct TracecatOptions {
+  std::string path;
+  std::string phase;       // empty = all
+  bool has_app = false;
+  uint32_t app = 0;
+  bool has_class = false;
+  uint32_t cls = 0;
+  bool summary = false;
+  bool check = false;
+  bool help = false;
+};
+
+const char kUsage[] =
+    R"(fglb_tracecat -- inspector for fglb_sim --trace-out JSONL traces
+
+usage: fglb_tracecat FILE [options]
+
+  --phase=NAME   only events of this phase (sla|impact|iqr|mrc|action);
+                 --phase=action prints the simulator's action-log format
+  --app=N        only events of application N
+  --class=N      only events mentioning query class N (any app)
+  --summary      per-phase event counts, duration percentiles and
+                 action-kind counts instead of the events themselves
+  --check        validate every line (schema fields, JSON syntax);
+                 exit 1 on the first malformed line
+  --help         this text
+)";
+
+bool ParseArgs(int argc, char** argv, TracecatOptions* options,
+               std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+      return true;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      if (!options->path.empty()) {
+        *error = "more than one input file: " + arg;
+        return false;
+      }
+      options->path = arg;
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(2, eq == std::string::npos
+                                              ? std::string::npos
+                                              : eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "phase") {
+      options->phase = value;
+    } else if (key == "app") {
+      options->has_app = true;
+      options->app = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                        nullptr, 10));
+    } else if (key == "class") {
+      options->has_class = true;
+      options->cls = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                        nullptr, 10));
+    } else if (key == "summary") {
+      options->summary = true;
+    } else if (key == "check") {
+      options->check = true;
+    } else {
+      *error = "unknown option " + arg;
+      return false;
+    }
+  }
+  if (options->path.empty()) {
+    *error = "no input file";
+    return false;
+  }
+  return true;
+}
+
+// Does any object in the value tree carry "cls" == cls?
+bool MentionsClass(const JsonValue& value, uint32_t cls) {
+  if (value.is_object()) {
+    const JsonValue* c = value.Find("cls");
+    if (c != nullptr && c->kind == JsonValue::Kind::kNumber &&
+        static_cast<uint32_t>(c->number) == cls) {
+      return true;
+    }
+    for (const auto& [key, child] : value.object) {
+      if (MentionsClass(child, cls)) return true;
+    }
+  } else if (value.is_array()) {
+    for (const JsonValue& child : value.array) {
+      if (MentionsClass(child, cls)) return true;
+    }
+  }
+  return false;
+}
+
+bool Matches(const JsonValue& event, const TracecatOptions& options) {
+  if (!options.phase.empty() &&
+      event.StringOr("phase", "") != options.phase) {
+    return false;
+  }
+  if (options.has_app &&
+      static_cast<uint32_t>(event.NumberOr("app", -1)) != options.app) {
+    return false;
+  }
+  if (options.has_class && !MentionsClass(event, options.cls)) return false;
+  return true;
+}
+
+// One line per event: header columns then the remaining payload.
+void PrintEvent(const JsonValue& event) {
+  std::printf("#%-5.0f t=%8.1f  %-7s", event.NumberOr("seq", -1),
+              event.NumberOr("t", 0), event.StringOr("phase", "?").c_str());
+  JsonValue rest = event;
+  rest.object.erase("v");
+  rest.object.erase("seq");
+  rest.object.erase("mono_us");
+  rest.object.erase("phase");
+  rest.object.erase("t");
+  std::printf("  %s\n", rest.Dump().c_str());
+}
+
+// Parity with scenarios/report.cc FormatActions.
+void PrintActionLine(const JsonValue& event) {
+  if (event.StringOr("kind", "") == "none") return;
+  std::printf("t=%7.0f  [%s]  %s\n", event.NumberOr("t", 0),
+              event.StringOr("kind", "?").c_str(),
+              event.StringOr("desc", "").c_str());
+}
+
+double PercentileOf(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+struct PhaseStats {
+  uint64_t events = 0;
+  uint64_t skipped = 0;
+  std::vector<double> durations_us;
+};
+
+int Run(const TracecatOptions& options) {
+  std::ifstream in(options.path);
+  if (!in) {
+    std::fprintf(stderr, "fglb_tracecat: cannot open %s\n",
+                 options.path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, PhaseStats> phases;
+  std::map<std::string, uint64_t> action_kinds;
+  uint64_t line_number = 0;
+  uint64_t matched = 0;
+  int64_t last_seq = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    JsonValue event;
+    std::string error;
+    if (!JsonValue::Parse(line, &event, &error)) {
+      std::fprintf(stderr, "fglb_tracecat: %s:%llu: %s\n",
+                   options.path.c_str(),
+                   static_cast<unsigned long long>(line_number),
+                   error.c_str());
+      return 1;
+    }
+    if (options.check) {
+      const char* missing = nullptr;
+      if (!event.is_object()) missing = "(not an object)";
+      else if (event.NumberOr("v", 0) != 1) missing = "v";
+      else if (event.Find("seq") == nullptr) missing = "seq";
+      else if (event.Find("mono_us") == nullptr) missing = "mono_us";
+      else if (event.StringOr("phase", "").empty()) missing = "phase";
+      if (missing != nullptr) {
+        std::fprintf(stderr,
+                     "fglb_tracecat: %s:%llu: missing/invalid field %s\n",
+                     options.path.c_str(),
+                     static_cast<unsigned long long>(line_number), missing);
+        return 1;
+      }
+      const int64_t seq = static_cast<int64_t>(event.NumberOr("seq", -1));
+      if (seq != last_seq + 1) {
+        std::fprintf(stderr,
+                     "fglb_tracecat: %s:%llu: sequence gap (%lld after "
+                     "%lld)\n",
+                     options.path.c_str(),
+                     static_cast<unsigned long long>(line_number),
+                     static_cast<long long>(seq),
+                     static_cast<long long>(last_seq));
+        return 1;
+      }
+      last_seq = seq;
+    }
+    if (!Matches(event, options)) continue;
+    ++matched;
+
+    if (options.summary) {
+      const std::string phase = event.StringOr("phase", "?");
+      PhaseStats& stats = phases[phase];
+      ++stats.events;
+      if (event.BoolOr("skipped", false)) ++stats.skipped;
+      if (const JsonValue* dur = event.Find("dur_us")) {
+        stats.durations_us.push_back(dur->number);
+      }
+      if (phase == "action") {
+        ++action_kinds[event.StringOr("kind", "?")];
+      }
+      continue;
+    }
+    if (options.check) continue;
+    if (options.phase == "action") {
+      PrintActionLine(event);
+    } else {
+      PrintEvent(event);
+    }
+  }
+
+  if (options.check) {
+    std::printf("ok: %llu lines, %llu matching events\n",
+                static_cast<unsigned long long>(line_number),
+                static_cast<unsigned long long>(matched));
+    return 0;
+  }
+  if (options.summary) {
+    std::printf("%-8s %8s %8s %12s %12s %12s\n", "phase", "events",
+                "skipped", "dur_p50_us", "dur_p95_us", "dur_max_us");
+    for (const auto& [phase, stats] : phases) {
+      const double max_us =
+          stats.durations_us.empty()
+              ? 0
+              : *std::max_element(stats.durations_us.begin(),
+                                  stats.durations_us.end());
+      std::printf("%-8s %8llu %8llu %12.1f %12.1f %12.1f\n", phase.c_str(),
+                  static_cast<unsigned long long>(stats.events),
+                  static_cast<unsigned long long>(stats.skipped),
+                  PercentileOf(stats.durations_us, 0.50),
+                  PercentileOf(stats.durations_us, 0.95), max_us);
+    }
+    if (!action_kinds.empty()) {
+      std::printf("\nactions by kind:\n");
+      for (const auto& [kind, count] : action_kinds) {
+        std::printf("  %-18s %8llu\n", kind.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TracecatOptions options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(), kUsage);
+    return 2;
+  }
+  if (options.help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  return Run(options);
+}
