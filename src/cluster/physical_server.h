@@ -33,6 +33,16 @@ class PhysicalServer {
   uint64_t memory_pages() const { return options_.memory_pages; }
   const DiskModel& disk_model() const { return options_.disk; }
 
+  // Fault-injection knob: scales every subsequent disk service demand
+  // (engines reference this server's DiskModel by pointer). 1.0 restores
+  // healthy latency.
+  void set_disk_latency_multiplier(double factor) {
+    options_.disk.latency_multiplier = factor;
+  }
+  double disk_latency_multiplier() const {
+    return options_.disk.latency_multiplier;
+  }
+
   QueueResource& cpu() { return cpu_; }
   QueueResource& io() { return io_; }
 

@@ -25,6 +25,7 @@ void Replica::Run(const QueryInstance& query, CompletionFn done) {
   // time those demands take is then served by the queueing stations.
   auto counters =
       std::make_shared<ExecutionCounters>(engine_->Execute(query));
+  counters->cpu_seconds *= slowdown_;
 
   auto finish = [this, key, counters, start, done = std::move(done)]() {
     const double latency = sim_->Now() - start;

@@ -52,6 +52,11 @@ class Replica {
   uint64_t inflight() const { return inflight_; }
   uint64_t completed() const { return completed_; }
 
+  // Fault-injection knob: scales the CPU demand of every subsequently
+  // admitted query (a degraded-but-alive replica). 1.0 = healthy.
+  void set_slowdown(double factor) { slowdown_ = factor; }
+  double slowdown() const { return slowdown_; }
+
   // Replication bookkeeping: highest write sequence number applied for
   // an application (0 if none).
   uint64_t AppliedSeq(AppId app) const;
@@ -66,6 +71,7 @@ class Replica {
   LockManager locks_;
   uint64_t inflight_ = 0;
   uint64_t completed_ = 0;
+  double slowdown_ = 1.0;
   std::map<AppId, uint64_t> applied_seq_;
 };
 

@@ -105,6 +105,11 @@ Replica* ResourceManager::ProvisionReplica(Scheduler* scheduler,
 void ResourceManager::Decommission(Scheduler* scheduler, Replica* replica) {
   assert(scheduler != nullptr && replica != nullptr);
   scheduler->RemoveReplica(replica);
+  DestroyReplica(replica);
+}
+
+void ResourceManager::DestroyReplica(Replica* replica) {
+  assert(replica != nullptr);
   // Destroy only once drained; with the discrete-event model, queries
   // already admitted hold no pointer back into the replica after their
   // completion callbacks run, but those callbacks do reference it, so
@@ -117,17 +122,39 @@ void ResourceManager::Decommission(Scheduler* scheduler, Replica* replica) {
     replicas_.erase(it);
     return;
   }
-  // Poll for drain. Simulated time is cheap.
+  // Poll for drain, but only until the deadline: a query wedged on a
+  // never-released lock must not keep the event queue — and with it
+  // RunToCompletion — alive forever. Past the deadline the replica is
+  // parked as a zombie owned by this manager, freed at teardown.
   std::unique_ptr<Replica> owned = std::move(*it);
   replicas_.erase(it);
+  auto held = std::make_shared<std::unique_ptr<Replica>>(std::move(owned));
+  const SimTime deadline = sim_->Now() + drain_timeout_seconds_;
   struct Drainer {
-    static void Wait(Simulator* sim, std::shared_ptr<std::unique_ptr<Replica>> held) {
+    static void Wait(ResourceManager* rm,
+                     std::shared_ptr<std::unique_ptr<Replica>> held,
+                     SimTime deadline) {
       if ((*held)->inflight() == 0) return;  // destroyed when held dies
-      sim->ScheduleAfter(1.0, [sim, held] { Wait(sim, held); });
+      if (rm->sim_->Now() >= deadline) {
+        if (rm->metrics_ != nullptr) {
+          rm->metrics_->counter("cluster.drain_timeouts")->Increment();
+        }
+        rm->zombies_.push_back(std::move(*held));
+        return;
+      }
+      rm->sim_->ScheduleAfter(1.0, [rm, held, deadline] {
+        Wait(rm, held, deadline);
+      });
     }
   };
-  auto held = std::make_shared<std::unique_ptr<Replica>>(std::move(owned));
-  Drainer::Wait(sim_, held);
+  Drainer::Wait(this, held, deadline);
+}
+
+Replica* ResourceManager::FindReplica(int id) const {
+  for (const auto& replica : replicas_) {
+    if (replica->id() == id) return replica.get();
+  }
+  return nullptr;
 }
 
 int ResourceManager::ServersUsedBy(const Scheduler& scheduler) const {

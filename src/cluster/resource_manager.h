@@ -43,8 +43,29 @@ class ResourceManager {
 
   // Detaches `replica` from `scheduler` and destroys it, returning its
   // memory to the server. In-flight queries on it complete first in
-  // simulated time, but no new queries are routed to it.
+  // simulated time, but no new queries are routed to it. If the replica
+  // has not drained within `drain_timeout_seconds()` it is parked as a
+  // zombie: its memory is released for placement purposes, destruction
+  // waits for ResourceManager teardown (in-flight completion callbacks
+  // reference the replica, so freeing it earlier would be unsound), and
+  // the bounded poll keeps a stuck query from pinning the event queue —
+  // and thus RunToCompletion — forever.
   void Decommission(Scheduler* scheduler, Replica* replica);
+
+  // Destroys a replica that is no longer routed to (same drain rules as
+  // Decommission, without touching any scheduler). Used by the fault
+  // injector's crash path after it has detached the replica itself.
+  void DestroyReplica(Replica* replica);
+
+  // Live (non-zombie) replica by id, or nullptr.
+  Replica* FindReplica(int id) const;
+
+  double drain_timeout_seconds() const { return drain_timeout_seconds_; }
+  void set_drain_timeout_seconds(double seconds) {
+    drain_timeout_seconds_ = seconds;
+  }
+  // Replicas whose drain timed out and that now await teardown.
+  size_t zombie_count() const { return zombies_.size(); }
 
   const std::vector<std::unique_ptr<PhysicalServer>>& servers() const {
     return servers_;
@@ -68,7 +89,9 @@ class ResourceManager {
   MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<PhysicalServer>> servers_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Replica>> zombies_;
   int next_replica_id_ = 0;
+  double drain_timeout_seconds_ = 60;
 };
 
 }  // namespace fglb

@@ -1,0 +1,79 @@
+#include "common/trace_check.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace fglb {
+
+namespace {
+
+std::string LineError(size_t line_number, const std::string& message) {
+  return "line " + std::to_string(line_number) + ": " + message;
+}
+
+}  // namespace
+
+bool CheckTraceLines(const std::vector<std::string>& lines,
+                     std::string* error) {
+  int64_t last_seq = -1;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    JsonValue event;
+    std::string parse_error;
+    if (!JsonValue::Parse(line, &event, &parse_error)) {
+      *error = LineError(i + 1, parse_error);
+      return false;
+    }
+    const char* missing = nullptr;
+    if (!event.is_object()) missing = "(not an object)";
+    else if (event.NumberOr("v", 0) != 1) missing = "v";
+    else if (event.Find("seq") == nullptr) missing = "seq";
+    else if (event.Find("mono_us") == nullptr) missing = "mono_us";
+    else if (event.StringOr("phase", "").empty()) missing = "phase";
+    if (missing != nullptr) {
+      *error = LineError(i + 1, std::string("missing/invalid field ") +
+                                    missing);
+      return false;
+    }
+    const int64_t seq = static_cast<int64_t>(event.NumberOr("seq", -1));
+    if (seq != last_seq + 1) {
+      *error = LineError(i + 1, "sequence gap (" + std::to_string(seq) +
+                                    " after " + std::to_string(last_seq) +
+                                    ")");
+      return false;
+    }
+    last_seq = seq;
+  }
+  return true;
+}
+
+std::string FormatActionEventLine(const JsonValue& event) {
+  if (event.StringOr("kind", "") == "none") return "";
+  char buf[320];
+  std::snprintf(buf, sizeof(buf), "t=%7.0f  [%s]  %s\n",
+                event.NumberOr("t", 0),
+                event.StringOr("kind", "?").c_str(),
+                event.StringOr("desc", "").c_str());
+  return buf;
+}
+
+bool ActionLines(const std::vector<std::string>& lines,
+                 std::vector<std::string>* out, std::string* error) {
+  out->clear();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    JsonValue event;
+    std::string parse_error;
+    if (!JsonValue::Parse(lines[i], &event, &parse_error)) {
+      *error = LineError(i + 1, parse_error);
+      return false;
+    }
+    if (event.StringOr("phase", "") != "action") continue;
+    std::string rendered = FormatActionEventLine(event);
+    if (!rendered.empty()) out->push_back(std::move(rendered));
+  }
+  return true;
+}
+
+}  // namespace fglb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "common/json.h"
@@ -351,6 +352,8 @@ void SelectiveRetuner::NoteTopologyChange(AppId app) {
 void SelectiveRetuner::Tick() {
   const auto tick_start = std::chrono::steady_clock::now();
   const double interval = config_.interval_seconds;
+  migrations_this_interval_ = 0;
+  PruneDeadAnalyzers();
   IntervalSample sample;
   sample.time = sim_->Now();
 
@@ -444,10 +447,7 @@ void SelectiveRetuner::Tick() {
       }
       ++violation_streak_[app];
       BeginViolationScope(s, report, end_interval_us[s]);
-      HandleViolation(s, report, snapshots);
-      EndViolationScope(!config_.enable_actions        ? "monitoring"
-                        : !config_.enable_fine_grained ? "coarse_only"
-                                                       : "no_action");
+      EndViolationScope(HandleViolation(s, report, snapshots));
     } else {
       violation_streak_[app] = 0;
       ++calm_streak_[app];
@@ -462,27 +462,51 @@ void SelectiveRetuner::Tick() {
   if (tick_us_ != nullptr) tick_us_->Record(MicrosSince(tick_start));
 }
 
-void SelectiveRetuner::HandleViolation(
+const char* SelectiveRetuner::HandleViolation(
     Scheduler* scheduler, const Scheduler::IntervalReport& /*report*/,
     const std::map<Replica*, Snapshot>& snapshots) {
   const AppId app = scheduler->app().id;
   if (!config_.enable_actions) {
     // Monitoring only: run the diagnosis for the record, change nothing.
     TryMemoryRetuning(scheduler, snapshots, /*act=*/false);
-    return;
+    return "monitoring";
   }
   if (!config_.enable_fine_grained) {
     if (violation_streak_[app] >= config_.coarse_fallback_after) {
       CoarseFallback(scheduler);
     }
-    return;
+    return "coarse_only";
   }
-  if (TryCpuProvisioning(scheduler)) return;
-  if (TryMemoryRetuning(scheduler, snapshots)) return;
-  if (TryIoRetuning(scheduler, snapshots)) return;
+  if (TryCpuProvisioning(scheduler)) return "no_action";
+  // Graceful degradation: with no per-class statistics for this app at
+  // all (stats-collector dropout, or every serving replica gone), the
+  // fine-grained cascade — and the coarse fallback it escalates to —
+  // would be reasoning about nothing. Skip with a reason; the next
+  // interval with data resumes the cascade.
+  bool have_stats = false;
+  for (Replica* r : scheduler->replicas()) {
+    const auto it = snapshots.find(r);
+    if (it == snapshots.end()) continue;
+    for (const auto& [key, vec] : it->second) {
+      if (AppOf(key) == app) {
+        have_stats = true;
+        break;
+      }
+    }
+    if (have_stats) break;
+  }
+  if (!have_stats) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("controller.skipped.no_stats")->Increment();
+    }
+    return "no_stats";
+  }
+  if (TryMemoryRetuning(scheduler, snapshots)) return "no_action";
+  if (TryIoRetuning(scheduler, snapshots)) return "no_action";
   if (violation_streak_[app] >= config_.coarse_fallback_after) {
     CoarseFallback(scheduler);
   }
+  return "no_action";
 }
 
 bool SelectiveRetuner::TryCpuProvisioning(Scheduler* scheduler) {
@@ -658,18 +682,16 @@ bool SelectiveRetuner::TryMemoryRetuning(
       if (owner == nullptr) continue;
       Replica* target = FindPlacementTarget(owner, r, *profile_it);
       if (target == nullptr) continue;
-      owner->DedicateReplica(ClassOf(key), target);
-      r->engine().DropQuota(key);
-      analyzer.AdoptRecomputation(key);
-      NotePlacementChange(key);
-      NoteTopologyChange(owner->app().id);
       char buf[160];
       std::snprintf(buf, sizeof(buf),
                     "memory interference: rescheduled %s from %s to %s",
                     ClassLabel(key).c_str(), r->name().c_str(),
                     target->name().c_str());
-      Log(ActionKind::kClassRescheduled, AppOf(key), buf);
-      acted = true;
+      if (StartMigration(owner, r, target, key,
+                         ActionKind::kClassRescheduled, buf,
+                         /*adopt_recomputation=*/true, *profile_it)) {
+        acted = true;
+      }
     }
   }
   return acted;
@@ -763,16 +785,16 @@ bool SelectiveRetuner::TryIoRetuning(
           config_.io_saturation_threshold) {
         continue;
       }
-      owner->DedicateReplica(ClassOf(key), target);
-      source->engine().DropQuota(key);
-      NotePlacementChange(key);
-      NoteTopologyChange(owner->app().id);
       char buf[160];
       std::snprintf(buf, sizeof(buf),
                     "I/O interference on %s: moved %s to %s",
                     server->name().c_str(), ClassLabel(key).c_str(),
                     target->name().c_str());
-      Log(ActionKind::kIoEviction, AppOf(key), buf);
+      if (!StartMigration(owner, source, target, key,
+                          ActionKind::kIoEviction, buf,
+                          /*adopt_recomputation=*/false, incoming)) {
+        continue;
+      }
       acted = true;
       break;  // one eviction per server per interval
     }
@@ -794,6 +816,143 @@ Replica* SelectiveRetuner::FindPlacementTarget(
     }
   }
   return resources_->ProvisionReplica(scheduler, config_.replica_pool_pages);
+}
+
+bool SelectiveRetuner::StartMigration(Scheduler* owner, Replica* source,
+                                      Replica* target, ClassKey key,
+                                      ActionKind kind, std::string description,
+                                      bool adopt_recomputation,
+                                      const ClassMemoryProfile& profile) {
+  if (migrating_.contains(key)) return false;  // one in flight per class
+  if (config_.max_migrations_per_interval > 0 &&
+      migrations_this_interval_ >= config_.max_migrations_per_interval) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("controller.migration.budget_deferred")->Increment();
+    }
+    return false;
+  }
+  ++migrations_this_interval_;
+  ++migration_stats_.started;
+  migrating_.insert(key);
+  PendingMigration m;
+  m.key = key;
+  m.app = owner->app().id;
+  m.source_id = source != nullptr ? source->id() : -1;
+  m.target_id = target != nullptr ? target->id() : -1;
+  m.kind = kind;
+  m.description = std::move(description);
+  m.adopt_recomputation = adopt_recomputation;
+  m.profile = profile;
+  m.started = sim_->Now();
+  AttemptMigration(std::move(m));
+  return true;
+}
+
+void SelectiveRetuner::AttemptMigration(PendingMigration m) {
+  ++m.attempt;
+  migration_stats_.max_attempts_observed =
+      std::max(migration_stats_.max_attempts_observed, m.attempt);
+  if (m.attempt > 1 + config_.migration_max_retries) {
+    AbandonMigration(m, "retry_budget");
+    return;
+  }
+  if (sim_->Now() - m.started > config_.migration_timeout_seconds) {
+    AbandonMigration(m, "timeout");
+    return;
+  }
+  MigrationOutcome outcome;
+  if (config_.migration_interceptor) {
+    outcome = config_.migration_interceptor(m.key, m.attempt);
+  }
+  if (outcome.fail) {
+    ++migration_stats_.failed_attempts;
+    if (metrics_ != nullptr) {
+      metrics_->counter("controller.migration.retries")->Increment();
+    }
+    const double backoff = config_.migration_retry_backoff_seconds *
+                           std::ldexp(1.0, m.attempt - 1);
+    sim_->ScheduleAfter(backoff,
+                        [this, m = std::move(m)] { AttemptMigration(m); });
+    return;
+  }
+  if (outcome.delay_seconds > 0) {
+    ++migration_stats_.delayed;
+    if (metrics_ != nullptr) {
+      metrics_->counter("controller.migration.delayed")->Increment();
+    }
+    sim_->ScheduleAfter(outcome.delay_seconds, [this, m = std::move(m)] {
+      if (sim_->Now() - m.started > config_.migration_timeout_seconds) {
+        AbandonMigration(m, "timeout");
+      } else if (!ApplyMigration(m)) {
+        AbandonMigration(m, "target_lost");
+      }
+    });
+    return;
+  }
+  if (!ApplyMigration(m)) AbandonMigration(m, "target_lost");
+}
+
+bool SelectiveRetuner::ApplyMigration(const PendingMigration& m) {
+  Scheduler* owner = nullptr;
+  for (Scheduler* s : schedulers_) {
+    if (s->app().id == m.app) owner = s;
+  }
+  if (owner == nullptr) return false;
+  Replica* source = resources_->FindReplica(m.source_id);
+  Replica* target = resources_->FindReplica(m.target_id);
+  if (target == nullptr) {
+    // The chosen destination died while the migration was in flight;
+    // any valid placement still honors the decision.
+    target = FindPlacementTarget(owner, source, m.profile);
+    if (target == nullptr) return false;
+  }
+  owner->DedicateReplica(ClassOf(m.key), target);
+  if (source != nullptr) {
+    source->engine().DropQuota(m.key);
+    if (m.adopt_recomputation) {
+      AnalyzerFor(&source->engine()).AdoptRecomputation(m.key);
+    }
+  }
+  migrating_.erase(m.key);
+  ++migration_stats_.applied;
+  NotePlacementChange(m.key);
+  NoteTopologyChange(owner->app().id);
+  Log(m.kind, AppOf(m.key), m.description);
+  return true;
+}
+
+void SelectiveRetuner::AbandonMigration(const PendingMigration& m,
+                                        const char* why) {
+  migrating_.erase(m.key);
+  ++migration_stats_.abandoned;
+  // Cooldown: the class that just failed to move must not be re-issued
+  // by the very next interval — that is exactly re-placement flapping.
+  NotePlacementChange(m.key);
+  if (metrics_ != nullptr) {
+    metrics_->counter("controller.migration.abandoned")->Increment();
+  }
+  if (Tracing()) {
+    TraceEvent event("migration");
+    event.Num("t", sim_->Now())
+        .Uint("app", m.app)
+        .Uint("cls", ClassOf(m.key))
+        .Str("outcome", "abandoned")
+        .Str("why", why)
+        .Int("attempts", m.attempt);
+    trace_->Emit(event);
+  }
+}
+
+void SelectiveRetuner::PruneDeadAnalyzers() {
+  std::set<const DatabaseEngine*> live;
+  for (Replica* r : resources_->AllReplicas()) live.insert(&r->engine());
+  for (auto it = analyzers_.begin(); it != analyzers_.end();) {
+    if (live.contains(it->first)) {
+      ++it;
+    } else {
+      it = analyzers_.erase(it);
+    }
+  }
 }
 
 void SelectiveRetuner::CoarseFallback(Scheduler* scheduler) {

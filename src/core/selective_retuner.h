@@ -1,6 +1,7 @@
 #ifndef FGLB_CORE_SELECTIVE_RETUNER_H_
 #define FGLB_CORE_SELECTIVE_RETUNER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -18,6 +19,15 @@
 #include "sim/simulator.h"
 
 namespace fglb {
+
+// Fate of one controller migration attempt, as decided by an optional
+// interceptor (the fault injector, in chaos runs): the attempt may fail
+// outright (the controller retries with backoff) or be applied only
+// after a delay (a slow migration).
+struct MigrationOutcome {
+  bool fail = false;
+  double delay_seconds = 0;
+};
 
 // The paper's selective retuning control loop (§3.2): every
 // measurement interval it checks each application's SLA, refreshes
@@ -81,6 +91,23 @@ class SelectiveRetuner {
     // Monitoring-only mode: collect samples and diagnoses but take no
     // action at all (benchmarks use this to measure the broken state).
     bool enable_actions = true;
+
+    // --- migration hardening (fault tolerance) ---
+    // A class migration gets 1 initial attempt plus this many retries
+    // before it is abandoned (and its class cools down).
+    int migration_max_retries = 2;
+    // The first retry waits this long; each further retry doubles it.
+    double migration_retry_backoff_seconds = 2;
+    // A migration not applied within this window of its start is
+    // abandoned, whatever its retry budget still holds.
+    double migration_timeout_seconds = 30;
+    // Migrations the controller may *start* per interval; 0 = unlimited
+    // (the default keeps fault-free behaviour unchanged).
+    int max_migrations_per_interval = 0;
+    // Consulted once per migration attempt; unset means every attempt
+    // applies immediately (the fault-free fast path).
+    std::function<MigrationOutcome(ClassKey, int attempt)>
+        migration_interceptor;
 
     // Observability hooks, both optional. `metrics` registers
     // controller.* instruments (tick/phase durations, violation and
@@ -158,19 +185,41 @@ class SelectiveRetuner {
   // The per-engine analyzer, created on first use.
   LogAnalyzer& AnalyzerFor(DatabaseEngine* engine);
 
+  // Installs/replaces the migration interceptor after construction (the
+  // harness wires the fault injector in once both exist).
+  void set_migration_interceptor(
+      std::function<MigrationOutcome(ClassKey, int)> interceptor) {
+    config_.migration_interceptor = std::move(interceptor);
+  }
+
   const std::vector<Action>& actions() const { return actions_; }
   const std::vector<IntervalSample>& samples() const { return samples_; }
   const std::vector<DiagnosisRecord>& diagnoses() const { return diagnoses_; }
   const Config& config() const { return config_; }
+
+  // Lifetime counters over the migration state machine; the chaos tests
+  // assert its invariants (attempts bounded, abandoned moves cool down).
+  struct MigrationStats {
+    uint64_t started = 0;
+    uint64_t applied = 0;
+    uint64_t delayed = 0;
+    uint64_t failed_attempts = 0;
+    uint64_t abandoned = 0;
+    int max_attempts_observed = 0;
+  };
+  const MigrationStats& migration_stats() const { return migration_stats_; }
 
   static const char* ActionKindName(ActionKind kind);
 
  private:
   using Snapshot = std::map<ClassKey, MetricVector>;
 
-  void HandleViolation(Scheduler* scheduler,
-                       const Scheduler::IntervalReport& report,
-                       const std::map<Replica*, Snapshot>& snapshots);
+  // Returns the reason the interval acted on nothing ("monitoring",
+  // "coarse_only", "no_stats", "no_action"); used as the skip-with-
+  // reason `why` when the scope closes without actions.
+  const char* HandleViolation(Scheduler* scheduler,
+                              const Scheduler::IntervalReport& report,
+                              const std::map<Replica*, Snapshot>& snapshots);
   bool TryCpuProvisioning(Scheduler* scheduler);
   // `act` false = diagnose and record only (monitoring mode).
   bool TryMemoryRetuning(Scheduler* scheduler,
@@ -185,6 +234,38 @@ class SelectiveRetuner {
   // `avoid`, that passes the acceptable-memory fit test for `incoming`.
   Replica* FindPlacementTarget(Scheduler* scheduler, Replica* avoid,
                                const ClassMemoryProfile& incoming);
+
+  // --- migration state machine ---
+  // Every class re-placement goes through here. Replicas are carried by
+  // id (delayed applies must survive the source/target dying); the
+  // fault-free fast path (no interceptor) applies inline, producing the
+  // exact same action stream as direct application used to.
+  struct PendingMigration {
+    ClassKey key = 0;
+    AppId app = 0;  // owner application
+    int source_id = -1;
+    int target_id = -1;
+    ActionKind kind = ActionKind::kClassRescheduled;
+    std::string description;
+    bool adopt_recomputation = false;
+    ClassMemoryProfile profile;  // for re-finding a lost target
+    SimTime started = 0;
+    int attempt = 0;
+  };
+  // False when the per-interval budget or an in-flight migration of the
+  // same class blocks the start.
+  bool StartMigration(Scheduler* owner, Replica* source, Replica* target,
+                      ClassKey key, ActionKind kind, std::string description,
+                      bool adopt_recomputation,
+                      const ClassMemoryProfile& profile);
+  void AttemptMigration(PendingMigration m);
+  bool ApplyMigration(const PendingMigration& m);
+  void AbandonMigration(const PendingMigration& m, const char* why);
+
+  // Drops analyzers whose engine no longer exists (decommissioned or
+  // crash-destroyed); a new engine reusing the address must not inherit
+  // stale state, and the analyzer's engine pointer would dangle.
+  void PruneDeadAnalyzers();
 
   void Log(ActionKind kind, AppId app, std::string description);
 
@@ -231,6 +312,9 @@ class SelectiveRetuner {
   std::vector<IntervalSample> samples_;
   std::vector<DiagnosisRecord> diagnoses_;
   bool started_ = false;
+  MigrationStats migration_stats_;
+  int migrations_this_interval_ = 0;
+  std::set<ClassKey> migrating_;  // classes with an in-flight migration
 
   MetricsRegistry* metrics_ = nullptr;
   TraceLog* trace_ = nullptr;

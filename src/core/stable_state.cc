@@ -1,9 +1,17 @@
 #include "core/stable_state.h"
 
+#include <cmath>
+
 namespace fglb {
 
 void StableStateStore::Update(ClassKey key, const MetricVector& averages,
                               SimTime now) {
+  // A signature poisoned by NaN/inf (degraded stats feed, division by a
+  // zero interval) would make every later current/stable ratio garbage;
+  // keep the previous good signature instead.
+  for (double v : averages) {
+    if (!std::isfinite(v)) return;
+  }
   StableStateSignature& sig = signatures_[key];
   sig.averages = averages;
   sig.recorded_at = now;

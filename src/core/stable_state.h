@@ -29,6 +29,8 @@ class StableStateStore {
  public:
   // Installs/overwrites the signature for `key` with this stable
   // interval's averages ("we update the last stable value seen").
+  // Averages containing NaN/inf are rejected: the last good signature
+  // survives a degraded statistics feed.
   void Update(ClassKey key, const MetricVector& averages, SimTime now);
 
   // nullptr if the class has never completed a stable interval here.

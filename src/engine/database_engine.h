@@ -68,6 +68,9 @@ class DatabaseEngine {
   const PartitionedBufferPool& pool() const { return pool_; }
   StatsCollector& stats() { return stats_; }
   const StatsCollector& stats() const { return stats_; }
+
+  // Fault-injection forwarder: degrades/restores the stats feed.
+  void set_stats_dropout(StatsDropout mode) { stats_.set_dropout(mode); }
   const DiskModel& disk_model() const { return *disk_model_; }
 
  private:

@@ -41,8 +41,25 @@ std::map<ClassKey, MetricVector> StatsCollector::EndInterval(
     double interval_seconds) {
   assert(interval_seconds > 0);
   std::map<ClassKey, MetricVector> result;
+  size_t class_index = 0;
   for (auto& [key, state] : classes_) {
+    const size_t index = class_index++;
     if (state->queries == 0 && state->page_accesses == 0) continue;
+    // Dropped intervals still reset the accumulators below: the data is
+    // lost, not deferred — exactly how a dead logging buffer behaves.
+    const bool report =
+        dropout_ == StatsDropout::kNone ||
+        (dropout_ == StatsDropout::kPartial && index % 2 == 0);
+    if (!report) {
+      state->queries = 0;
+      state->latency_sum = 0;
+      state->page_accesses = 0;
+      state->buffer_misses = 0;
+      state->io_requests = 0;
+      state->read_aheads = 0;
+      state->lock_wait_seconds = 0;
+      continue;
+    }
     MetricVector v{};
     At(v, Metric::kLatency) =
         state->queries > 0 ? state->latency_sum / state->queries : 0.0;

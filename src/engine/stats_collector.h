@@ -41,6 +41,16 @@ struct ExecutionCounters {
   double lock_wait_seconds = 0;
 };
 
+// Fault-injected degradation of the statistics feed (the paper's
+// per-thread logging buffers can be disabled or can lose data under
+// load). Values match the sim-layer kStatsDropAll/kStatsPartial
+// constants so the fault injector can pass modes as plain ints.
+enum class StatsDropout {
+  kNone = 0,
+  kDropAll = 1,  // EndInterval reports nothing (collector offline)
+  kPartial = 2,  // EndInterval reports only some classes (lossy buffers)
+};
+
 // Lightweight per-query-class statistics collection inside one engine
 // (the paper instruments MySQL/InnoDB with per-thread private logging
 // buffers; in this single-threaded simulation the collector accumulates
@@ -86,6 +96,12 @@ class StatsCollector {
   // Total queries completed since construction.
   uint64_t total_queries() const { return total_queries_; }
 
+  // Degrades (or restores) what EndInterval reports. Accumulators keep
+  // running regardless — only the reporting is lossy, so a restored
+  // collector needs no warm-up.
+  void set_dropout(StatsDropout mode) { dropout_ = mode; }
+  StatsDropout dropout() const { return dropout_; }
+
  private:
   struct PerClass {
     // Interval accumulators.
@@ -109,6 +125,7 @@ class StatsCollector {
   uint64_t total_queries_ = 0;
   Counter* queries_metric_ = nullptr;
   LatencyHistogram* latency_us_metric_ = nullptr;
+  StatsDropout dropout_ = StatsDropout::kNone;
 };
 
 }  // namespace fglb

@@ -12,6 +12,9 @@ bool ParseScenario(const std::string& value, CliOptions::Scenario* out) {
   else if (value == "consolidation")
     *out = CliOptions::Scenario::kConsolidation;
   else if (value == "io") *out = CliOptions::Scenario::kIoContention;
+  else if (value == "chaos-replica")
+    *out = CliOptions::Scenario::kChaosReplica;
+  else if (value == "chaos-disk") *out = CliOptions::Scenario::kChaosDisk;
   else return false;
   return true;
 }
@@ -55,7 +58,8 @@ std::string CliUsage() {
 
 usage: fglb_sim [options]
 
-  --scenario=NAME   steady | burst | consolidation | io   (default steady)
+  --scenario=NAME   steady | burst | consolidation | io |
+                    chaos-replica | chaos-disk              (default steady)
   --output=FORMAT   table | samples-csv | actions-csv | servers-csv
   --servers=N       machines in the shared pool             (default 4)
   --duration=SEC    simulated seconds                       (default 900)
@@ -70,6 +74,10 @@ usage: fglb_sim [options]
   --metrics-out=FILE  write a final metrics-registry JSON snapshot
   --metrics-interval=SEC  engine-stats sampling period;
                     0 = the retuner interval                 (default 0)
+  --fault-spec=SPEC fault schedule, e.g.
+                    "crash@120:replica=1,restart=60;disk@300:server=0,factor=8,duration=120"
+                    (chaos-* scenarios provide one if omitted)
+  --fault-seed=N    fault-injector seed (schedule + decisions) (default 1)
   --log-level=L     quiet | info | debug                    (default info)
   --help            this text
 )";
@@ -134,6 +142,11 @@ bool ParseCliOptions(const std::vector<std::string>& args,
     } else if (key == "metrics-interval") {
       ok = ParseDouble(value, &options->metrics_interval_seconds) &&
            options->metrics_interval_seconds >= 0;
+    } else if (key == "fault-spec") {
+      ok = !value.empty();
+      options->fault_spec = value;
+    } else if (key == "fault-seed") {
+      ok = ParseUint64(value, &options->fault_seed);
     } else if (key == "log-level") {
       ok = value == "quiet" || value == "info" || value == "debug";
       options->log_level = value;

@@ -16,6 +16,8 @@ struct CliOptions {
     kBurst,          // step burst (Fig. 3-style provisioning)
     kConsolidation,  // TPC-W + RUBiS in one engine (Table 2)
     kIoContention,   // two RUBiS domains on one machine (Table 3)
+    kChaosReplica,   // consolidation + replica crash/restart faults
+    kChaosDisk,      // consolidation + disk-latency spike faults
   };
   enum class Output {
     kTable,       // human-readable series + actions
@@ -43,6 +45,12 @@ struct CliOptions {
   std::string trace_out;
   std::string metrics_out;
   double metrics_interval_seconds = 0;
+  // Fault injection: an explicit schedule (see the FaultSpec grammar in
+  // sim/fault_injector.h / README) and the seed for the injector's own
+  // decisions (migration failures) and for seed-generated schedules.
+  // The chaos-* scenarios supply a default spec when this is empty.
+  std::string fault_spec;
+  uint64_t fault_seed = 1;
   // Stderr verbosity: quiet | info | debug.
   std::string log_level = "info";
   bool help = false;

@@ -1,9 +1,89 @@
 #include "scenarios/harness.h"
 
+#include <algorithm>
 #include <cassert>
+#include <map>
 #include <utility>
+#include <vector>
 
 namespace fglb {
+
+namespace {
+
+// Applies fault events to the live cluster. Crash = detach from every
+// scheduler + destroy (in-flight queries complete first, bounded by the
+// resource manager's drain deadline); restart = re-provision capacity
+// for the applications the dead replica served.
+class HarnessFaultBackend : public FaultBackend {
+ public:
+  explicit HarnessFaultBackend(ClusterHarness* harness) : harness_(harness) {}
+
+  bool CrashReplica(int replica_id) override {
+    Replica* replica = harness_->resources().FindReplica(replica_id);
+    if (replica == nullptr) return false;
+    CrashRecord record;
+    record.pool_pages = replica->engine().pool().capacity();
+    for (const auto& scheduler : harness_->schedulers()) {
+      const auto& set = scheduler->replicas();
+      if (std::find(set.begin(), set.end(), replica) != set.end()) {
+        record.apps.push_back(scheduler.get());
+        scheduler->RemoveReplica(replica);
+      }
+    }
+    crashes_[replica_id] = std::move(record);
+    harness_->resources().DestroyReplica(replica);
+    return true;
+  }
+
+  bool RestartReplica(int crashed_replica_id) override {
+    auto it = crashes_.find(crashed_replica_id);
+    if (it == crashes_.end()) return false;
+    bool provisioned = false;
+    for (Scheduler* scheduler : it->second.apps) {
+      if (harness_->resources().ProvisionReplica(
+              scheduler, it->second.pool_pages) != nullptr) {
+        provisioned = true;
+      }
+    }
+    crashes_.erase(it);
+    return provisioned;
+  }
+
+  bool SetDiskLatencyFactor(int server_id, double factor) override {
+    const auto& servers = harness_->resources().servers();
+    if (server_id < 0 || server_id >= static_cast<int>(servers.size())) {
+      return false;
+    }
+    servers[static_cast<size_t>(server_id)]->set_disk_latency_multiplier(
+        factor);
+    return true;
+  }
+
+  bool SetReplicaSlowdown(int replica_id, double factor) override {
+    Replica* replica = harness_->resources().FindReplica(replica_id);
+    if (replica == nullptr) return false;
+    replica->set_slowdown(factor);
+    return true;
+  }
+
+  bool SetStatsDropout(int replica_id, int mode) override {
+    Replica* replica = harness_->resources().FindReplica(replica_id);
+    if (replica == nullptr) return false;
+    replica->engine().set_stats_dropout(static_cast<StatsDropout>(mode));
+    return true;
+  }
+
+ private:
+  struct CrashRecord {
+    uint64_t pool_pages = 0;
+    std::vector<Scheduler*> apps;  // schedulers the replica served
+  };
+
+  ClusterHarness* harness_;
+  std::map<int, CrashRecord> crashes_;
+};
+
+}  // namespace
 
 ClusterHarness::ClusterHarness(SelectiveRetuner::Config config,
                                bool observability)
@@ -80,11 +160,30 @@ ApplicationSpec* ClusterHarness::mutable_app(Scheduler* scheduler) {
   return nullptr;
 }
 
+FaultInjector* ClusterHarness::InjectFaults(FaultSpec spec, uint64_t seed) {
+  if (fault_injector_ != nullptr) return fault_injector_.get();
+  fault_backend_ = std::make_unique<HarnessFaultBackend>(this);
+  fault_injector_ = std::make_unique<FaultInjector>(
+      &sim_, fault_backend_.get(), std::move(spec), seed);
+  if (observability_) {
+    fault_injector_->BindObservability(&metrics_, &trace_);
+  }
+  retuner_.set_migration_interceptor(
+      [injector = fault_injector_.get()](ClassKey key, int attempt) {
+        const FaultInjector::MigrationDecision d =
+            injector->OnMigrationAttempt(key, attempt);
+        return MigrationOutcome{d.fail, d.delay_seconds};
+      });
+  if (started_) fault_injector_->Arm();
+  return fault_injector_.get();
+}
+
 void ClusterHarness::Start() {
   if (started_) return;
   started_ = true;
   for (auto& emulator : emulators_) emulator->Start();
   retuner_.Start();
+  if (fault_injector_ != nullptr) fault_injector_->Arm();
   StartMetricsSampler();
 }
 

@@ -9,6 +9,7 @@
 #include "common/metrics_registry.h"
 #include "common/trace_log.h"
 #include "core/selective_retuner.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 #include "workload/application.h"
 #include "workload/client_emulator.h"
@@ -49,6 +50,16 @@ class ClusterHarness {
   // Shorthand: constant client population.
   ClientEmulator* AddConstantClients(Scheduler* scheduler, double clients,
                                      uint64_t seed);
+
+  // Installs a fault injector driving this cluster: crash/restart maps
+  // to scheduler detach + replica destruction / re-provisioning, disk
+  // and slowdown faults mutate the live server/replica models, stats
+  // faults degrade the engine's collector, and migration-fault windows
+  // intercept the controller's re-placements. Deterministic per (spec,
+  // seed). Call before Start() (Start arms the schedule); one injector
+  // per harness, later calls return the first.
+  FaultInjector* InjectFaults(FaultSpec spec, uint64_t seed);
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
 
   // Starts every emulator plus the retuner's interval ticks.
   void Start();
@@ -102,6 +113,8 @@ class ClusterHarness {
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<std::unique_ptr<LoadFunction>> loads_;
   std::vector<std::unique_ptr<ClientEmulator>> emulators_;
+  std::unique_ptr<FaultBackend> fault_backend_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   bool started_ = false;
   bool sampler_started_ = false;
 };

@@ -1,0 +1,429 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fglb {
+
+namespace {
+
+// %g keeps the canonical serialization short and round-trippable for
+// the magnitudes the grammar deals in (seconds, factors, rates).
+std::string Num(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseIntField(const std::string& value, int* out) {
+  double d = 0;
+  if (!ParseDouble(value, &d) || d != static_cast<int>(d)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool ParseKind(const std::string& name, FaultKind* out) {
+  if (name == "crash") *out = FaultKind::kCrash;
+  else if (name == "disk") *out = FaultKind::kDisk;
+  else if (name == "slow") *out = FaultKind::kSlow;
+  else if (name == "stats") *out = FaultKind::kStats;
+  else if (name == "migration") *out = FaultKind::kMigration;
+  else return false;
+  return true;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\n");
+  if (begin == std::string::npos) return "";
+  size_t end = text.find_last_not_of(" \t\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<const FaultEvent*> SortedByTime(
+    const std::vector<FaultEvent>& events) {
+  std::vector<const FaultEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const FaultEvent& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     return a->time < b->time;
+                   });
+  return sorted;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kDisk:
+      return "disk";
+    case FaultKind::kSlow:
+      return "slow";
+    case FaultKind::kStats:
+      return "stats";
+    case FaultKind::kMigration:
+      return "migration";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::ToString() const {
+  std::string out;
+  for (const FaultEvent* e : SortedByTime(events)) {
+    if (!out.empty()) out += ';';
+    out += FaultKindName(e->kind);
+    out += '@' + Num(e->time) + ':';
+    switch (e->kind) {
+      case FaultKind::kCrash:
+        out += "replica=" + std::to_string(e->replica);
+        if (e->restart_after >= 0) out += ",restart=" + Num(e->restart_after);
+        break;
+      case FaultKind::kDisk:
+        out += "server=" + std::to_string(e->server) +
+               ",factor=" + Num(e->factor);
+        if (e->duration > 0) out += ",duration=" + Num(e->duration);
+        break;
+      case FaultKind::kSlow:
+        out += "replica=" + std::to_string(e->replica) +
+               ",factor=" + Num(e->factor);
+        if (e->duration > 0) out += ",duration=" + Num(e->duration);
+        break;
+      case FaultKind::kStats:
+        out += "replica=" + std::to_string(e->replica) + ",mode=" +
+               (e->stats_mode == kStatsPartial ? "partial" : "drop");
+        if (e->duration > 0) out += ",duration=" + Num(e->duration);
+        break;
+      case FaultKind::kMigration:
+        out += "delay=" + Num(e->delay_seconds) + ",fail=" + Num(e->fail_rate);
+        if (e->duration > 0) out += ",duration=" + Num(e->duration);
+        break;
+    }
+  }
+  return out;
+}
+
+bool FaultSpec::Parse(const std::string& text, FaultSpec* out,
+                      std::string* error) {
+  FaultSpec spec;
+  for (const std::string& raw_entry : Split(text, ';')) {
+    const std::string entry = Trim(raw_entry);
+    if (entry.empty()) continue;
+    const size_t at = entry.find('@');
+    const size_t colon = entry.find(':', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || colon == std::string::npos) {
+      *error = "fault entry needs kind@time:params, got: " + entry;
+      return false;
+    }
+    FaultEvent event;
+    // The grammar requires an explicit factor where one matters (the
+    // struct default 1.0 would make a forgotten factor a silent no-op).
+    event.factor = 0;
+    if (!ParseKind(entry.substr(0, at), &event.kind)) {
+      *error = "unknown fault kind: " + entry.substr(0, at);
+      return false;
+    }
+    if (!ParseDouble(entry.substr(at + 1, colon - at - 1), &event.time) ||
+        event.time < 0) {
+      *error = "bad fault time in: " + entry;
+      return false;
+    }
+    for (const std::string& pair : Split(entry.substr(colon + 1), ',')) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        *error = "fault param needs key=value, got: " + pair;
+        return false;
+      }
+      const std::string key = Trim(pair.substr(0, eq));
+      const std::string value = Trim(pair.substr(eq + 1));
+      bool ok = true;
+      if (key == "replica") ok = ParseIntField(value, &event.replica);
+      else if (key == "server") ok = ParseIntField(value, &event.server);
+      else if (key == "factor") ok = ParseDouble(value, &event.factor);
+      else if (key == "duration") ok = ParseDouble(value, &event.duration);
+      else if (key == "restart") ok = ParseDouble(value, &event.restart_after);
+      else if (key == "delay") ok = ParseDouble(value, &event.delay_seconds);
+      else if (key == "fail") ok = ParseDouble(value, &event.fail_rate);
+      else if (key == "mode") {
+        if (value == "drop") event.stats_mode = kStatsDropAll;
+        else if (value == "partial") event.stats_mode = kStatsPartial;
+        else ok = false;
+      } else {
+        *error = "unknown fault param: " + key;
+        return false;
+      }
+      if (!ok) {
+        *error = "bad value for fault param " + key + ": " + value;
+        return false;
+      }
+    }
+    // Kind-specific required fields.
+    const char* missing = nullptr;
+    switch (event.kind) {
+      case FaultKind::kCrash:
+        if (event.replica < 0) missing = "replica";
+        break;
+      case FaultKind::kDisk:
+        if (event.server < 0) missing = "server";
+        else if (event.factor <= 0) missing = "factor";
+        break;
+      case FaultKind::kSlow:
+        if (event.replica < 0) missing = "replica";
+        else if (event.factor <= 0) missing = "factor";
+        break;
+      case FaultKind::kStats:
+        if (event.replica < 0) missing = "replica";
+        break;
+      case FaultKind::kMigration:
+        if (event.fail_rate < 0 || event.fail_rate > 1) missing = "fail";
+        break;
+    }
+    if (missing != nullptr) {
+      *error = std::string("fault entry missing/invalid ") + missing + ": " +
+               entry;
+      return false;
+    }
+    spec.events.push_back(event);
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+FaultSpec MakeRandomFaultSpec(uint64_t seed, double duration,
+                              const RandomFaultProfile& profile) {
+  assert(duration > 0);
+  Rng rng(seed);
+  FaultSpec spec;
+  auto when = [&rng, &profile, duration] {
+    return rng.UniformDouble(profile.min_time_fraction * duration,
+                             profile.max_time_fraction * duration);
+  };
+  auto pick = [&rng](int n) {
+    return n > 0 ? static_cast<int>(rng.NextUint64(
+                       static_cast<uint64_t>(n)))
+                 : 0;
+  };
+  for (int i = 0; i < profile.crashes; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    e.time = when();
+    e.replica = pick(profile.replicas);
+    e.restart_after = rng.UniformDouble(20, 60);
+    spec.events.push_back(e);
+  }
+  for (int i = 0; i < profile.disk_spikes; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kDisk;
+    e.time = when();
+    e.server = pick(profile.servers);
+    e.factor = rng.UniformDouble(2, 10);
+    e.duration = rng.UniformDouble(30, 120);
+    spec.events.push_back(e);
+  }
+  for (int i = 0; i < profile.slowdowns; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSlow;
+    e.time = when();
+    e.replica = pick(profile.replicas);
+    e.factor = rng.UniformDouble(1.5, 4);
+    e.duration = rng.UniformDouble(30, 120);
+    spec.events.push_back(e);
+  }
+  for (int i = 0; i < profile.stats_dropouts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kStats;
+    e.time = when();
+    e.replica = pick(profile.replicas);
+    e.stats_mode = rng.Bernoulli(0.5) ? kStatsDropAll : kStatsPartial;
+    e.duration = rng.UniformDouble(20, 80);
+    spec.events.push_back(e);
+  }
+  for (int i = 0; i < profile.migration_windows; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kMigration;
+    e.time = when();
+    e.delay_seconds = rng.UniformDouble(1, 8);
+    e.fail_rate = rng.UniformDouble(0, 0.6);
+    e.duration = rng.UniformDouble(60, 240);
+    spec.events.push_back(e);
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(Simulator* sim, FaultBackend* backend,
+                             FaultSpec spec, uint64_t seed)
+    : sim_(sim),
+      backend_(backend),
+      spec_(std::move(spec)),
+      // Decorrelate decision draws from any schedule generated with the
+      // same seed.
+      rng_(seed ^ 0xFA17BEEFULL) {
+  assert(sim_ != nullptr && backend_ != nullptr);
+}
+
+void FaultInjector::BindObservability(MetricsRegistry* metrics,
+                                      TraceLog* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
+void FaultInjector::Arm() {
+  if (armed_) return;
+  armed_ = true;
+  const SimTime now = sim_->Now();
+  for (const FaultEvent& event : spec_.events) {
+    const FaultEvent copy = event;
+    sim_->ScheduleAt(std::max(now, event.time), [this, copy] { Fire(copy); });
+  }
+}
+
+void FaultInjector::Note(const char* kind, int target, double factor,
+                         bool applied, bool revert) {
+  if (applied) {
+    ++injected_;
+  } else {
+    ++noops_;
+  }
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter(applied ? std::string("fault.") + kind
+                          : std::string("fault.noop"))
+        ->Increment();
+  }
+  if (trace_ != nullptr && trace_->enabled()) {
+    TraceEvent event("fault");
+    event.Num("t", sim_->Now())
+        .Str("kind", kind)
+        .Int("target", target)
+        .Num("factor", factor)
+        .Bool("applied", applied)
+        .Bool("revert", revert);
+    trace_->Emit(event);
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash: {
+      const bool ok = backend_->CrashReplica(event.replica);
+      Note("crash", event.replica, 0, ok, false);
+      if (ok && event.restart_after >= 0) {
+        const int replica = event.replica;
+        sim_->ScheduleAfter(event.restart_after, [this, replica] {
+          const bool restarted = backend_->RestartReplica(replica);
+          Note("restart", replica, 0, restarted, false);
+        });
+      }
+      break;
+    }
+    case FaultKind::kDisk: {
+      const bool ok = backend_->SetDiskLatencyFactor(event.server,
+                                                     event.factor);
+      Note("disk", event.server, event.factor, ok, false);
+      if (ok && event.duration > 0) {
+        const FaultEvent copy = event;
+        sim_->ScheduleAfter(event.duration, [this, copy] { Revert(copy); });
+      }
+      break;
+    }
+    case FaultKind::kSlow: {
+      const bool ok = backend_->SetReplicaSlowdown(event.replica,
+                                                   event.factor);
+      Note("slow", event.replica, event.factor, ok, false);
+      if (ok && event.duration > 0) {
+        const FaultEvent copy = event;
+        sim_->ScheduleAfter(event.duration, [this, copy] { Revert(copy); });
+      }
+      break;
+    }
+    case FaultKind::kStats: {
+      const bool ok = backend_->SetStatsDropout(event.replica,
+                                                event.stats_mode);
+      Note("stats", event.replica, event.stats_mode, ok, false);
+      if (ok && event.duration > 0) {
+        const FaultEvent copy = event;
+        sim_->ScheduleAfter(event.duration, [this, copy] { Revert(copy); });
+      }
+      break;
+    }
+    case FaultKind::kMigration: {
+      ++migration_windows_;
+      migration_delay_ = event.delay_seconds;
+      migration_fail_rate_ = event.fail_rate;
+      Note("migration_window", -1, event.fail_rate, true, false);
+      if (event.duration > 0) {
+        const FaultEvent copy = event;
+        sim_->ScheduleAfter(event.duration, [this, copy] { Revert(copy); });
+      }
+      break;
+    }
+  }
+}
+
+void FaultInjector::Revert(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      break;  // crashes do not revert (restart is a separate sub-event)
+    case FaultKind::kDisk:
+      Note("disk", event.server, 1.0,
+           backend_->SetDiskLatencyFactor(event.server, 1.0), true);
+      break;
+    case FaultKind::kSlow:
+      Note("slow", event.replica, 1.0,
+           backend_->SetReplicaSlowdown(event.replica, 1.0), true);
+      break;
+    case FaultKind::kStats:
+      Note("stats", event.replica, 0,
+           backend_->SetStatsDropout(event.replica, 0), true);
+      break;
+    case FaultKind::kMigration:
+      migration_windows_ = std::max(0, migration_windows_ - 1);
+      Note("migration_window", -1, 0, true, true);
+      break;
+  }
+}
+
+FaultInjector::MigrationDecision FaultInjector::OnMigrationAttempt(
+    uint64_t /*class_key*/, int /*attempt*/) {
+  if (migration_windows_ <= 0) return {};
+  MigrationDecision decision;
+  decision.fail =
+      migration_fail_rate_ > 0 && rng_.Bernoulli(migration_fail_rate_);
+  decision.delay_seconds = decision.fail ? 0 : migration_delay_;
+  if (metrics_ != nullptr) {
+    if (decision.fail) {
+      metrics_->counter("fault.migration.failed")->Increment();
+    } else if (decision.delay_seconds > 0) {
+      metrics_->counter("fault.migration.delayed")->Increment();
+    }
+  }
+  return decision;
+}
+
+}  // namespace fglb

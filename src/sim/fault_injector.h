@@ -1,0 +1,181 @@
+#ifndef FGLB_SIM_FAULT_INJECTOR_H_
+#define FGLB_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/random.h"
+#include "common/trace_log.h"
+#include "sim/simulator.h"
+
+namespace fglb {
+
+// Deterministic, schedule-driven fault injection for the cluster
+// simulation. The injector itself knows nothing about replicas or
+// servers — it owns the schedule (parsed from a spec string or
+// generated from a seed), fires each fault at its simulated time, and
+// calls into a FaultBackend that applies the fault to the cluster.
+// Everything is deterministic per (spec, seed): the schedule, the
+// firing order (simulator tie-breaking) and every migration-fault
+// decision (seeded Rng). Applied faults are recorded in the
+// observability layer as "fault" trace events and fault.* counters.
+
+enum class FaultKind {
+  kCrash,      // replica crash (optionally restarted later)
+  kDisk,       // disk-latency spike on one server's I/O channel
+  kSlow,       // slow-replica degradation (CPU demand multiplier)
+  kStats,      // stats-collector dropout (missing/partial metrics)
+  kMigration,  // window in which class migrations are delayed/failed
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// Stats dropout severities carried by kStats events (mirrors
+// StatsDropout in engine/stats_collector.h; kept as int here so the
+// sim library stays free of engine dependencies).
+inline constexpr int kStatsDropAll = 1;
+inline constexpr int kStatsPartial = 2;
+
+// One scheduled fault. Which fields matter depends on `kind`:
+//   kCrash:     replica, restart_after (< 0 = never restarted)
+//   kDisk:      server, factor, duration (<= 0 = permanent)
+//   kSlow:      replica, factor, duration
+//   kStats:     replica, stats_mode, duration
+//   kMigration: delay_seconds, fail_rate, duration
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  SimTime time = 0;
+  int replica = -1;
+  int server = -1;
+  double factor = 1.0;
+  double duration = 0;
+  double restart_after = -1;
+  int stats_mode = kStatsDropAll;
+  double delay_seconds = 0;
+  double fail_rate = 0;
+};
+
+// A full fault schedule. The textual grammar (see README):
+//
+//   spec   := entry (';' entry)*
+//   entry  := kind '@' seconds ':' key '=' value (',' key '=' value)*
+//
+//   crash@120:replica=1,restart=60
+//   disk@300:server=0,factor=8,duration=120
+//   slow@200:replica=0,factor=3,duration=100
+//   stats@250:replica=0,mode=drop,duration=50
+//   migration@100:delay=5,fail=0.5,duration=300
+struct FaultSpec {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  // Canonical serialization: events sorted by (time, insertion order),
+  // fields in a fixed order. Two specs describing the same schedule
+  // serialize byte-identically — the determinism tests compare these.
+  std::string ToString() const;
+
+  // Parses the grammar above. On failure returns false with a one-line
+  // message in *error; *out is left untouched.
+  static bool Parse(const std::string& text, FaultSpec* out,
+                    std::string* error);
+};
+
+// Knobs for seed-generated random schedules (chaos soak testing).
+// Event times land in [min_time_fraction, max_time_fraction] of
+// `duration`; targets are drawn uniformly from the id ranges.
+struct RandomFaultProfile {
+  int replicas = 2;  // replica ids drawn from [0, replicas)
+  int servers = 2;   // server ids drawn from [0, servers)
+  int crashes = 1;
+  int disk_spikes = 1;
+  int slowdowns = 1;
+  int stats_dropouts = 1;
+  int migration_windows = 1;
+  double min_time_fraction = 0.2;
+  double max_time_fraction = 0.8;
+};
+
+// Deterministically expands (seed, duration, profile) into a schedule:
+// the same seed always yields the byte-identical spec.
+FaultSpec MakeRandomFaultSpec(uint64_t seed, double duration,
+                              const RandomFaultProfile& profile = {});
+
+// The cluster-side effector the injector drives. Implemented by
+// ClusterHarness (scenarios layer); each hook returns false when the
+// target no longer exists (e.g. a random schedule names a replica that
+// already crashed) — the injector counts these as no-ops.
+class FaultBackend {
+ public:
+  virtual ~FaultBackend() = default;
+  virtual bool CrashReplica(int replica_id) = 0;
+  // Re-provisions capacity for the applications `crashed_replica_id`
+  // served when it crashed.
+  virtual bool RestartReplica(int crashed_replica_id) = 0;
+  virtual bool SetDiskLatencyFactor(int server_id, double factor) = 0;
+  virtual bool SetReplicaSlowdown(int replica_id, double factor) = 0;
+  // mode: 0 = none (restore), kStatsDropAll, kStatsPartial.
+  virtual bool SetStatsDropout(int replica_id, int mode) = 0;
+};
+
+class FaultInjector {
+ public:
+  // What a migration attempt should experience right now (consulted by
+  // the controller's migration interceptor).
+  struct MigrationDecision {
+    bool fail = false;
+    double delay_seconds = 0;
+  };
+
+  FaultInjector(Simulator* sim, FaultBackend* backend, FaultSpec spec,
+                uint64_t seed);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Optional: record applied faults as fault.* counters and "fault"
+  // trace events. Call before Arm().
+  void BindObservability(MetricsRegistry* metrics, TraceLog* trace);
+
+  // Schedules every event (at max(now, event time)). Idempotent.
+  void Arm();
+
+  // Decides the fate of one migration attempt. Outside any active
+  // migration-fault window this returns {false, 0}; inside, failure is
+  // a seeded Bernoulli draw and the delay is the window's. The draw
+  // sequence is deterministic per seed and per attempt order.
+  MigrationDecision OnMigrationAttempt(uint64_t class_key, int attempt);
+
+  bool migration_window_active() const { return migration_windows_ > 0; }
+  const FaultSpec& spec() const { return spec_; }
+  uint64_t faults_injected() const { return injected_; }
+  // Events whose target no longer existed when they fired.
+  uint64_t noop_faults() const { return noops_; }
+
+ private:
+  void Fire(const FaultEvent& event);
+  void Revert(const FaultEvent& event);
+  // Counts + traces one applied/noop (sub-)fault.
+  void Note(const char* kind, int target, double factor, bool applied,
+            bool revert);
+
+  Simulator* sim_;
+  FaultBackend* backend_;
+  FaultSpec spec_;
+  Rng rng_;
+  bool armed_ = false;
+  uint64_t injected_ = 0;
+  uint64_t noops_ = 0;
+  // Active migration-fault window state (last-armed window wins when
+  // windows overlap).
+  int migration_windows_ = 0;
+  double migration_delay_ = 0;
+  double migration_fail_rate_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_SIM_FAULT_INJECTOR_H_

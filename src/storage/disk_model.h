@@ -18,14 +18,21 @@ struct DiskModel {
   // One page write (log + data, amortized by group commit).
   double page_write_seconds = 0.001;
 
+  // Uniform slowdown applied to every demand — the fault injector's
+  // disk-latency-spike knob (1.0 = healthy). Engines hold a pointer to
+  // their server's DiskModel, so mutating this takes effect on the next
+  // query admitted.
+  double latency_multiplier = 1.0;
+
   // Service demand for a query that took `random_misses` random-read
   // misses, issued `readahead_requests` extent fetches and wrote
   // `page_writes` pages.
   double ServiceDemand(uint64_t random_misses, uint64_t readahead_requests,
                        uint64_t page_writes) const {
-    return static_cast<double>(random_misses) * random_read_seconds +
-           static_cast<double>(readahead_requests) * extent_read_seconds +
-           static_cast<double>(page_writes) * page_write_seconds;
+    return (static_cast<double>(random_misses) * random_read_seconds +
+            static_cast<double>(readahead_requests) * extent_read_seconds +
+            static_cast<double>(page_writes) * page_write_seconds) *
+           latency_multiplier;
   }
 };
 

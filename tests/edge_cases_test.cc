@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include "common/histogram.h"
+#include "common/json.h"
 #include "common/random.h"
+#include "engine/stats_collector.h"
 #include "mrc/miss_ratio_curve.h"
+#include "scenarios/harness.h"
 #include "sim/queue_resource.h"
 #include "sim/simulator.h"
 #include "storage/partitioned_buffer_pool.h"
+#include "workload/tpcw.h"
 
 namespace fglb {
 namespace {
@@ -130,6 +134,74 @@ TEST(PartitionedPoolEdgeTest, ManyDedicatedPartitions) {
     pool.Access(key, MakePageId(2, key));
     EXPECT_TRUE(pool.Access(key, MakePageId(2, key)));
   }
+}
+
+TEST(StatsDropoutEdgeTest, DroppedIntervalsAreLostNotDeferred) {
+  StatsCollector stats;
+  ExecutionCounters counters;
+  counters.page_accesses = 10;
+  stats.RecordQuery(MakeClassKey(1, 1), 0.1, counters);
+  stats.set_dropout(StatsDropout::kDropAll);
+  EXPECT_TRUE(stats.EndInterval(10.0).empty());
+  // Restoring the collector must not replay the dropped interval's
+  // accumulators into the next one.
+  stats.set_dropout(StatsDropout::kNone);
+  EXPECT_TRUE(stats.EndInterval(10.0).empty());
+}
+
+TEST(StatsDropoutEdgeTest, PartialDropoutReportsSubsetOfClasses) {
+  StatsCollector stats;
+  ExecutionCounters counters;
+  counters.page_accesses = 10;
+  for (QueryClassId cls = 1; cls <= 8; ++cls) {
+    stats.RecordQuery(MakeClassKey(1, cls), 0.1, counters);
+  }
+  stats.set_dropout(StatsDropout::kPartial);
+  const auto snap = stats.EndInterval(10.0);
+  EXPECT_GT(snap.size(), 0u);
+  EXPECT_LT(snap.size(), 8u);
+}
+
+TEST(ControllerEdgeTest, StatsDropoutSkipsCascadeWithReason) {
+  // A violating application whose stats collector is fully dropped out:
+  // the controller cannot reason about classes, so it must skip the
+  // fine-grained cascade with reason "no_stats" instead of acting on
+  // nothing (or crashing into the coarse fallback).
+  ClusterHarness h;
+  h.trace().EnableBuffering();
+  h.AddServers(1);
+  Scheduler* tpcw = h.AddApplication(MakeTpcw());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  tpcw->AddReplica(r);
+  h.AddConstantClients(tpcw, 900, /*seed=*/13);  // beyond one server
+  r->engine().set_stats_dropout(StatsDropout::kDropAll);
+  h.Start();
+  h.RunFor(200);
+
+  EXPECT_GT(h.metrics().counter("controller.skipped.no_stats")->value(), 0u);
+  // Without statistics no fine-grained action is possible; the only
+  // permissible decisions are replica-level provisioning/release.
+  for (const auto& action : h.retuner().actions()) {
+    EXPECT_TRUE(
+        action.kind == SelectiveRetuner::ActionKind::kCpuProvision ||
+        action.kind == SelectiveRetuner::ActionKind::kIoProvision ||
+        action.kind == SelectiveRetuner::ActionKind::kCpuRelease)
+        << SelectiveRetuner::ActionKindName(action.kind);
+  }
+  // The skip reason is visible in the decision trace.
+  bool saw_no_stats = false;
+  for (const std::string& line : h.trace().BufferedLines()) {
+    JsonValue event;
+    std::string error;
+    ASSERT_TRUE(JsonValue::Parse(line, &event, &error)) << error;
+    if (event.StringOr("phase", "") == "action" &&
+        event.StringOr("why", "") == "no_stats") {
+      saw_no_stats = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_no_stats);
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "scenarios/harness.h"
+#include "storage/page.h"
 #include "workload/tpcw.h"
 
 namespace fglb {
@@ -32,6 +35,58 @@ TEST(FailureInjectionTest, DecommissionUnderLoadDrainsSafely) {
   const auto summary = h.Summarize(tpcw->app().id, 70, 180);
   EXPECT_GT(summary.queries, 500u);
   EXPECT_EQ(tpcw->replicas().size(), 1u);
+}
+
+// An application whose single update template writes only inside the
+// first lock stripe of table 1, so one externally-held stripe wedges
+// every commit forever.
+ApplicationSpec OneStripeApp() {
+  ApplicationSpec app;
+  app.id = 9;
+  app.name = "wedge";
+  QueryTemplate update;
+  update.id = 1;
+  update.name = "upd";
+  AccessComponent component;
+  component.table = 1;
+  component.table_pages = kLockStripePages;  // region == one stripe
+  component.mean_pages = 16;
+  component.write_fraction = 1.0;
+  update.components = {component};
+  update.is_update = true;
+  app.templates = {update};
+  app.mix_weights = {1.0};
+  return app;
+}
+
+TEST(FailureInjectionTest, WedgedReplicaDrainTimesOutIntoZombie) {
+  ClusterHarness h;
+  h.AddServers(1);
+  Scheduler* app = h.AddApplication(OneStripeApp());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  app->AddReplica(r);
+  // An external holder takes the only stripe the workload commits to
+  // and never releases it: every update now wedges at commit.
+  r->locks().AcquireAll({StripeOf(MakePageId(1, 0))}, [](double) {});
+  QueryInstance q;
+  q.app = app->app().id;
+  q.tmpl = app->app().FindTemplate(1);
+  for (int i = 0; i < 3; ++i) r->Run(q, nullptr);
+  h.RunFor(5);
+  ASSERT_GT(r->inflight(), 0u);
+
+  h.resources().set_drain_timeout_seconds(20);
+  h.resources().Decommission(app, r);
+  // Before drains were deadline-bounded, the decommission poll
+  // rescheduled itself forever and this never returned.
+  h.sim().RunToCompletion();
+  EXPECT_GE(h.sim().Now(), 25.0);
+  EXPECT_EQ(h.resources().zombie_count(), 1u);
+  // The wedged replica is no longer live (placement ignores it) but
+  // its memory object survives for the stuck completion callbacks.
+  EXPECT_EQ(h.resources().FindReplica(r->id()), nullptr);
+  EXPECT_EQ(h.metrics().counter("cluster.drain_timeouts")->value(), 1u);
 }
 
 TEST(FailureInjectionTest, LosingTheOnlyReplicaTriggersReprovisioning) {

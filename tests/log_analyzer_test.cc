@@ -87,6 +87,39 @@ TEST_F(LogAnalyzerTest, DiagnoseInsufficientData) {
   ASSERT_EQ(diag.insufficient_data.size(), 1u);
 }
 
+TEST_F(LogAnalyzerTest, DiagnoseNeverSeenClassIsInsufficientData) {
+  // An empty access window (class named by a stale candidate list,
+  // e.g. after a stats dropout) must not reach the MRC replay.
+  const ClassKey ghost = MakeClassKey(app_.id, 999);
+  const auto diag = analyzer_->DiagnoseMemory({ghost});
+  EXPECT_TRUE(diag.suspects.empty());
+  ASSERT_EQ(diag.insufficient_data.size(), 1u);
+  EXPECT_EQ(diag.insufficient_data[0], ghost);
+}
+
+TEST_F(LogAnalyzerTest, EmptySnapshotIsHarmless) {
+  // A drop-all stats dropout yields an empty interval snapshot: stable
+  // recording and outlier detection must both be clean no-ops.
+  const std::map<ClassKey, MetricVector> empty;
+  analyzer_->RecordStableInterval(app_.id, empty, 10.0);
+  EXPECT_EQ(analyzer_->stable_store().size(), 0u);
+  const OutlierReport report = analyzer_->DetectOutliers(app_.id, empty);
+  EXPECT_TRUE(report.outliers.empty());
+  EXPECT_TRUE(report.new_classes.empty());
+}
+
+TEST_F(LogAnalyzerTest, MixedSufficiencyDiagnosesOnlyTheWellSampled) {
+  RunQueries(kTpcwBestSeller, 60);
+  RunQueries(kTpcwHome, 1);  // single sample: window below threshold
+  const ClassKey rich = MakeClassKey(app_.id, kTpcwBestSeller);
+  const ClassKey poor = MakeClassKey(app_.id, kTpcwHome);
+  const auto diag = analyzer_->DiagnoseMemory({rich, poor});
+  ASSERT_EQ(diag.insufficient_data.size(), 1u);
+  EXPECT_EQ(diag.insufficient_data[0], poor);
+  ASSERT_EQ(diag.suspects.size(), 1u);
+  EXPECT_EQ(diag.suspects[0].key, rich);
+}
+
 TEST_F(LogAnalyzerTest, DiagnoseNewClassIsSuspect) {
   RunQueries(kTpcwBestSeller, 60);
   const ClassKey key = MakeClassKey(app_.id, kTpcwBestSeller);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace fglb {
 namespace {
 
@@ -39,6 +41,31 @@ TEST(StableStateStoreTest, UpdateReplacesLastStableValue) {
   EXPECT_DOUBLE_EQ(At(sig->averages, Metric::kLatency), 0.7);
   EXPECT_DOUBLE_EQ(sig->recorded_at, 110.0);
   EXPECT_EQ(sig->intervals_observed, 2u);
+}
+
+TEST(StableStateStoreTest, NonFiniteUpdateKeepsLastGoodSignature) {
+  StableStateStore store;
+  const ClassKey key = MakeClassKey(1, 2);
+  store.Update(key, Vec(0.5, 10), 100.0);
+  // A degraded stats feed can deliver NaN/inf averages (e.g. rates over
+  // a dropped interval); the poisoned update must be rejected whole.
+  store.Update(key, Vec(std::numeric_limits<double>::quiet_NaN(), 10),
+               110.0);
+  store.Update(key, Vec(0.4, std::numeric_limits<double>::infinity()),
+               120.0);
+  const StableStateSignature* sig = store.Find(key);
+  ASSERT_NE(sig, nullptr);
+  EXPECT_DOUBLE_EQ(At(sig->averages, Metric::kLatency), 0.5);
+  EXPECT_DOUBLE_EQ(sig->recorded_at, 100.0);
+  EXPECT_EQ(sig->intervals_observed, 1u);
+}
+
+TEST(StableStateStoreTest, NonFiniteFirstUpdateCreatesNoSignature) {
+  StableStateStore store;
+  store.Update(MakeClassKey(1, 1),
+               Vec(std::numeric_limits<double>::quiet_NaN(), 1), 0.0);
+  EXPECT_EQ(store.Find(MakeClassKey(1, 1)), nullptr);
+  EXPECT_EQ(store.size(), 0u);
 }
 
 TEST(StableStateStoreTest, IndependentPerClass) {

@@ -30,12 +30,25 @@ trap 'rm -rf "${SMOKE_DIR}"' EXIT
 "./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/trace.jsonl" --summary
 test -s "${SMOKE_DIR}/metrics.json"
 
+echo "=== chaos smoke: deterministic fault injection under trace ==="
+# A chaos scenario run end to end: the injected crash/stats/migration
+# faults must leave a trace that still passes the schema check, and the
+# run itself must survive the churn.
+"./${PREFIX}/tools/fglb_sim" --scenario=chaos-replica --duration=600 \
+  --fault-seed=7 --log-level=quiet \
+  --trace-out="${SMOKE_DIR}/chaos.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/chaos.jsonl" --check
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/chaos.jsonl" \
+  --phase=action >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/chaos.jsonl" --summary
+
 echo "=== TSan build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DFGLB_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
   --target mrc_pipeline_test log_analyzer_test selective_retuner_test \
-  metrics_registry_test trace_log_test observability_integration_test
+  metrics_registry_test trace_log_test observability_integration_test \
+  fault_injector_test chaos_soak_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability|FaultSpec|FaultInjector|Chaos'
 
 echo "CI OK"

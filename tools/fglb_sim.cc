@@ -1,9 +1,11 @@
-// fglb_sim: command-line scenario runner. Assembles one of four canned
+// fglb_sim: command-line scenario runner. Assembles one of the canned
 // cluster scenarios, runs it for the requested simulated duration, and
 // prints the interval series / action log as a table or CSV.
 //
 //   ./build/tools/fglb_sim --scenario=consolidation --duration=1800
 //   ./build/tools/fglb_sim --scenario=burst --output=samples-csv > s.csv
+//   ./build/tools/fglb_sim --scenario=chaos-replica --fault-seed=7
+//       --trace-out=trace.jsonl
 
 #include <cstdio>
 #include <string>
@@ -78,6 +80,52 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
           options.seed + 1);
       break;
     }
+    case CliOptions::Scenario::kChaosReplica:
+    case CliOptions::Scenario::kChaosDisk: {
+      // Consolidation topology plus a second TPC-W replica so a crash
+      // degrades capacity instead of zeroing it.
+      Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+      RubisOptions rubis_options;
+      rubis_options.app_id = 2;
+      Scheduler* rubis = harness->AddApplication(MakeRubis(rubis_options));
+      Replica* shared = harness->resources().CreateReplica(first, 8192);
+      PhysicalServer* second =
+          options.servers > 1 ? harness->resources().servers()[1].get()
+                              : first;
+      Replica* spare = harness->resources().CreateReplica(second, 8192, 2);
+      tpcw->AddReplica(shared);
+      tpcw->AddReplica(spare);
+      rubis->AddReplica(shared);
+      harness->AddConstantClients(tpcw, options.tpcw_clients, options.seed);
+      harness->AddConstantClients(rubis, options.rubis_clients,
+                                  options.seed + 1);
+      break;
+    }
+  }
+}
+
+// The fault schedule a chaos scenario runs when --fault-spec is absent;
+// times scale with --duration so short smoke runs still hit every
+// fault. Non-chaos scenarios inject nothing by default.
+std::string DefaultFaultSpec(const CliOptions& options) {
+  const double d = options.duration_seconds;
+  char buf[256];
+  switch (options.scenario) {
+    case CliOptions::Scenario::kChaosReplica:
+      std::snprintf(buf, sizeof(buf),
+                    "crash@%.0f:replica=1,restart=60;"
+                    "stats@%.0f:replica=0,mode=partial,duration=60;"
+                    "migration@%.0f:delay=2,fail=0.3,duration=%.0f",
+                    d / 3, d / 2, d / 3, d / 3);
+      return buf;
+    case CliOptions::Scenario::kChaosDisk:
+      std::snprintf(buf, sizeof(buf),
+                    "disk@%.0f:server=0,factor=8,duration=%.0f;"
+                    "slow@%.0f:replica=0,factor=3,duration=%.0f",
+                    d / 3, d / 6, d / 2, d / 6);
+      return buf;
+    default:
+      return "";
   }
 }
 
@@ -101,9 +149,18 @@ int main(int argc, char** argv) {
   ParseLogLevel(options.log_level, &level);  // validated by the parser
   SetGlobalLogLevel(level);
 
+  const bool chaos =
+      options.scenario == CliOptions::Scenario::kChaosReplica ||
+      options.scenario == CliOptions::Scenario::kChaosDisk;
+
   SelectiveRetuner::Config retuner_config;
   retuner_config.mrc.analysis_threads = options.mrc_threads;
   retuner_config.mrc.sample_rate = options.mrc_sample_rate;
+  if (chaos) {
+    // Under injected churn, bound re-placement so flapping faults
+    // cannot translate into unbounded migrations.
+    retuner_config.max_migrations_per_interval = 2;
+  }
   ClusterHarness harness(retuner_config);
   if (!options.trace_out.empty()) {
     std::string trace_error;
@@ -117,6 +174,22 @@ int main(int argc, char** argv) {
     harness.StartMetricsSampler(options.metrics_interval_seconds);
   }
   Assemble(options, &harness);
+  const std::string fault_spec_text =
+      !options.fault_spec.empty() ? options.fault_spec
+                                  : DefaultFaultSpec(options);
+  if (!fault_spec_text.empty()) {
+    FaultSpec spec;
+    std::string fault_error;
+    if (!FaultSpec::Parse(fault_spec_text, &spec, &fault_error)) {
+      std::fprintf(stderr, "error: bad --fault-spec: %s\n",
+                   fault_error.c_str());
+      return 2;
+    }
+    harness.InjectFaults(std::move(spec), options.fault_seed);
+    LogInfo("fault schedule armed: %s (seed %llu)",
+            harness.fault_injector()->spec().ToString().c_str(),
+            static_cast<unsigned long long>(options.fault_seed));
+  }
   harness.Start();
   LogInfo("scenario assembled: %d servers, %.0f simulated seconds",
           options.servers, options.duration_seconds);
@@ -126,6 +199,13 @@ int main(int argc, char** argv) {
   LogInfo("run complete: %zu intervals, %zu actions, %zu diagnoses",
           retuner.samples().size(), retuner.actions().size(),
           retuner.diagnoses().size());
+  if (harness.fault_injector() != nullptr) {
+    LogInfo("faults injected: %llu (%llu no-op)",
+            static_cast<unsigned long long>(
+                harness.fault_injector()->faults_injected()),
+            static_cast<unsigned long long>(
+                harness.fault_injector()->noop_faults()));
+  }
   if (!options.trace_out.empty()) {
     LogDebug("trace events emitted: %llu",
              static_cast<unsigned long long>(

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/trace_check.h"
 
 namespace {
 
@@ -149,12 +150,11 @@ void PrintEvent(const JsonValue& event) {
   std::printf("  %s\n", rest.Dump().c_str());
 }
 
-// Parity with scenarios/report.cc FormatActions.
+// Parity with scenarios/report.cc FormatActions (shared renderer, so
+// the in-process tests compare the same projection).
 void PrintActionLine(const JsonValue& event) {
-  if (event.StringOr("kind", "") == "none") return;
-  std::printf("t=%7.0f  [%s]  %s\n", event.NumberOr("t", 0),
-              event.StringOr("kind", "?").c_str(),
-              event.StringOr("desc", "").c_str());
+  const std::string line = fglb::FormatActionEventLine(event);
+  if (!line.empty()) std::fputs(line.c_str(), stdout);
 }
 
 double PercentileOf(std::vector<double> values, double p) {
@@ -179,13 +179,26 @@ int Run(const TracecatOptions& options) {
     return 1;
   }
 
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  if (options.check) {
+    // Shared with the in-process trace tests (common/trace_check.h).
+    std::string check_error;
+    if (!fglb::CheckTraceLines(lines, &check_error)) {
+      std::fprintf(stderr, "fglb_tracecat: %s: %s\n", options.path.c_str(),
+                   check_error.c_str());
+      return 1;
+    }
+  }
+
   std::map<std::string, PhaseStats> phases;
   std::map<std::string, uint64_t> action_kinds;
   uint64_t line_number = 0;
   uint64_t matched = 0;
-  int64_t last_seq = -1;
-  std::string line;
-  while (std::getline(in, line)) {
+  for (const std::string& line : lines) {
     ++line_number;
     if (line.empty()) continue;
     JsonValue event;
@@ -196,33 +209,6 @@ int Run(const TracecatOptions& options) {
                    static_cast<unsigned long long>(line_number),
                    error.c_str());
       return 1;
-    }
-    if (options.check) {
-      const char* missing = nullptr;
-      if (!event.is_object()) missing = "(not an object)";
-      else if (event.NumberOr("v", 0) != 1) missing = "v";
-      else if (event.Find("seq") == nullptr) missing = "seq";
-      else if (event.Find("mono_us") == nullptr) missing = "mono_us";
-      else if (event.StringOr("phase", "").empty()) missing = "phase";
-      if (missing != nullptr) {
-        std::fprintf(stderr,
-                     "fglb_tracecat: %s:%llu: missing/invalid field %s\n",
-                     options.path.c_str(),
-                     static_cast<unsigned long long>(line_number), missing);
-        return 1;
-      }
-      const int64_t seq = static_cast<int64_t>(event.NumberOr("seq", -1));
-      if (seq != last_seq + 1) {
-        std::fprintf(stderr,
-                     "fglb_tracecat: %s:%llu: sequence gap (%lld after "
-                     "%lld)\n",
-                     options.path.c_str(),
-                     static_cast<unsigned long long>(line_number),
-                     static_cast<long long>(seq),
-                     static_cast<long long>(last_seq));
-        return 1;
-      }
-      last_seq = seq;
     }
     if (!Matches(event, options)) continue;
     ++matched;
