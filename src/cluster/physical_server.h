@@ -32,6 +32,7 @@ class PhysicalServer {
   const std::string& name() const { return name_; }
   uint64_t memory_pages() const { return options_.memory_pages; }
   const DiskModel& disk_model() const { return options_.disk; }
+  const Options& options() const { return options_; }
 
   // Fault-injection knob: scales every subsequent disk service demand
   // (engines reference this server's DiskModel by pointer). 1.0 restores

@@ -56,7 +56,15 @@ Replica* ResourceManager::CreateReplica(PhysicalServer* server,
   if (metrics_ != nullptr) engine->BindMetrics(metrics_);
   replicas_.push_back(
       std::make_unique<Replica>(id, sim_, server, std::move(engine)));
+  if (replica_observer_) replica_observer_(replicas_.back().get());
   return replicas_.back().get();
+}
+
+void ResourceManager::set_replica_observer(
+    std::function<void(Replica*)> observer) {
+  replica_observer_ = std::move(observer);
+  if (!replica_observer_) return;
+  for (const auto& replica : replicas_) replica_observer_(replica.get());
 }
 
 void ResourceManager::set_metrics(MetricsRegistry* registry) {

@@ -2,6 +2,7 @@
 #define FGLB_CLUSTER_RESOURCE_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -81,12 +82,20 @@ class ResourceManager {
   // replicas are bound retroactively; null stops binding new ones.
   void set_metrics(MetricsRegistry* registry);
 
+  // Observer invoked for every replica this manager creates — existing
+  // ones immediately, future ones (controller provisioning, fault
+  // restarts) at creation. The capture/replay subsystem uses it to wire
+  // engine recorder/source hooks onto replicas born mid-run. Empty
+  // clears it.
+  void set_replica_observer(std::function<void(Replica*)> observer);
+
   // Publishes every engine's buffer-pool stats into the bound registry.
   void PublishMetrics() const;
 
  private:
   Simulator* sim_;
   MetricsRegistry* metrics_ = nullptr;
+  std::function<void(Replica*)> replica_observer_;
   std::vector<std::unique_ptr<PhysicalServer>> servers_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Replica>> zombies_;

@@ -91,6 +91,7 @@ Replica* Scheduler::ChooseReadReplica(const QueryInstance& query) {
 void Scheduler::Submit(const QueryInstance& query,
                        std::function<void(double)> on_complete) {
   assert(query.tmpl != nullptr);
+  if (arrival_recorder_ != nullptr) arrival_recorder_->OnArrival(query);
   if (replicas_.empty()) {
     // No capacity at all: fail the query with a large penalty latency
     // so the SLA check trips and provisioning reacts.

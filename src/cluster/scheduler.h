@@ -11,6 +11,7 @@
 #include "common/histogram.h"
 #include "sim/simulator.h"
 #include "workload/application.h"
+#include "workload/capture_hooks.h"
 #include "workload/query_class.h"
 #include "workload/query_sink.h"
 
@@ -59,6 +60,13 @@ class Scheduler final : public QuerySink {
   void Submit(const QueryInstance& query,
               std::function<void(double)> on_complete) override;
 
+  // Observes every Submit() in admission order (workload capture);
+  // null detaches. The recorder must outlive the scheduler or be
+  // detached first.
+  void SetArrivalRecorder(ArrivalRecorder* recorder) {
+    arrival_recorder_ = recorder;
+  }
+
   // --- SLA / application-level metrics (tracked "through the
   // scheduler" per the paper) ---
 
@@ -81,6 +89,7 @@ class Scheduler final : public QuerySink {
 
   Simulator* sim_;
   const ApplicationSpec* app_;
+  ArrivalRecorder* arrival_recorder_ = nullptr;
   std::vector<Replica*> replicas_;
   std::set<const Replica*> dedicated_targets_;
   std::map<QueryClassId, Replica*> dedicated_placement_;

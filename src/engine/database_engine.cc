@@ -8,6 +8,7 @@ namespace fglb {
 DatabaseEngine::DatabaseEngine(std::string name, const Options& options,
                                const DiskModel* disk_model)
     : name_(std::move(name)),
+      options_(options),
       pool_(options.buffer_pool_pages),
       stats_(options.access_window_capacity),
       disk_model_(disk_model),
@@ -19,7 +20,16 @@ ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
   assert(query.tmpl != nullptr);
   const ClassKey key = query.class_key();
   scratch_.clear();
-  generator_.Generate(*query.tmpl, rng_, &scratch_);
+  if (replay_source_ != nullptr && replay_source_->NextAccesses(key,
+                                                               &scratch_)) {
+    ++replayed_executions_;
+  } else {
+    if (replay_source_ != nullptr) ++generated_fallbacks_;
+    generator_.Generate(*query.tmpl, rng_, &scratch_);
+  }
+  if (execution_recorder_ != nullptr) {
+    execution_recorder_->OnExecution(recorder_replica_id_, key, scratch_);
+  }
 
   ExecutionCounters counters;
   for (const PageAccess& access : scratch_) {

@@ -12,6 +12,7 @@
 #include "storage/page.h"
 #include "storage/partitioned_buffer_pool.h"
 #include "workload/access_generator.h"
+#include "workload/capture_hooks.h"
 #include "workload/query_class.h"
 
 namespace fglb {
@@ -72,9 +73,27 @@ class DatabaseEngine {
   // Fault-injection forwarder: degrades/restores the stats feed.
   void set_stats_dropout(StatsDropout mode) { stats_.set_dropout(mode); }
   const DiskModel& disk_model() const { return *disk_model_; }
+  const Options& options() const { return options_; }
+
+  // --- capture/replay hooks ---
+  // `recorder` observes every execution's generated access string
+  // (tagged with the hosting replica's id); null detaches.
+  void SetExecutionRecorder(ExecutionRecorder* recorder, int replica_id) {
+    execution_recorder_ = recorder;
+    recorder_replica_id_ = replica_id;
+  }
+  // `source` supplies recorded access strings instead of the generator;
+  // executions the source cannot serve fall back to generation and are
+  // counted in generated_fallbacks(). Null restores pure generation.
+  void SetAccessReplaySource(AccessReplaySource* source) {
+    replay_source_ = source;
+  }
+  uint64_t replayed_executions() const { return replayed_executions_; }
+  uint64_t generated_fallbacks() const { return generated_fallbacks_; }
 
  private:
   std::string name_;
+  Options options_;
   PartitionedBufferPool pool_;
   StatsCollector stats_;
   const DiskModel* disk_model_;
@@ -82,6 +101,11 @@ class DatabaseEngine {
   AccessGenerator generator_;
   Rng rng_;
   std::vector<PageAccess> scratch_;
+  ExecutionRecorder* execution_recorder_ = nullptr;
+  int recorder_replica_id_ = -1;
+  AccessReplaySource* replay_source_ = nullptr;
+  uint64_t replayed_executions_ = 0;
+  uint64_t generated_fallbacks_ = 0;
 };
 
 }  // namespace fglb

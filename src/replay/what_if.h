@@ -1,0 +1,91 @@
+#ifndef FGLB_REPLAY_WHAT_IF_H_
+#define FGLB_REPLAY_WHAT_IF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replay/capture.h"
+
+namespace fglb {
+
+// Offline what-if evaluation: replays a captured violation window once
+// per candidate action — per-class buffer-pool quota, re-placement on
+// a fresh replica, or do-nothing — with the live controller switched
+// off, so the only difference between runs is the candidate itself.
+// Candidates are scored on SLA recovery for the violating application
+// against interference inflicted on the others, which lets an operator
+// (or a test) check the controller's live choice against the
+// counterfactuals it did not take.
+//
+// Scoring, per candidate c over the horizon (noop is the baseline and
+// scores exactly 0):
+//   recovery_c     = (V_noop - V_c)
+//                    + clamp((L_noop - L_c) / SLA, -1, 1)
+//   interference_c = max over apps a != target of
+//                    max(0, L_c,a - L_noop,a) / SLA_a
+//   score_c        = recovery_c - 0.5 * interference_c
+// where V = violating intervals of the target app in the horizon and
+// L = mean interval latency. Ties within 0.05 go to the cheaper action
+// (noop < quota < migrate).
+
+struct WhatIfOptions {
+  // Start of the violation window; negative = auto-detect from the
+  // capture's sample series (start of the first SLA-violating
+  // interval).
+  double window_start = -1;
+  // How long after window_start candidates are evaluated.
+  double horizon_seconds = 60;
+  // Buffer-pool quota for the quota candidate; 0 = auto (half the
+  // problem class's distinct-page footprint in the violating interval,
+  // clamped to [64, pool capacity / 4]).
+  uint64_t quota_pages = 0;
+};
+
+struct WhatIfCandidate {
+  std::string name;  // "noop" | "quota" | "migrate"
+  bool feasible = true;
+  std::string detail;
+  double score = 0;
+  double recovery = 0;
+  double interference = 0;
+  // Target-app outcome over the horizon.
+  int violations = 0;
+  double avg_latency = 0;
+  // Mean interval latency per app over the horizon.
+  std::map<AppId, double> app_latency;
+};
+
+struct WhatIfResult {
+  double window_start = 0;
+  double window_end = 0;
+  AppId target_app = 0;     // the violating application being rescued
+  ClassKey problem_class = 0;  // the diagnosed interferer
+  std::vector<WhatIfCandidate> candidates;  // ranked, best first
+  // What the live controller actually did inside the window
+  // ("migrate", "quota" or "noop"), and whether the top-ranked
+  // candidate matches it.
+  std::string live_choice;
+  bool agrees_with_live = false;
+
+  std::string Format() const;  // human-readable report
+};
+
+class WhatIfRunner {
+ public:
+  explicit WhatIfRunner(const Capture* capture, WhatIfOptions options = {});
+
+  // Runs all three candidate replays and ranks them. Returns false
+  // with *error set when no violation window can be found (nothing to
+  // evaluate) or the capture cannot be rebuilt.
+  bool Run(WhatIfResult* result, std::string* error);
+
+ private:
+  const Capture* capture_;
+  WhatIfOptions options_;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_REPLAY_WHAT_IF_H_

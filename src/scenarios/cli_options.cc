@@ -71,6 +71,8 @@ usage: fglb_sim [options]
                     1 = exact, 0.125 ~ 8x cheaper           (default 1)
   --trace-out=FILE  write the controller's JSONL decision trace
                     (one event per diagnosis phase per interval)
+  --capture-out=FILE  record the full workload stream (arrivals,
+                    page accesses, topology, actions) for fglb_replay
   --metrics-out=FILE  write a final metrics-registry JSON snapshot
   --metrics-interval=SEC  engine-stats sampling period;
                     0 = the retuner interval                 (default 0)
@@ -136,6 +138,9 @@ bool ParseCliOptions(const std::vector<std::string>& args,
     } else if (key == "trace-out") {
       ok = !value.empty();
       options->trace_out = value;
+    } else if (key == "capture-out") {
+      ok = !value.empty();
+      options->capture_out = value;
     } else if (key == "metrics-out") {
       ok = !value.empty();
       options->metrics_out = value;

@@ -43,6 +43,9 @@ struct CliOptions {
   // diagnosis cascade, a final metrics-registry snapshot, and the
   // engine-stats sampling period (0 = the retuner interval).
   std::string trace_out;
+  // Workload capture output for the replay subsystem (fglb_replay):
+  // empty disables capture.
+  std::string capture_out;
   std::string metrics_out;
   double metrics_interval_seconds = 0;
   // Fault injection: an explicit schedule (see the FaultSpec grammar in

@@ -131,7 +131,25 @@ Scheduler* ClusterHarness::AddApplication(ApplicationSpec spec) {
   schedulers_.push_back(
       std::make_unique<Scheduler>(&sim_, specs_.back().get()));
   retuner_.RegisterApplication(schedulers_.back().get());
+  if (arrival_recorder_ != nullptr) {
+    schedulers_.back()->SetArrivalRecorder(arrival_recorder_);
+  }
   return schedulers_.back().get();
+}
+
+void ClusterHarness::AttachRecorders(ArrivalRecorder* arrivals,
+                                     ExecutionRecorder* executions) {
+  arrival_recorder_ = arrivals;
+  for (auto& scheduler : schedulers_) {
+    scheduler->SetArrivalRecorder(arrivals);
+  }
+  if (executions != nullptr) {
+    resources_.set_replica_observer([executions](Replica* replica) {
+      replica->engine().SetExecutionRecorder(executions, replica->id());
+    });
+  } else {
+    resources_.set_replica_observer({});
+  }
 }
 
 ClientEmulator* ClusterHarness::AddClients(Scheduler* scheduler,

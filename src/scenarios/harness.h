@@ -61,6 +61,16 @@ class ClusterHarness {
   FaultInjector* InjectFaults(FaultSpec spec, uint64_t seed);
   FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  // Wires workload-capture hooks into the whole cluster: `arrivals`
+  // observes every scheduler Submit (existing schedulers and ones
+  // added later), `executions` observes every engine's page-access
+  // strings (existing replicas and ones created mid-run, via the
+  // resource manager's replica observer). Either may be null; both
+  // recorders must outlive the harness. Call before Start() so the
+  // capture covers the whole run.
+  void AttachRecorders(ArrivalRecorder* arrivals,
+                       ExecutionRecorder* executions);
+
   // Starts every emulator plus the retuner's interval ticks.
   void Start();
 
@@ -115,6 +125,7 @@ class ClusterHarness {
   std::vector<std::unique_ptr<ClientEmulator>> emulators_;
   std::unique_ptr<FaultBackend> fault_backend_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  ArrivalRecorder* arrival_recorder_ = nullptr;
   bool started_ = false;
   bool sampler_started_ = false;
 };

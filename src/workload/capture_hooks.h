@@ -1,0 +1,47 @@
+#ifndef FGLB_WORKLOAD_CAPTURE_HOOKS_H_
+#define FGLB_WORKLOAD_CAPTURE_HOOKS_H_
+
+#include <vector>
+
+#include "storage/page.h"
+#include "workload/query_class.h"
+
+namespace fglb {
+
+// Capture/replay hook interfaces. They live in the workload layer so
+// the scheduler (cluster) and the database engine can carry optional
+// hook pointers without depending on the replay subsystem that
+// implements them; src/replay/ provides the concrete recorder (capture
+// writer) and source (capture-driven replay).
+
+// Observes every query arrival at a scheduler, in submission order.
+class ArrivalRecorder {
+ public:
+  virtual ~ArrivalRecorder() = default;
+  virtual void OnArrival(const QueryInstance& query) = 0;
+};
+
+// Observes every query execution on an engine — the concrete
+// page-access string one admission produced — in admission order.
+class ExecutionRecorder {
+ public:
+  virtual ~ExecutionRecorder() = default;
+  virtual void OnExecution(int replica_id, ClassKey key,
+                           const std::vector<PageAccess>& accesses) = 0;
+};
+
+// Supplies recorded page-access strings during replay. An engine with
+// a source installed asks it first and only falls back to generating
+// accesses from the query template when the source returns false (the
+// replayer counts those fallbacks as divergence).
+class AccessReplaySource {
+ public:
+  virtual ~AccessReplaySource() = default;
+  // Appends the next recorded access string of `key` to *out (not
+  // cleared). Returns false when no recorded execution remains.
+  virtual bool NextAccesses(ClassKey key, std::vector<PageAccess>* out) = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_WORKLOAD_CAPTURE_HOOKS_H_

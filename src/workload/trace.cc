@@ -5,11 +5,16 @@
 #include <cstring>
 #include <memory>
 
+#include "common/varint.h"
+
 namespace fglb {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'G', 'L', 'B', 'T', 'R', 'C', '1'};
+// v1: fixed-width 24-byte records, no checksum (read-only legacy).
+constexpr char kMagicV1[8] = {'F', 'G', 'L', 'B', 'T', 'R', 'C', '1'};
+// v2: varint + delta encoded records behind a trailing CRC-32.
+constexpr char kMagicV2[8] = {'F', 'G', 'L', 'B', 'T', 'R', 'C', '2'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -18,15 +23,109 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-// On-disk record: class key, page id, flags (bit 0: sequential,
+// v1 on-disk record: class key, page id, flags (bit 0: sequential,
 // bit 1: write). Fixed width, little-endian as written by the host.
-struct DiskRecord {
+struct DiskRecordV1 {
   uint64_t class_key;
   uint64_t page;
   uint8_t flags;
   uint8_t padding[7];
 };
-static_assert(sizeof(DiskRecord) == 24);
+static_assert(sizeof(DiskRecordV1) == 24);
+
+uint8_t FlagsOf(const PageAccess& access) {
+  uint8_t flags = 0;
+  if (access.kind == AccessKind::kSequential) flags |= 1;
+  if (access.is_write) flags |= 2;
+  return flags;
+}
+
+void ApplyFlags(uint8_t flags, PageAccess* access) {
+  access->kind = (flags & 1) != 0 ? AccessKind::kSequential
+                                  : AccessKind::kRandom;
+  access->is_write = (flags & 2) != 0;
+}
+
+// Reads everything after the 8-byte magic into *rest. Returns false on
+// I/O error.
+bool ReadRest(std::FILE* file, std::string* rest) {
+  rest->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    rest->append(buf, n);
+  }
+  return std::ferror(file) == 0;
+}
+
+bool DecodeV1(const std::string& body, std::vector<TraceRecord>* records) {
+  // A v1 file is exactly header + count + count records; anything
+  // shorter is truncated and anything longer carries trailing garbage.
+  if (body.size() < sizeof(uint64_t)) return false;
+  uint64_t count = 0;
+  std::memcpy(&count, body.data(), sizeof(count));
+  if (count > (body.size() - sizeof(uint64_t)) / sizeof(DiskRecordV1)) {
+    return false;  // truncated
+  }
+  if (body.size() != sizeof(uint64_t) + count * sizeof(DiskRecordV1)) {
+    return false;  // trailing garbage
+  }
+  records->reserve(count);
+  const char* p = body.data() + sizeof(uint64_t);
+  for (uint64_t i = 0; i < count; ++i, p += sizeof(DiskRecordV1)) {
+    DiskRecordV1 disk;
+    std::memcpy(&disk, p, sizeof(disk));
+    TraceRecord record;
+    record.class_key = disk.class_key;
+    record.access.page = disk.page;
+    ApplyFlags(disk.flags, &record.access);
+    records->push_back(record);
+  }
+  return true;
+}
+
+bool DecodeV2(const std::string& body, std::vector<TraceRecord>* records) {
+  // Layout after the magic: payload (varint count + records), then a
+  // fixed32 CRC-32 of the payload. Delta chains start at 0.
+  if (body.size() < 4) return false;
+  const uint8_t* begin = reinterpret_cast<const uint8_t*>(body.data());
+  const uint8_t* limit = begin + body.size() - 4;
+  uint32_t stored_crc = 0;
+  if (!GetFixed32(limit, begin + body.size(), &stored_crc)) return false;
+  if (Crc32(begin, static_cast<size_t>(limit - begin)) != stored_crc) {
+    return false;
+  }
+  const uint8_t* p = begin;
+  uint64_t count = 0;
+  size_t n = GetVarint64(p, limit, &count);
+  if (n == 0) return false;
+  p += n;
+  // Each record is at least 3 bytes (flags + two 1-byte varints), so a
+  // count promising more than fits is detectably corrupt before the
+  // reserve can over-allocate.
+  if (count > static_cast<uint64_t>(limit - p) / 3 + 1) return false;
+  records->reserve(count);
+  uint64_t prev_key = 0;
+  uint64_t prev_page = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (p >= limit) return false;
+    const uint8_t flags = *p++;
+    if (flags > 3) return false;
+    uint64_t delta = 0;
+    if ((n = GetVarint64(p, limit, &delta)) == 0) return false;
+    p += n;
+    prev_key += static_cast<uint64_t>(ZigZagDecode(delta));
+    if ((n = GetVarint64(p, limit, &delta)) == 0) return false;
+    p += n;
+    prev_page += static_cast<uint64_t>(ZigZagDecode(delta));
+    TraceRecord record;
+    record.class_key = prev_key;
+    record.access.page = prev_page;
+    ApplyFlags(flags, &record.access);
+    records->push_back(record);
+  }
+  return p == limit;  // trailing garbage inside the checksummed payload
+}
 
 }  // namespace
 
@@ -34,46 +133,44 @@ bool WriteTrace(const std::string& path,
                 const std::vector<TraceRecord>& records) {
   FilePtr file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) return false;
-  if (std::fwrite(kMagic, sizeof(kMagic), 1, file.get()) != 1) return false;
-  const uint64_t count = records.size();
-  if (std::fwrite(&count, sizeof(count), 1, file.get()) != 1) return false;
+  std::string payload;
+  payload.reserve(records.size() * 4 + 16);
+  PutVarint64(&payload, records.size());
+  uint64_t prev_key = 0;
+  uint64_t prev_page = 0;
   for (const TraceRecord& record : records) {
-    DiskRecord disk{};
-    disk.class_key = record.class_key;
-    disk.page = record.access.page;
-    disk.flags = 0;
-    if (record.access.kind == AccessKind::kSequential) disk.flags |= 1;
-    if (record.access.is_write) disk.flags |= 2;
-    if (std::fwrite(&disk, sizeof(disk), 1, file.get()) != 1) return false;
+    payload.push_back(static_cast<char>(FlagsOf(record.access)));
+    PutVarint64(&payload, ZigZagEncode(static_cast<int64_t>(
+                              record.class_key - prev_key)));
+    PutVarint64(&payload, ZigZagEncode(static_cast<int64_t>(
+                              record.access.page - prev_page)));
+    prev_key = record.class_key;
+    prev_page = record.access.page;
   }
-  return true;
+  PutFixed32(&payload, Crc32(payload.data(), payload.size()));
+  if (std::fwrite(kMagicV2, sizeof(kMagicV2), 1, file.get()) != 1) {
+    return false;
+  }
+  return payload.empty() ||
+         std::fwrite(payload.data(), payload.size(), 1, file.get()) == 1;
 }
 
 bool ReadTrace(const std::string& path, std::vector<TraceRecord>* records) {
   records->clear();
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) return false;
-  char magic[sizeof(kMagic)];
+  char magic[sizeof(kMagicV1)];
   if (std::fread(magic, sizeof(magic), 1, file.get()) != 1) return false;
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  uint64_t count = 0;
-  if (std::fread(&count, sizeof(count), 1, file.get()) != 1) return false;
-  records->reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    DiskRecord disk;
-    if (std::fread(&disk, sizeof(disk), 1, file.get()) != 1) {
-      records->clear();
-      return false;
-    }
-    TraceRecord record;
-    record.class_key = disk.class_key;
-    record.access.page = disk.page;
-    record.access.kind = (disk.flags & 1) != 0 ? AccessKind::kSequential
-                                               : AccessKind::kRandom;
-    record.access.is_write = (disk.flags & 2) != 0;
-    records->push_back(record);
+  std::string body;
+  if (!ReadRest(file.get(), &body)) return false;
+  bool ok = false;
+  if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+    ok = DecodeV2(body, records);
+  } else if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+    ok = DecodeV1(body, records);
   }
-  return true;
+  if (!ok) records->clear();
+  return ok;
 }
 
 std::vector<PageId> PagesOfClass(const std::vector<TraceRecord>& records,

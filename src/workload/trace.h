@@ -19,13 +19,18 @@ struct TraceRecord {
   PageAccess access;
 };
 
-// Serializes records to a file in a compact binary format (magic +
-// version header, fixed-width records). Returns false on I/O error.
+// Serializes records to a file in the v2 compact binary format:
+// magic "FGLBTRC2", varint record count, then per record a flags byte
+// plus zigzag-varint deltas of class key and page id, all behind a
+// trailing CRC-32. Returns false on I/O error.
 bool WriteTrace(const std::string& path,
                 const std::vector<TraceRecord>& records);
 
-// Reads a trace file written by WriteTrace. Returns false on I/O error
-// or malformed contents (in which case *records is left empty).
+// Reads a trace file written by WriteTrace — either the current v2
+// format or the legacy v1 fixed-width format ("FGLBTRC1"). Returns
+// false on I/O error or malformed contents: truncated files, trailing
+// garbage and (v2) checksum mismatches are all rejected, with *records
+// left empty.
 bool ReadTrace(const std::string& path, std::vector<TraceRecord>* records);
 
 // Filters a trace to one class's page ids, preserving order — the

@@ -1,0 +1,235 @@
+// Deterministic replay: a capture of a live run, replayed through
+// ReplayRunner, must reproduce the controller's decision trace
+// byte-for-byte (the --phase=action projection), for a clean scenario
+// and for one running under an injected fault schedule. Plus the
+// what-if evaluator's agreement with the live controller's choice.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/trace_check.h"
+#include "replay/capture.h"
+#include "replay/replayer.h"
+#include "replay/what_if.h"
+#include "scenarios/harness.h"
+#include "workload/rubis.h"
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Mirrors fglb_sim's consolidation scenario: TPC-W steady plus RUBiS
+// stepping in at duration/3 on a shared replica — the canonical
+// memory-interference run where the retuner re-places the intruder.
+void AssembleConsolidation(ClusterHarness* harness, double duration,
+                           uint64_t seed) {
+  harness->AddServers(4);
+  PhysicalServer* first = harness->resources().servers()[0].get();
+  Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  Scheduler* rubis = harness->AddApplication(MakeRubis(rubis_options));
+  Replica* shared = harness->resources().CreateReplica(first, 8192);
+  tpcw->AddReplica(shared);
+  rubis->AddReplica(shared);
+  harness->AddConstantClients(tpcw, 120, seed);
+  harness->AddClients(
+      rubis,
+      std::make_unique<StepLoad>(
+          std::vector<std::pair<SimTime, double>>{{duration / 3, 45}}),
+      seed + 1);
+}
+
+// Mirrors fglb_sim's chaos-replica scenario: consolidation topology
+// plus a spare TPC-W replica so a crash degrades rather than zeroes
+// capacity.
+void AssembleChaos(ClusterHarness* harness, uint64_t seed) {
+  harness->AddServers(4);
+  PhysicalServer* first = harness->resources().servers()[0].get();
+  PhysicalServer* second = harness->resources().servers()[1].get();
+  Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+  RubisOptions rubis_options;
+  rubis_options.app_id = 2;
+  Scheduler* rubis = harness->AddApplication(MakeRubis(rubis_options));
+  Replica* shared = harness->resources().CreateReplica(first, 8192);
+  Replica* spare = harness->resources().CreateReplica(second, 8192, 2);
+  tpcw->AddReplica(shared);
+  tpcw->AddReplica(spare);
+  rubis->AddReplica(shared);
+  harness->AddConstantClients(tpcw, 120, seed);
+  harness->AddConstantClients(rubis, 45, seed + 1);
+}
+
+struct LiveRun {
+  std::vector<std::string> action_lines;
+  size_t action_count = 0;
+};
+
+// Runs a live harness with capture attached, returns its action-trace
+// projection, and leaves the capture at `capture_path`.
+LiveRun RunLive(const std::string& capture_path, const std::string& scenario,
+                const std::string& fault_spec, uint64_t seed,
+                uint64_t fault_seed, double duration) {
+  SelectiveRetuner::Config config;
+  if (!fault_spec.empty()) config.max_migrations_per_interval = 2;
+  ClusterHarness harness(config);
+  harness.trace().EnableBuffering();
+  if (scenario == "consolidation") {
+    AssembleConsolidation(&harness, duration, seed);
+  } else {
+    AssembleChaos(&harness, seed);
+  }
+  if (!fault_spec.empty()) {
+    FaultSpec spec;
+    std::string fault_error;
+    EXPECT_TRUE(FaultSpec::Parse(fault_spec, &spec, &fault_error))
+        << fault_error;
+    harness.InjectFaults(std::move(spec), fault_seed);
+  }
+
+  CaptureWriter writer(&harness.sim());
+  CaptureInfo info;
+  info.seed = seed;
+  info.fault_seed = fault_seed;
+  info.scenario = scenario;
+  info.fault_spec = fault_spec;
+  info.duration_seconds = duration;
+  info.interval_seconds = harness.retuner().config().interval_seconds;
+  info.mrc_sample_rate = harness.retuner().config().mrc.sample_rate;
+  info.max_migrations_per_interval =
+      harness.retuner().config().max_migrations_per_interval;
+  std::string error;
+  EXPECT_TRUE(writer.Open(capture_path, info, SnapshotTopology(harness),
+                          &error))
+      << error;
+  harness.AttachRecorders(&writer, &writer);
+  harness.Start();
+  harness.RunFor(duration);
+  EXPECT_TRUE(
+      writer.Finalize(harness.retuner().actions(),
+                      harness.retuner().samples()));
+
+  LiveRun result;
+  result.action_count = harness.retuner().actions().size();
+  EXPECT_TRUE(ActionLines(harness.trace().BufferedLines(),
+                          &result.action_lines, &error))
+      << error;
+  return result;
+}
+
+// Replays `capture_path` strictly and returns the replayed run's
+// action-trace projection.
+std::vector<std::string> RunReplay(const std::string& capture_path,
+                                   size_t* actions_out) {
+  Capture capture;
+  std::string error;
+  EXPECT_TRUE(ReadCapture(capture_path, &capture, &error)) << error;
+  ReplayRunner runner(&capture, ReplayBuildOptions{});
+  EXPECT_TRUE(runner.Build(&error)) << error;
+  runner.harness()->trace().EnableBuffering();
+  EXPECT_TRUE(runner.Run(&error)) << error;
+  EXPECT_EQ(runner.source()->misses(), 0u);
+  EXPECT_EQ(runner.source()->remaining(), 0u);
+  *actions_out = runner.harness()->retuner().actions().size();
+  std::vector<std::string> lines;
+  EXPECT_TRUE(ActionLines(runner.harness()->trace().BufferedLines(), &lines,
+                          &error))
+      << error;
+  return lines;
+}
+
+TEST(ReplayTest, ConsolidationReplayMatchesLiveActionTrace) {
+  const std::string path = TempPath("fglb_replay_consolidation.fglbcap");
+  const LiveRun live = RunLive(path, "consolidation", "", 1, 1, 300);
+  // The run must actually exercise the controller, or byte-equality of
+  // empty traces would prove nothing.
+  ASSERT_GT(live.action_count, 0u);
+  ASSERT_FALSE(live.action_lines.empty());
+
+  size_t replay_actions = 0;
+  const std::vector<std::string> replayed = RunReplay(path, &replay_actions);
+  EXPECT_EQ(replay_actions, live.action_count);
+  ASSERT_EQ(replayed.size(), live.action_lines.size());
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], live.action_lines[i]) << "action line " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, ChaosReplayWithFaultSpecMatchesLiveActionTrace) {
+  const std::string path = TempPath("fglb_replay_chaos.fglbcap");
+  const std::string fault_spec =
+      "crash@100:replica=1,restart=60;"
+      "stats@150:replica=0,mode=partial,duration=60";
+  const LiveRun live = RunLive(path, "chaos-replica", fault_spec, 1, 7, 300);
+  ASSERT_FALSE(live.action_lines.empty());
+
+  size_t replay_actions = 0;
+  const std::vector<std::string> replayed = RunReplay(path, &replay_actions);
+  EXPECT_EQ(replay_actions, live.action_count);
+  ASSERT_EQ(replayed.size(), live.action_lines.size());
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], live.action_lines[i]) << "action line " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, ReplayedActionLogMatchesCaptureActions) {
+  const std::string path = TempPath("fglb_replay_actions.fglbcap");
+  RunLive(path, "consolidation", "", 3, 1, 300);
+  Capture capture;
+  std::string error;
+  ASSERT_TRUE(ReadCapture(path, &capture, &error)) << error;
+  ReplayRunner runner(&capture, ReplayBuildOptions{});
+  ASSERT_TRUE(runner.Run(&error)) << error;
+  const auto& replayed = runner.harness()->retuner().actions();
+  ASSERT_EQ(replayed.size(), capture.actions.size());
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].time, capture.actions[i].t);
+    EXPECT_EQ(static_cast<uint8_t>(replayed[i].kind), capture.actions[i].kind);
+    EXPECT_EQ(replayed[i].app, capture.actions[i].app);
+    EXPECT_EQ(replayed[i].description, capture.actions[i].description);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, WhatIfRanksCandidatesAndAgreesWithLiveController) {
+  const std::string path = TempPath("fglb_replay_whatif.fglbcap");
+  RunLive(path, "consolidation", "", 1, 1, 300);
+  Capture capture;
+  std::string error;
+  ASSERT_TRUE(ReadCapture(path, &capture, &error)) << error;
+
+  WhatIfRunner runner(&capture, WhatIfOptions{});
+  WhatIfResult result;
+  ASSERT_TRUE(runner.Run(&result, &error)) << error;
+
+  ASSERT_EQ(result.candidates.size(), 3u);
+  // Ranked best-first, no-op anchored at score 0.
+  for (size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_GE(result.candidates[i - 1].score, result.candidates[i].score);
+  }
+  for (const WhatIfCandidate& c : result.candidates) {
+    if (c.name == "noop") {
+      EXPECT_DOUBLE_EQ(c.score, 0.0);
+    }
+  }
+  // On the consolidation interference window the re-placement must win
+  // offline — and match what the live SelectiveRetuner actually did.
+  EXPECT_EQ(result.candidates[0].name, "migrate");
+  EXPECT_EQ(result.live_choice, "migrate");
+  EXPECT_TRUE(result.agrees_with_live);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fglb

@@ -82,6 +82,144 @@ TEST(TraceTest, TruncatedFileRejected) {
   std::remove(path.c_str());
 }
 
+// --- legacy v1 format: still readable, hardened against truncation
+// and trailing garbage (hand-crafted files; WriteTrace emits v2 only)
+// ---
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::string V1File(const std::vector<TraceRecord>& records) {
+  std::string body = "FGLBTRC1";
+  AppendU64(&body, records.size());
+  for (const TraceRecord& r : records) {
+    AppendU64(&body, r.class_key);
+    AppendU64(&body, r.access.page);
+    uint8_t flags = 0;
+    if (r.access.kind == AccessKind::kSequential) flags |= 1;
+    if (r.access.is_write) flags |= 2;
+    body.push_back(static_cast<char>(flags));
+    body.append(7, '\0');
+  }
+  return body;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(TraceTest, V1StillReadable) {
+  const std::string path = TempPath("fglb_trace_v1_ok.bin");
+  const auto records = SampleRecords();
+  WriteBytes(path, V1File(records));
+  std::vector<TraceRecord> loaded;
+  ASSERT_TRUE(ReadTrace(path, &loaded));
+  ASSERT_EQ(loaded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].class_key, records[i].class_key);
+    EXPECT_EQ(loaded[i].access.page, records[i].access.page);
+    EXPECT_EQ(loaded[i].access.kind, records[i].access.kind);
+    EXPECT_EQ(loaded[i].access.is_write, records[i].access.is_write);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V1TruncatedRejected) {
+  const std::string path = TempPath("fglb_trace_v1_truncated.bin");
+  std::string bytes = V1File(SampleRecords());
+  // Every truncation point must fail: mid-record, mid-count, mid-magic.
+  for (size_t keep : {bytes.size() - 1, bytes.size() - 12,
+                      bytes.size() - 24, size_t{20}, size_t{10}, size_t{3}}) {
+    WriteBytes(path, bytes.substr(0, keep));
+    std::vector<TraceRecord> loaded = {TraceRecord{}};
+    EXPECT_FALSE(ReadTrace(path, &loaded)) << "kept " << keep << " bytes";
+    EXPECT_TRUE(loaded.empty()) << "kept " << keep << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V1TrailingGarbageRejected) {
+  const std::string path = TempPath("fglb_trace_v1_garbage.bin");
+  for (const std::string& extra :
+       {std::string("x"), std::string("garbage"), std::string(4, '\0')}) {
+    WriteBytes(path, V1File(SampleRecords()) + extra);
+    std::vector<TraceRecord> loaded = {TraceRecord{}};
+    EXPECT_FALSE(ReadTrace(path, &loaded));
+    EXPECT_TRUE(loaded.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V1OverlongCountRejected) {
+  // A count promising far more records than the file holds must fail
+  // cleanly instead of reserving gigabytes.
+  const std::string path = TempPath("fglb_trace_v1_count.bin");
+  std::string bytes = "FGLBTRC1";
+  AppendU64(&bytes, 1ULL << 60);
+  WriteBytes(path, bytes);
+  std::vector<TraceRecord> loaded;
+  EXPECT_FALSE(ReadTrace(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+// --- v2 format ---
+
+TEST(TraceTest, WriteEmitsV2Magic) {
+  const std::string path = TempPath("fglb_trace_v2_magic.bin");
+  ASSERT_TRUE(WriteTrace(path, SampleRecords()));
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  EXPECT_EQ(std::string(magic, 8), "FGLBTRC2");
+  // And v2 is substantially smaller than v1's 24 bytes/record.
+  EXPECT_LT(std::filesystem::file_size(path),
+            8 + 8 + SampleRecords().size() * 24);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V2CorruptionDetected) {
+  const std::string path = TempPath("fglb_trace_v2_corrupt.bin");
+  ASSERT_TRUE(WriteTrace(path, SampleRecords()));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // Flip one bit in every byte position after the magic in turn: the
+  // CRC (or the magic/flags validation) must catch each one.
+  for (size_t i = 8; i < bytes.size(); i += 7) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x20);
+    WriteBytes(path, corrupted);
+    std::vector<TraceRecord> loaded = {TraceRecord{}};
+    EXPECT_FALSE(ReadTrace(path, &loaded)) << "byte " << i;
+    EXPECT_TRUE(loaded.empty()) << "byte " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, V2TruncationDetected) {
+  const std::string path = TempPath("fglb_trace_v2_truncated.bin");
+  ASSERT_TRUE(WriteTrace(path, SampleRecords()));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  for (size_t keep : {bytes.size() - 1, bytes.size() - 4, bytes.size() / 2,
+                      size_t{9}}) {
+    WriteBytes(path, bytes.substr(0, keep));
+    std::vector<TraceRecord> loaded;
+    EXPECT_FALSE(ReadTrace(path, &loaded)) << "kept " << keep << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
 TEST(TraceTest, PagesOfClassFilters) {
   const auto records = SampleRecords();
   const ClassKey key = MakeClassKey(1, 10);

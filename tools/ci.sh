@@ -42,13 +42,44 @@ echo "=== chaos smoke: deterministic fault injection under trace ==="
   --phase=action >/dev/null
 "./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/chaos.jsonl" --summary
 
+echo "=== replay smoke: capture -> deterministic replay -> diff ==="
+# Capture a live consolidation run, replay it, and require the replayed
+# controller's action trace to match the live one byte for byte (the
+# --phase=action projection strips the wall-clock header fields).
+"./${PREFIX}/tools/fglb_sim" --scenario=consolidation --duration=600 \
+  --log-level=quiet --capture-out="${SMOKE_DIR}/live.fglbcap" \
+  --trace-out="${SMOKE_DIR}/live.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/live.fglbcap" \
+  --trace-out="${SMOKE_DIR}/replay.jsonl"
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/live.jsonl" \
+         --phase=action) \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/replay.jsonl" \
+         --phase=action)
+# Same byte-for-byte contract under an injected fault schedule.
+"./${PREFIX}/tools/fglb_sim" --scenario=chaos-replica --duration=420 \
+  --fault-seed=7 --log-level=quiet \
+  --capture-out="${SMOKE_DIR}/chaos.fglbcap" \
+  --trace-out="${SMOKE_DIR}/chaos-live.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/chaos.fglbcap" \
+  --trace-out="${SMOKE_DIR}/chaos-replay.jsonl"
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/chaos-live.jsonl" \
+         --phase=action) \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/chaos-replay.jsonl" \
+         --phase=action)
+# The other consumers must at least run clean on a real capture.
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/live.fglbcap" --summary
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/live.fglbcap" --what-if
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/live.fglbcap" \
+  --to-legacy-trace="${SMOKE_DIR}/live.trc" >/dev/null
+test -s "${SMOKE_DIR}/live.trc"
+
 echo "=== TSan build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DFGLB_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
   --target mrc_pipeline_test log_analyzer_test selective_retuner_test \
   metrics_registry_test trace_log_test observability_integration_test \
-  fault_injector_test chaos_soak_test
+  fault_injector_test chaos_soak_test replay_codec_test replay_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability|FaultSpec|FaultInjector|Chaos'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest'
 
 echo "CI OK"

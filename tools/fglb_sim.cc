@@ -8,10 +8,12 @@
 //       --trace-out=trace.jsonl
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "replay/capture.h"
 #include "scenarios/cli_options.h"
 #include "scenarios/harness.h"
 #include "scenarios/report.h"
@@ -104,6 +106,18 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
   }
 }
 
+const char* ScenarioName(CliOptions::Scenario scenario) {
+  switch (scenario) {
+    case CliOptions::Scenario::kSteady: return "steady";
+    case CliOptions::Scenario::kBurst: return "burst";
+    case CliOptions::Scenario::kConsolidation: return "consolidation";
+    case CliOptions::Scenario::kIoContention: return "io";
+    case CliOptions::Scenario::kChaosReplica: return "chaos-replica";
+    case CliOptions::Scenario::kChaosDisk: return "chaos-disk";
+  }
+  return "unknown";
+}
+
 // The fault schedule a chaos scenario runs when --fault-spec is absent;
 // times scale with --duration so short smoke runs still hit every
 // fault. Non-chaos scenarios inject nothing by default.
@@ -190,6 +204,28 @@ int main(int argc, char** argv) {
             harness.fault_injector()->spec().ToString().c_str(),
             static_cast<unsigned long long>(options.fault_seed));
   }
+  std::unique_ptr<CaptureWriter> capture_writer;
+  if (!options.capture_out.empty()) {
+    capture_writer = std::make_unique<CaptureWriter>(&harness.sim());
+    CaptureInfo info;
+    info.seed = options.seed;
+    info.fault_seed = options.fault_seed;
+    info.scenario = ScenarioName(options.scenario);
+    info.fault_spec = fault_spec_text;
+    info.duration_seconds = options.duration_seconds;
+    info.interval_seconds = harness.retuner().config().interval_seconds;
+    info.mrc_sample_rate = options.mrc_sample_rate;
+    info.max_migrations_per_interval =
+        retuner_config.max_migrations_per_interval;
+    std::string capture_error;
+    if (!capture_writer->Open(options.capture_out, info,
+                              SnapshotTopology(harness), &capture_error)) {
+      LogError("cannot open --capture-out file: %s", capture_error.c_str());
+      return 1;
+    }
+    harness.AttachRecorders(capture_writer.get(), capture_writer.get());
+    LogDebug("workload capture -> %s", options.capture_out.c_str());
+  }
   harness.Start();
   LogInfo("scenario assembled: %d servers, %.0f simulated seconds",
           options.servers, options.duration_seconds);
@@ -205,6 +241,21 @@ int main(int argc, char** argv) {
                 harness.fault_injector()->faults_injected()),
             static_cast<unsigned long long>(
                 harness.fault_injector()->noop_faults()));
+  }
+  if (capture_writer != nullptr) {
+    if (!capture_writer->Finalize(retuner.actions(), retuner.samples())) {
+      LogError("write error finalizing --capture-out file");
+      return 1;
+    }
+    LogInfo("capture: %llu arrivals, %llu executions, %llu accesses, "
+            "%llu bytes",
+            static_cast<unsigned long long>(
+                capture_writer->arrivals_recorded()),
+            static_cast<unsigned long long>(
+                capture_writer->executions_recorded()),
+            static_cast<unsigned long long>(
+                capture_writer->accesses_recorded()),
+            static_cast<unsigned long long>(capture_writer->bytes_written()));
   }
   if (!options.trace_out.empty()) {
     LogDebug("trace events emitted: %llu",
