@@ -1,0 +1,464 @@
+#include "cluster/admission.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+namespace fglb {
+
+namespace {
+
+std::string Num(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+bool ParseDoubleField(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseIntField(const std::string& value, int* out) {
+  double d = 0;
+  if (!ParseDoubleField(value, &d) || d != static_cast<int>(d)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+}  // namespace
+
+std::string AdmissionConfig::ToString() const {
+  std::string out;
+  out += "target=" + Num(target_delay);
+  out += ",interval=" + Num(codel_interval_seconds);
+  out += ",queue=" + std::to_string(max_queue_depth);
+  out += ",retry_ratio=" + Num(retry_budget_ratio);
+  out += ",retry_burst=" + Num(retry_burst);
+  out += ",breaker_threshold=" + std::to_string(breaker_failure_threshold);
+  out += ",breaker_open=" + Num(breaker_open_seconds);
+  out += ",probes=" + std::to_string(breaker_half_open_probes);
+  out += ",timeout_factor=" + Num(timeout_factor);
+  out += ",alpha=" + Num(ewma_alpha);
+  return out;
+}
+
+bool AdmissionConfig::Parse(const std::string& text, AdmissionConfig* config,
+                            std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  AdmissionConfig parsed;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string field = text.substr(start, end - start);
+    start = end + 1;
+    if (field.empty()) continue;
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return fail("admission spec field without '=': " + field);
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    bool ok = true;
+    if (key == "target") {
+      ok = ParseDoubleField(value, &parsed.target_delay) &&
+           parsed.target_delay > 0;
+    } else if (key == "interval") {
+      ok = ParseDoubleField(value, &parsed.codel_interval_seconds) &&
+           parsed.codel_interval_seconds > 0;
+    } else if (key == "queue") {
+      double d = 0;
+      ok = ParseDoubleField(value, &d) && d >= 1 &&
+           d == static_cast<uint64_t>(d);
+      parsed.max_queue_depth = static_cast<uint64_t>(d);
+    } else if (key == "retry_ratio") {
+      ok = ParseDoubleField(value, &parsed.retry_budget_ratio) &&
+           parsed.retry_budget_ratio >= 0;
+    } else if (key == "retry_burst") {
+      ok = ParseDoubleField(value, &parsed.retry_burst) &&
+           parsed.retry_burst >= 0;
+    } else if (key == "breaker_threshold") {
+      ok = ParseIntField(value, &parsed.breaker_failure_threshold) &&
+           parsed.breaker_failure_threshold >= 1;
+    } else if (key == "breaker_open") {
+      ok = ParseDoubleField(value, &parsed.breaker_open_seconds) &&
+           parsed.breaker_open_seconds > 0;
+    } else if (key == "probes") {
+      ok = ParseIntField(value, &parsed.breaker_half_open_probes) &&
+           parsed.breaker_half_open_probes >= 1;
+    } else if (key == "timeout_factor") {
+      ok = ParseDoubleField(value, &parsed.timeout_factor) &&
+           parsed.timeout_factor > 0;
+    } else if (key == "alpha") {
+      ok = ParseDoubleField(value, &parsed.ewma_alpha) &&
+           parsed.ewma_alpha > 0 && parsed.ewma_alpha <= 1;
+    } else {
+      return fail("unknown admission spec key: " + key);
+    }
+    if (!ok) return fail("bad admission spec value: " + field);
+  }
+  *config = parsed;
+  return true;
+}
+
+AdmissionController::AdmissionController(Simulator* sim,
+                                         const AdmissionConfig& config)
+    : sim_(sim), config_(config) {
+  assert(sim_ != nullptr);
+}
+
+void AdmissionController::BindObservability(MetricsRegistry* metrics,
+                                            TraceLog* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+  if (metrics_ == nullptr) {
+    admitted_counter_ = shed_codel_counter_ = shed_queue_counter_ = nullptr;
+    probes_counter_ = trips_counter_ = half_opens_counter_ = nullptr;
+    closes_counter_ = reopens_counter_ = nullptr;
+    retry_granted_counter_ = retry_denied_counter_ = nullptr;
+    no_replica_counter_ = nullptr;
+    completion_us_ = nullptr;
+    return;
+  }
+  admitted_counter_ = metrics_->counter("admission.admitted");
+  shed_codel_counter_ = metrics_->counter("admission.shed.codel");
+  shed_queue_counter_ = metrics_->counter("admission.shed.queue_full");
+  probes_counter_ = metrics_->counter("admission.probes");
+  trips_counter_ = metrics_->counter("admission.breaker.trips");
+  half_opens_counter_ = metrics_->counter("admission.breaker.half_opens");
+  closes_counter_ = metrics_->counter("admission.breaker.closes");
+  reopens_counter_ = metrics_->counter("admission.breaker.reopens");
+  retry_granted_counter_ = metrics_->counter("admission.retry.granted");
+  retry_denied_counter_ = metrics_->counter("admission.retry.denied");
+  no_replica_counter_ = metrics_->counter("admission.no_replica_available");
+  completion_us_ = metrics_->histogram("admission.completion_us");
+}
+
+void AdmissionController::RegisterApp(AppId app, double sla_latency_seconds) {
+  AppState& state = apps_[app];
+  state.sla_latency_seconds =
+      sla_latency_seconds > 0 ? sla_latency_seconds : 1.0;
+}
+
+double AdmissionController::SlaOf(AppId app) const {
+  auto it = apps_.find(app);
+  return it != apps_.end() ? it->second.sla_latency_seconds : 1.0;
+}
+
+AdmissionController::AppState& AdmissionController::AppOfKey(ClassKey key) {
+  return apps_[AppOf(key)];
+}
+
+AdmissionController::ReplicaState& AdmissionController::StateOf(
+    int replica_id) {
+  return replicas_[replica_id];
+}
+
+int AdmissionController::EffectiveKeep(const ReplicaState& rs) const {
+  const int total = static_cast<int>(classes_.size());
+  return std::min(rs.keep_count, std::max(total, 1));
+}
+
+void AdmissionController::RecomputeShedSet(ReplicaState& rs) {
+  rs.shed_classes.clear();
+  const int total = static_cast<int>(classes_.size());
+  const int keep = EffectiveKeep(rs);
+  if (keep >= total) return;
+  // Rank by smoothed normalized latency, worst first; classes with no
+  // estimate yet rank best (they have claimed no capacity to triage
+  // away). Ties break on the key for determinism.
+  std::vector<std::pair<double, ClassKey>> ranked;
+  ranked.reserve(classes_.size());
+  for (const auto& [key, cs] : classes_) {
+    ranked.emplace_back(cs.has_estimate ? cs.ewma_normalized : 0.0, key);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (int i = 0; i < total - keep; ++i) {
+    rs.shed_classes.insert(ranked[static_cast<size_t>(i)].second);
+  }
+}
+
+void AdmissionController::SetKeepCount(int replica_id, ReplicaState& rs,
+                                       int keep, const char* reason) {
+  const int before = EffectiveKeep(rs);
+  rs.keep_count = keep;
+  const int after = EffectiveKeep(rs);
+  RecomputeShedSet(rs);
+  if (after == before) return;
+  if (Tracing()) {
+    TraceEvent event("admission");
+    event.Num("t", sim_->Now())
+        .Str("kind", "shed_level")
+        .Int("replica", replica_id)
+        .Int("keep", after)
+        .Int("classes", static_cast<int64_t>(classes_.size()))
+        .Num("window_min", rs.window_count > 0 ? rs.window_min : 0)
+        .Str("why", reason);
+    trace_->Emit(event);
+  }
+}
+
+void AdmissionController::RollWindows(int replica_id, ReplicaState& rs) {
+  const SimTime now = sim_->Now();
+  if (rs.window_end == 0) {
+    rs.window_end = now + config_.codel_interval_seconds;
+    rs.window_min = std::numeric_limits<double>::infinity();
+    rs.window_count = 0;
+    return;
+  }
+  while (now >= rs.window_end) {
+    if (rs.window_count > 0 && rs.window_min > config_.target_delay) {
+      // Standing delay: even the best completion of the window sat
+      // above the target. Shed one more class.
+      SetKeepCount(replica_id, rs, std::max(1, EffectiveKeep(rs) - 1),
+                   "overload");
+    } else if (EffectiveKeep(rs) < static_cast<int>(classes_.size())) {
+      // Back under target (or idle): restore one class.
+      SetKeepCount(replica_id, rs, EffectiveKeep(rs) + 1, "recovery");
+    }
+    rs.window_min = std::numeric_limits<double>::infinity();
+    rs.window_count = 0;
+    rs.window_end += config_.codel_interval_seconds;
+  }
+}
+
+bool AdmissionController::RouteAllowed(ClassKey key, int replica_id) {
+  ReplicaState& rs = StateOf(replica_id);
+  auto it = rs.breakers.find(key);
+  if (it == rs.breakers.end()) return true;
+  Breaker& b = it->second;
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (sim_->Now() - b.opened_at < config_.breaker_open_seconds) {
+        return false;
+      }
+      HalfOpenBreaker(key, replica_id, b);
+      return true;
+    case BreakerState::kHalfOpen:
+      return b.probes_issued < config_.breaker_half_open_probes;
+  }
+  return true;
+}
+
+AdmissionController::Verdict AdmissionController::Admit(ClassKey key,
+                                                        int replica_id,
+                                                        uint64_t queue_depth) {
+  classes_.try_emplace(key);  // ranked from first sight
+  ReplicaState& rs = StateOf(replica_id);
+  RollWindows(replica_id, rs);
+
+  bool probe = false;
+  auto breaker_it = rs.breakers.find(key);
+  if (breaker_it != rs.breakers.end()) {
+    Breaker& b = breaker_it->second;
+    if (b.state == BreakerState::kOpen &&
+        sim_->Now() - b.opened_at >= config_.breaker_open_seconds) {
+      HalfOpenBreaker(key, replica_id, b);
+    }
+    if (b.state == BreakerState::kHalfOpen &&
+        b.probes_issued < config_.breaker_half_open_probes) {
+      ++b.probes_issued;
+      probe = true;
+      if (probes_counter_ != nullptr) probes_counter_->Increment();
+      EmitBreakerEvent("probe", key, replica_id, b);
+    }
+  }
+
+  Verdict verdict;
+  if (!probe && queue_depth >= config_.max_queue_depth) {
+    verdict.decision = Decision::kShed;
+    verdict.reason = "queue_full";
+    ++shed_total_;
+    if (shed_queue_counter_ != nullptr) shed_queue_counter_->Increment();
+    return verdict;
+  }
+  if (!probe && rs.shed_classes.contains(key)) {
+    verdict.decision = Decision::kShed;
+    verdict.reason = "codel";
+    ++shed_total_;
+    if (shed_codel_counter_ != nullptr) shed_codel_counter_->Increment();
+    return verdict;
+  }
+
+  ++admitted_total_;
+  if (admitted_counter_ != nullptr) admitted_counter_->Increment();
+  AppState& app = AppOfKey(key);
+  app.retry_tokens = std::min(config_.retry_burst,
+                              app.retry_tokens + config_.retry_budget_ratio);
+  if (app.exhaustion_noted && app.retry_tokens >= 1) {
+    app.exhaustion_noted = false;
+  }
+  verdict.decision = probe ? Decision::kProbe : Decision::kAdmit;
+  return verdict;
+}
+
+void AdmissionController::OnComplete(ClassKey key, int replica_id,
+                                     double latency_seconds) {
+  const double sla = SlaOf(AppOf(key));
+  const double normalized = latency_seconds / sla;
+
+  ClassState& cs = classes_[key];
+  if (!cs.has_estimate) {
+    cs.has_estimate = true;
+    cs.ewma_normalized = normalized;
+  } else {
+    cs.ewma_normalized = config_.ewma_alpha * normalized +
+                         (1 - config_.ewma_alpha) * cs.ewma_normalized;
+  }
+
+  ReplicaState& rs = StateOf(replica_id);
+  RollWindows(replica_id, rs);
+  rs.window_min = std::min(rs.window_min, normalized);
+  ++rs.window_count;
+  if (completion_us_ != nullptr) {
+    completion_us_->Record(latency_seconds * 1e6);
+  }
+
+  const bool failure = latency_seconds > config_.timeout_factor * sla;
+  Breaker& b = rs.breakers[key];
+  switch (b.state) {
+    case BreakerState::kClosed:
+      if (failure) {
+        if (++b.consecutive_failures >= config_.breaker_failure_threshold) {
+          TripBreaker(key, replica_id, b, /*reopen=*/false);
+        }
+      } else {
+        b.consecutive_failures = 0;
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      if (failure) {
+        TripBreaker(key, replica_id, b, /*reopen=*/true);
+      } else if (++b.probe_successes >= config_.breaker_half_open_probes) {
+        CloseBreaker(key, replica_id, b);
+      }
+      break;
+    case BreakerState::kOpen:
+      // A straggler admitted before the trip; the open window already
+      // judged this (class, replica).
+      break;
+  }
+}
+
+bool AdmissionController::TryRetry(AppId app) {
+  AppState& state = apps_[app];
+  if (state.retry_tokens >= 1) {
+    state.retry_tokens -= 1;
+    if (retry_granted_counter_ != nullptr) retry_granted_counter_->Increment();
+    return true;
+  }
+  if (retry_denied_counter_ != nullptr) retry_denied_counter_->Increment();
+  if (!state.exhaustion_noted) {
+    state.exhaustion_noted = true;
+    if (Tracing()) {
+      TraceEvent event("admission");
+      event.Num("t", sim_->Now())
+          .Str("kind", "retry_exhausted")
+          .Uint("app", app)
+          .Num("tokens", state.retry_tokens);
+      trace_->Emit(event);
+    }
+  }
+  return false;
+}
+
+bool AdmissionController::BreakerOpen(int replica_id) const {
+  auto it = replicas_.find(replica_id);
+  if (it == replicas_.end()) return false;
+  const SimTime now = sim_->Now();
+  for (const auto& [key, b] : it->second.breakers) {
+    if (b.state == BreakerState::kOpen &&
+        now - b.opened_at < config_.breaker_open_seconds) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionController::NoteNoReplicaAvailable() {
+  if (no_replica_counter_ != nullptr) no_replica_counter_->Increment();
+}
+
+int AdmissionController::KeepCount(int replica_id) const {
+  auto it = replicas_.find(replica_id);
+  const int total = std::max(static_cast<int>(classes_.size()), 1);
+  if (it == replicas_.end()) return total;
+  return std::min(it->second.keep_count, total);
+}
+
+bool AdmissionController::IsShed(ClassKey key, int replica_id) const {
+  auto it = replicas_.find(replica_id);
+  return it != replicas_.end() && it->second.shed_classes.contains(key);
+}
+
+double AdmissionController::RetryTokens(AppId app) const {
+  auto it = apps_.find(app);
+  return it != apps_.end() ? it->second.retry_tokens : 0;
+}
+
+void AdmissionController::TripBreaker(ClassKey key, int replica_id,
+                                      Breaker& b, bool reopen) {
+  b.state = BreakerState::kOpen;
+  b.opened_at = sim_->Now();
+  b.probes_issued = 0;
+  b.probe_successes = 0;
+  if (reopen) {
+    if (reopens_counter_ != nullptr) reopens_counter_->Increment();
+    EmitBreakerEvent("reopen", key, replica_id, b);
+  } else {
+    if (trips_counter_ != nullptr) trips_counter_->Increment();
+    EmitBreakerEvent("trip", key, replica_id, b);
+  }
+}
+
+void AdmissionController::HalfOpenBreaker(ClassKey key, int replica_id,
+                                          Breaker& b) {
+  b.state = BreakerState::kHalfOpen;
+  b.probes_issued = 0;
+  b.probe_successes = 0;
+  if (half_opens_counter_ != nullptr) half_opens_counter_->Increment();
+  EmitBreakerEvent("half_open", key, replica_id, b);
+}
+
+void AdmissionController::CloseBreaker(ClassKey key, int replica_id,
+                                       Breaker& b) {
+  b.state = BreakerState::kClosed;
+  b.consecutive_failures = 0;
+  b.probes_issued = 0;
+  b.probe_successes = 0;
+  if (closes_counter_ != nullptr) closes_counter_->Increment();
+  EmitBreakerEvent("close", key, replica_id, b);
+}
+
+void AdmissionController::EmitBreakerEvent(const char* kind, ClassKey key,
+                                           int replica_id, const Breaker& b) {
+  if (!Tracing()) return;
+  TraceEvent event("admission");
+  event.Num("t", sim_->Now())
+      .Str("kind", kind)
+      .Uint("app", AppOf(key))
+      .Uint("cls", ClassOf(key))
+      .Int("replica", replica_id)
+      .Int("failures", b.consecutive_failures)
+      .Int("probes", b.probes_issued)
+      .Int("probe_successes", b.probe_successes);
+  trace_->Emit(event);
+}
+
+}  // namespace fglb

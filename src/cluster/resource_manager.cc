@@ -54,6 +54,7 @@ Replica* ResourceManager::CreateReplica(PhysicalServer* server,
   auto engine = std::make_unique<DatabaseEngine>(
       "engine-" + std::to_string(id), options, &server->disk_model());
   if (metrics_ != nullptr) engine->BindMetrics(metrics_);
+  engine->set_execution_timeout_seconds(execution_timeout_seconds_);
   replicas_.push_back(
       std::make_unique<Replica>(id, sim_, server, std::move(engine)));
   if (replica_observer_) replica_observer_(replicas_.back().get());
@@ -65,6 +66,13 @@ void ResourceManager::set_replica_observer(
   replica_observer_ = std::move(observer);
   if (!replica_observer_) return;
   for (const auto& replica : replicas_) replica_observer_(replica.get());
+}
+
+void ResourceManager::set_execution_timeout_seconds(double seconds) {
+  execution_timeout_seconds_ = seconds;
+  for (const auto& replica : replicas_) {
+    replica->engine().set_execution_timeout_seconds(seconds);
+  }
 }
 
 void ResourceManager::set_metrics(MetricsRegistry* registry) {
@@ -147,7 +155,16 @@ void ResourceManager::DestroyReplica(Replica* replica) {
         if (rm->metrics_ != nullptr) {
           rm->metrics_->counter("cluster.drain_timeouts")->Increment();
         }
+        Replica* r = held->get();
         rm->zombies_.push_back(std::move(*held));
+        if (rm->trace_ != nullptr && rm->trace_->enabled()) {
+          rm->trace_->Emit(TraceEvent("fault")
+                               .Str("kind", "drain_timeout")
+                               .Num("t", rm->sim_->Now())
+                               .Int("replica", r->id())
+                               .Uint("inflight", r->inflight())
+                               .Uint("zombies", rm->zombies_.size()));
+        }
         return;
       }
       rm->sim_->ScheduleAfter(1.0, [rm, held, deadline] {

@@ -12,6 +12,7 @@
 #include "cluster/replica.h"
 #include "cluster/scheduler.h"
 #include "common/metrics_registry.h"
+#include "common/trace_log.h"
 #include "sim/simulator.h"
 
 namespace fglb {
@@ -82,6 +83,18 @@ class ResourceManager {
   // replicas are bound retroactively; null stops binding new ones.
   void set_metrics(MetricsRegistry* registry);
 
+  // Decision trace a drain-deadline event (phase="fault",
+  // kind="drain_timeout") is emitted into when a replica fails to
+  // drain; null disables.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  // Execution timeout applied to every engine this manager owns —
+  // existing replicas immediately, future ones at creation. 0 disables.
+  void set_execution_timeout_seconds(double seconds);
+  double execution_timeout_seconds() const {
+    return execution_timeout_seconds_;
+  }
+
   // Observer invoked for every replica this manager creates — existing
   // ones immediately, future ones (controller provisioning, fault
   // restarts) at creation. The capture/replay subsystem uses it to wire
@@ -95,6 +108,8 @@ class ResourceManager {
  private:
   Simulator* sim_;
   MetricsRegistry* metrics_ = nullptr;
+  TraceLog* trace_ = nullptr;
+  double execution_timeout_seconds_ = 0;
   std::function<void(Replica*)> replica_observer_;
   std::vector<std::unique_ptr<PhysicalServer>> servers_;
   std::vector<std::unique_ptr<Replica>> replicas_;

@@ -5,6 +5,15 @@
 
 namespace fglb {
 
+namespace {
+
+// Client-observed latency of a fast-failed (shed) read: the error
+// round-trip, not a service time. Small and fixed so shed queries
+// cost the cluster nothing while closed-loop clients still cycle.
+constexpr double kShedLatencySeconds = 0.005;
+
+}  // namespace
+
 Scheduler::Scheduler(Simulator* sim, const ApplicationSpec* app)
     : sim_(sim), app_(app) {
   assert(sim_ && app_);
@@ -66,10 +75,25 @@ std::vector<Replica*> Scheduler::PlacementOf(QueryClassId cls) const {
   return DefaultSet();
 }
 
-Replica* Scheduler::ChooseReadReplica(const QueryInstance& query) {
+Replica* Scheduler::PickReplica(const QueryInstance& query) {
   std::vector<Replica*> candidates = PlacementOf(query.tmpl->id);
   if (candidates.empty()) candidates = replicas_;
   if (candidates.empty()) return nullptr;
+  if (admission_ != nullptr) {
+    std::vector<Replica*> allowed;
+    allowed.reserve(candidates.size());
+    const ClassKey key = query.class_key();
+    for (Replica* r : candidates) {
+      if (admission_->RouteAllowed(key, r->id())) allowed.push_back(r);
+    }
+    if (allowed.empty()) {
+      // Every candidate's breaker is open: route least-loaded anyway
+      // rather than failing the class outright.
+      admission_->NoteNoReplicaAvailable();
+    } else {
+      candidates = std::move(allowed);
+    }
+  }
   // Freshness first (read-one/write-all: a replica must have applied
   // all committed writes before serving reads), then least loaded.
   const uint64_t need = next_write_seq_;
@@ -88,6 +112,52 @@ Replica* Scheduler::ChooseReadReplica(const QueryInstance& query) {
   return best;
 }
 
+Replica* Scheduler::RetryTarget(const QueryInstance& query,
+                                const Replica* exclude) {
+  const ClassKey key = query.class_key();
+  std::vector<Replica*> candidates = PlacementOf(query.tmpl->id);
+  if (candidates.empty()) candidates = replicas_;
+  Replica* best = nullptr;
+  for (Replica* r : candidates) {
+    if (r == exclude) continue;
+    if (admission_ != nullptr && !admission_->RouteAllowed(key, r->id())) {
+      continue;
+    }
+    if (best == nullptr || r->inflight() < best->inflight()) best = r;
+  }
+  return best;
+}
+
+void Scheduler::Account(QueryClassId cls, double latency) {
+  ++interval_queries_;
+  ++total_completed_;
+  interval_latency_sum_ += latency;
+  interval_latencies_.Add(latency);
+  ClassStats& stats = class_stats_[cls];
+  ++stats.completed;
+  stats.latency_sum += latency;
+  if (latency <= app_->sla_latency_seconds) {
+    ++stats.sla_ok;
+    ++total_sla_ok_;
+  }
+}
+
+void Scheduler::RunRead(Replica* replica, const QueryInstance& query,
+                        std::function<void(double)> on_complete) {
+  const ClassKey key = query.class_key();
+  const QueryClassId cls = query.tmpl->id;
+  const int replica_id = replica->id();
+  replica->Run(query, [this, key, cls, replica_id,
+                       on_complete = std::move(on_complete)](
+                          double latency, const ExecutionCounters&) mutable {
+    if (admission_ != nullptr) {
+      admission_->OnComplete(key, replica_id, latency);
+    }
+    Account(cls, latency);
+    if (on_complete) on_complete(latency);
+  });
+}
+
 void Scheduler::Submit(const QueryInstance& query,
                        std::function<void(double)> on_complete) {
   assert(query.tmpl != nullptr);
@@ -96,28 +166,19 @@ void Scheduler::Submit(const QueryInstance& query,
     // No capacity at all: fail the query with a large penalty latency
     // so the SLA check trips and provisioning reacts.
     const double penalty = app_->sla_latency_seconds * 10;
-    sim_->ScheduleAfter(penalty, [this, penalty,
+    sim_->ScheduleAfter(penalty, [this, penalty, cls = query.tmpl->id,
                                   on_complete = std::move(on_complete)] {
-      ++interval_queries_;
-      ++total_completed_;
-      interval_latency_sum_ += penalty;
-      interval_latencies_.Add(penalty);
+      Account(cls, penalty);
       if (on_complete) on_complete(penalty);
     });
     return;
   }
 
-  auto account = [this](double latency) {
-    ++interval_queries_;
-    ++total_completed_;
-    interval_latency_sum_ += latency;
-    interval_latencies_.Add(latency);
-  };
-
   if (query.tmpl->is_update) {
     // Write-all: every replica applies the write; the client sees the
     // latency of the (least loaded) replica chosen to answer it, the
-    // rest apply asynchronously.
+    // rest apply asynchronously. Writes bypass admission control —
+    // shedding one would silently fork replica state.
     const uint64_t seq = ++next_write_seq_;
     Replica* primary = nullptr;
     for (Replica* r : replicas_) {
@@ -128,12 +189,12 @@ void Scheduler::Submit(const QueryInstance& query,
     for (Replica* r : replicas_) {
       const bool is_primary = (r == primary);
       AppId app_id = app_->id;
-      auto done = [r, seq, app_id, is_primary, account,
+      auto done = [this, r, seq, app_id, is_primary, cls = query.tmpl->id,
                    on_complete](double latency,
                                 const ExecutionCounters&) mutable {
         r->SetAppliedSeq(app_id, seq);
         if (is_primary) {
-          account(latency);
+          Account(cls, latency);
           if (on_complete) on_complete(latency);
         }
       };
@@ -142,13 +203,42 @@ void Scheduler::Submit(const QueryInstance& query,
     return;
   }
 
-  Replica* replica = ChooseReadReplica(query);
+  Replica* replica = PickReplica(query);
   assert(replica != nullptr);
-  replica->Run(query, [account, on_complete = std::move(on_complete)](
-                          double latency, const ExecutionCounters&) mutable {
-    account(latency);
-    if (on_complete) on_complete(latency);
-  });
+  if (admission_ != nullptr) {
+    const ClassKey key = query.class_key();
+    AdmissionController::Verdict verdict =
+        admission_->Admit(key, replica->id(), replica->inflight());
+    if (verdict.decision == AdmissionController::Decision::kShed) {
+      // One bounded retry on another replica, if the app's token
+      // bucket still holds a whole token and an alternative admits.
+      Replica* alternative = nullptr;
+      if (replicas_.size() > 1 && admission_->TryRetry(app_->id)) {
+        alternative = RetryTarget(query, replica);
+        if (alternative != nullptr) {
+          const AdmissionController::Verdict retried = admission_->Admit(
+              key, alternative->id(), alternative->inflight());
+          if (retried.decision == AdmissionController::Decision::kShed) {
+            alternative = nullptr;
+          }
+        }
+      }
+      if (alternative == nullptr) {
+        // Fast-fail: the client gets an error round-trip, not a slot
+        // in a collapsed queue. Not counted in the latency stats —
+        // the shed share travels separately in the interval report.
+        ++interval_shed_;
+        ++total_shed_;
+        sim_->ScheduleAfter(kShedLatencySeconds,
+                            [on_complete = std::move(on_complete)] {
+                              if (on_complete) on_complete(kShedLatencySeconds);
+                            });
+        return;
+      }
+      replica = alternative;
+    }
+  }
+  RunRead(replica, query, std::move(on_complete));
 }
 
 Scheduler::IntervalReport Scheduler::EndInterval(double interval_seconds) {
@@ -164,7 +254,9 @@ Scheduler::IntervalReport Scheduler::EndInterval(double interval_seconds) {
                       interval_seconds;
   report.sla_met = interval_queries_ == 0 ||
                    report.avg_latency <= app_->sla_latency_seconds;
+  report.shed = interval_shed_;
   interval_queries_ = 0;
+  interval_shed_ = 0;
   interval_latency_sum_ = 0;
   interval_latencies_.Reset();
   return report;

@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "cluster/admission.h"
 #include "cluster/replica.h"
 #include "common/histogram.h"
 #include "sim/simulator.h"
@@ -60,6 +61,21 @@ class Scheduler final : public QuerySink {
   void Submit(const QueryInstance& query,
               std::function<void(double)> on_complete) override;
 
+  // Read routing: the class's placement set, narrowed by the admission
+  // controller's breaker filter when one is installed, then freshness-
+  // first / least-loaded. When the breaker filter excludes *every*
+  // candidate the scheduler falls back to the unfiltered set (and
+  // records admission.no_replica_available) — degraded routing beats
+  // no routing. Returns nullptr only with no replicas at all.
+  Replica* PickReplica(const QueryInstance& query);
+
+  // Installs the overload-protection controller on the read path
+  // (breaker-aware routing in PickReplica, shed/retry in Submit).
+  // Null detaches; writes are never gated.
+  void SetAdmission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+
   // Observes every Submit() in admission order (workload capture);
   // null detaches. The recorder must outlive the scheduler or be
   // detached first.
@@ -77,19 +93,42 @@ class Scheduler final : public QuerySink {
     double p99_latency = 0;  // 99th percentile (approximate)
     double throughput = 0;   // queries per second
     bool sla_met = true;     // avg latency within the application's SLA
+    // Reads fast-failed by admission control this interval; they are
+    // not part of `queries` or the latency stats (the retuner reads
+    // the shed share as its overload signal).
+    uint64_t shed = 0;
   };
 
   // Closes the current measurement interval and returns its report.
   IntervalReport EndInterval(double interval_seconds);
 
+  // Cumulative per-class completion stats (goodput accounting).
+  struct ClassStats {
+    uint64_t completed = 0;
+    uint64_t sla_ok = 0;  // completions within the app's SLA latency
+    double latency_sum = 0;
+  };
+  const std::map<QueryClassId, ClassStats>& class_stats() const {
+    return class_stats_;
+  }
+
   uint64_t total_completed() const { return total_completed_; }
+  // Cumulative completions within the app's SLA latency (goodput).
+  uint64_t total_sla_ok() const { return total_sla_ok_; }
+  uint64_t total_shed() const { return total_shed_; }
 
  private:
-  Replica* ChooseReadReplica(const QueryInstance& query);
+  // Least-loaded admission-allowed replica other than `exclude`, for
+  // the bounded retry after a shed; nullptr when no alternative exists.
+  Replica* RetryTarget(const QueryInstance& query, const Replica* exclude);
+  void RunRead(Replica* replica, const QueryInstance& query,
+               std::function<void(double)> on_complete);
+  void Account(QueryClassId cls, double latency);
 
   Simulator* sim_;
   const ApplicationSpec* app_;
   ArrivalRecorder* arrival_recorder_ = nullptr;
+  AdmissionController* admission_ = nullptr;
   std::vector<Replica*> replicas_;
   std::set<const Replica*> dedicated_targets_;
   std::map<QueryClassId, Replica*> dedicated_placement_;
@@ -99,9 +138,13 @@ class Scheduler final : public QuerySink {
 
   // Interval accumulators.
   uint64_t interval_queries_ = 0;
+  uint64_t interval_shed_ = 0;
   double interval_latency_sum_ = 0;
   Histogram interval_latencies_;
   uint64_t total_completed_ = 0;
+  uint64_t total_sla_ok_ = 0;
+  uint64_t total_shed_ = 0;
+  std::map<QueryClassId, ClassStats> class_stats_;
 };
 
 }  // namespace fglb

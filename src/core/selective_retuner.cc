@@ -429,6 +429,34 @@ void SelectiveRetuner::Tick() {
   for (Scheduler* s : schedulers_) {
     const auto& report = reports.at(s);
     const AppId app = s->app().id;
+    // Sustained shedding outranks the SLA check: admission control
+    // fast-fails enough load to keep the *served* latency inside the
+    // SLA, so waiting for a latency violation would never provision.
+    const uint64_t offered = report.queries + report.shed;
+    const double shed_share =
+        offered > 0 ? static_cast<double>(report.shed) / offered : 0.0;
+    if (admission_ != nullptr && config_.enable_actions &&
+        shed_share >= config_.overload_shed_share && !InWarmup(app)) {
+      calm_streak_[app] = 0;
+      ++violation_streak_[app];
+      if (violations_ != nullptr) violations_->Increment();
+      BeginViolationScope(s, report, end_interval_us[s]);
+      Replica* fresh =
+          resources_->ProvisionReplica(s, config_.replica_pool_pages);
+      if (fresh != nullptr) {
+        NoteTopologyChange(app);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "overload: %.0f%% of offered load shed; provisioned "
+                      "%s on %s (now %d servers)",
+                      100 * shed_share, fresh->name().c_str(),
+                      fresh->server().name().c_str(),
+                      resources_->ServersUsedBy(*s));
+        Log(ActionKind::kCpuProvision, app, buf);
+      }
+      EndViolationScope("overload_shed");
+      continue;
+    }
     if (report.queries > 0 && !report.sla_met) {
       calm_streak_[app] = 0;
       if (violations_ != nullptr) violations_->Increment();
@@ -807,6 +835,15 @@ Replica* SelectiveRetuner::FindPlacementTarget(
   for (Replica* candidate : scheduler->replicas()) {
     if (candidate == avoid) continue;
     if (avoid != nullptr && &candidate->server() == &avoid->server()) continue;
+    if (admission_ != nullptr && admission_->BreakerOpen(candidate->id())) {
+      // A replica already tripping circuit breakers is the last place
+      // to migrate more load into.
+      if (metrics_ != nullptr) {
+        metrics_->counter("controller.migration.breaker_suppressed")
+            ->Increment();
+      }
+      continue;
+    }
     LogAnalyzer& analyzer = AnalyzerFor(&candidate->engine());
     const std::vector<ClassMemoryProfile> existing =
         analyzer.StableProfilesExcept({});

@@ -75,6 +75,13 @@ class SelectiveRetuner {
     // Consecutive violating intervals before coarse fallback.
     int coarse_fallback_after = 4;
 
+    // Overload escalation: when admission control fast-fails at least
+    // this share of an application's offered load over an interval, the
+    // cluster is short on capacity no matter what the (shed-protected)
+    // latency says — skip the diagnosis cascade and provision a replica
+    // directly.
+    double overload_shed_share = 0.25;
+
     uint64_t replica_pool_pages = 8192;
 
     OutlierConfig outlier;
@@ -192,6 +199,13 @@ class SelectiveRetuner {
     config_.migration_interceptor = std::move(interceptor);
   }
 
+  // Overload-protection coupling: sustained shedding escalates straight
+  // to replica provisioning, and placement never targets a replica with
+  // an open circuit breaker. Null (the default) decouples.
+  void set_admission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+
   const std::vector<Action>& actions() const { return actions_; }
   const std::vector<IntervalSample>& samples() const { return samples_; }
   const std::vector<DiagnosisRecord>& diagnoses() const { return diagnoses_; }
@@ -299,6 +313,7 @@ class SelectiveRetuner {
   Simulator* sim_;
   ResourceManager* resources_;
   Config config_;
+  AdmissionController* admission_ = nullptr;
   QuotaPlanner planner_;
   std::vector<Scheduler*> schedulers_;
   std::map<DatabaseEngine*, std::unique_ptr<LogAnalyzer>> analyzers_;

@@ -91,6 +91,11 @@ ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
 
 void DatabaseEngine::RecordCompletion(ClassKey key, double latency_seconds,
                                       const ExecutionCounters& counters) {
+  if (execution_timeout_seconds_ > 0 &&
+      latency_seconds > execution_timeout_seconds_) {
+    ++timeouts_;
+    if (timeouts_counter_ != nullptr) timeouts_counter_->Increment();
+  }
   stats_.RecordQuery(key, latency_seconds, counters);
 }
 
@@ -104,11 +109,13 @@ void DatabaseEngine::BindMetrics(MetricsRegistry* registry) {
   metrics_ = registry;
   if (registry == nullptr) {
     stats_.BindMetrics(nullptr, nullptr);
+    timeouts_counter_ = nullptr;
     return;
   }
   const std::string prefix = "engine." + name_ + ".";
   stats_.BindMetrics(registry->counter(prefix + "queries"),
                      registry->histogram(prefix + "latency_us"));
+  timeouts_counter_ = registry->counter(prefix + "timeouts");
 }
 
 void DatabaseEngine::PublishMetrics() const {

@@ -72,6 +72,19 @@ class DatabaseEngine {
 
   // Fault-injection forwarder: degrades/restores the stats feed.
   void set_stats_dropout(StatsDropout mode) { stats_.set_dropout(mode); }
+
+  // Execution-timeout accounting: completions slower than this count
+  // as timed out ("engine.<name>.timeouts" when metrics are bound) —
+  // the signal the admission layer's circuit breakers key off. 0 (the
+  // default) disables the check. Queries still complete; the engine
+  // only classifies, it never kills.
+  void set_execution_timeout_seconds(double seconds) {
+    execution_timeout_seconds_ = seconds;
+  }
+  double execution_timeout_seconds() const {
+    return execution_timeout_seconds_;
+  }
+  uint64_t timeouts() const { return timeouts_; }
   const DiskModel& disk_model() const { return *disk_model_; }
   const Options& options() const { return options_; }
 
@@ -106,6 +119,9 @@ class DatabaseEngine {
   AccessReplaySource* replay_source_ = nullptr;
   uint64_t replayed_executions_ = 0;
   uint64_t generated_fallbacks_ = 0;
+  double execution_timeout_seconds_ = 0;
+  uint64_t timeouts_ = 0;
+  Counter* timeouts_counter_ = nullptr;
 };
 
 }  // namespace fglb

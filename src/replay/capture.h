@@ -53,6 +53,10 @@ struct CaptureInfo {
   double interval_seconds = 10;
   double mrc_sample_rate = 1.0;
   int max_migrations_per_interval = 0;
+  // AdmissionConfig::ToString() of the run's overload protection;
+  // empty = admission off. Trails the info block as an optional field,
+  // so captures written before it existed still decode.
+  std::string admission_spec;
 };
 
 // Initial cluster assembly (block type 2), sufficient to rebuild the

@@ -107,6 +107,17 @@ std::unique_ptr<ClusterHarness> BuildClusterFromCapture(
     }
   }
 
+  if (!capture.info.admission_spec.empty()) {
+    AdmissionConfig admission_config;
+    std::string admission_error;
+    if (!AdmissionConfig::Parse(capture.info.admission_spec,
+                                &admission_config, &admission_error)) {
+      return fail("capture carries unparsable admission spec: " +
+                  admission_error);
+    }
+    harness->EnableAdmission(admission_config);
+  }
+
   if (source != nullptr) {
     // Existing replicas immediately; replicas the replayed controller
     // provisions (or fault restarts re-create) at creation.

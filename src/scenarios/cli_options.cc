@@ -15,6 +15,7 @@ bool ParseScenario(const std::string& value, CliOptions::Scenario* out) {
   else if (value == "chaos-replica")
     *out = CliOptions::Scenario::kChaosReplica;
   else if (value == "chaos-disk") *out = CliOptions::Scenario::kChaosDisk;
+  else if (value == "overload") *out = CliOptions::Scenario::kOverload;
   else return false;
   return true;
 }
@@ -59,7 +60,7 @@ std::string CliUsage() {
 usage: fglb_sim [options]
 
   --scenario=NAME   steady | burst | consolidation | io |
-                    chaos-replica | chaos-disk              (default steady)
+                    chaos-replica | chaos-disk | overload   (default steady)
   --output=FORMAT   table | samples-csv | actions-csv | servers-csv
   --servers=N       machines in the shared pool             (default 4)
   --duration=SEC    simulated seconds                       (default 900)
@@ -80,6 +81,14 @@ usage: fglb_sim [options]
                     "crash@120:replica=1,restart=60;disk@300:server=0,factor=8,duration=120"
                     (chaos-* scenarios provide one if omitted)
   --fault-seed=N    fault-injector seed (schedule + decisions) (default 1)
+  --admission=MODE  overload protection: on | off | auto
+                    (auto = on for the overload scenario)    (default auto)
+  --admission-target=R     CoDel target delay as a fraction of the SLA
+  --admission-interval=SEC CoDel shed-decision window
+  --admission-max-queue=N  per-replica in-flight cap before queue_full
+  --admission-retry-ratio=R  retry tokens accrued per admitted query
+  --admission-breaker-threshold=N  consecutive timeouts tripping a breaker
+  --admission-breaker-open=SEC  breaker open time before half-open probes
   --log-level=L     quiet | info | debug                    (default info)
   --help            this text
 )";
@@ -152,6 +161,27 @@ bool ParseCliOptions(const std::vector<std::string>& args,
       options->fault_spec = value;
     } else if (key == "fault-seed") {
       ok = ParseUint64(value, &options->fault_seed);
+    } else if (key == "admission") {
+      ok = value == "on" || value == "off" || value == "auto";
+      options->admission = value;
+    } else if (key == "admission-target") {
+      ok = ParseDouble(value, &options->admission_target) &&
+           options->admission_target > 0;
+    } else if (key == "admission-interval") {
+      ok = ParseDouble(value, &options->admission_interval) &&
+           options->admission_interval > 0;
+    } else if (key == "admission-max-queue") {
+      ok = ParseInt(value, &options->admission_max_queue) &&
+           options->admission_max_queue > 0;
+    } else if (key == "admission-retry-ratio") {
+      ok = ParseDouble(value, &options->admission_retry_ratio) &&
+           options->admission_retry_ratio >= 0;
+    } else if (key == "admission-breaker-threshold") {
+      ok = ParseInt(value, &options->admission_breaker_threshold) &&
+           options->admission_breaker_threshold > 0;
+    } else if (key == "admission-breaker-open") {
+      ok = ParseDouble(value, &options->admission_breaker_open) &&
+           options->admission_breaker_open > 0;
     } else if (key == "log-level") {
       ok = value == "quiet" || value == "info" || value == "debug";
       options->log_level = value;

@@ -18,6 +18,7 @@ struct CliOptions {
     kIoContention,   // two RUBiS domains on one machine (Table 3)
     kChaosReplica,   // consolidation + replica crash/restart faults
     kChaosDisk,      // consolidation + disk-latency spike faults
+    kOverload,       // 3x TPC-W load on one replica (admission control)
   };
   enum class Output {
     kTable,       // human-readable series + actions
@@ -54,6 +55,16 @@ struct CliOptions {
   // The chaos-* scenarios supply a default spec when this is empty.
   std::string fault_spec;
   uint64_t fault_seed = 1;
+  // Overload protection: "on" | "off" | "auto" (auto = on for the
+  // overload scenario, off elsewhere), plus the knobs forwarded into
+  // AdmissionConfig (negative = keep that config's default).
+  std::string admission = "auto";
+  double admission_target = -1;             // CoDel target delay (xSLA)
+  double admission_interval = -1;           // CoDel window seconds
+  int admission_max_queue = -1;             // per-replica queue cap
+  double admission_retry_ratio = -1;        // retry tokens per admit
+  int admission_breaker_threshold = -1;     // consecutive failures
+  double admission_breaker_open = -1;       // breaker open seconds
   // Stderr verbosity: quiet | info | debug.
   std::string log_level = "info";
   bool help = false;

@@ -92,6 +92,7 @@ ClusterHarness::ClusterHarness(SelectiveRetuner::Config config,
       retuner_(&sim_, &resources_, WithObservability(std::move(config))) {
   if (observability_) {
     resources_.set_metrics(&metrics_);
+    resources_.set_trace(&trace_);
     sim_.BindMetrics(&metrics_);
   }
 }
@@ -134,7 +135,41 @@ Scheduler* ClusterHarness::AddApplication(ApplicationSpec spec) {
   if (arrival_recorder_ != nullptr) {
     schedulers_.back()->SetArrivalRecorder(arrival_recorder_);
   }
+  if (admission_ != nullptr) {
+    admission_->RegisterApp(specs_.back()->id,
+                            specs_.back()->sla_latency_seconds);
+    schedulers_.back()->SetAdmission(admission_.get());
+    const double timeout = admission_->config().timeout_factor *
+                           specs_.back()->sla_latency_seconds;
+    if (timeout > resources_.execution_timeout_seconds()) {
+      resources_.set_execution_timeout_seconds(timeout);
+    }
+  }
   return schedulers_.back().get();
+}
+
+AdmissionController* ClusterHarness::EnableAdmission(
+    const AdmissionConfig& config) {
+  if (admission_ != nullptr) return admission_.get();
+  admission_ = std::make_unique<AdmissionController>(&sim_, config);
+  if (observability_) {
+    admission_->BindObservability(&metrics_, &trace_);
+  }
+  double max_sla = 0;
+  for (const auto& spec : specs_) {
+    admission_->RegisterApp(spec->id, spec->sla_latency_seconds);
+    max_sla = std::max(max_sla, spec->sla_latency_seconds);
+  }
+  for (auto& scheduler : schedulers_) {
+    scheduler->SetAdmission(admission_.get());
+  }
+  retuner_.set_admission(admission_.get());
+  // Engine-side timeout accounting mirrors the breaker's failure
+  // definition for the slowest-SLA application.
+  if (max_sla > 0) {
+    resources_.set_execution_timeout_seconds(config.timeout_factor * max_sla);
+  }
+  return admission_.get();
 }
 
 void ClusterHarness::AttachRecorders(ArrivalRecorder* arrivals,

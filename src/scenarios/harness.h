@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/admission.h"
 #include "cluster/resource_manager.h"
 #include "cluster/scheduler.h"
 #include "common/metrics_registry.h"
@@ -50,6 +51,16 @@ class ClusterHarness {
   // Shorthand: constant client population.
   ClientEmulator* AddConstantClients(Scheduler* scheduler, double clients,
                                      uint64_t seed);
+
+  // Turns on overload protection cluster-wide: creates the admission
+  // controller, installs it on every scheduler (existing and future),
+  // registers every application's SLA, couples it into the retuner
+  // (overload escalation, breaker-aware placement), and arms engine
+  // execution-timeout accounting at timeout_factor x the largest SLA.
+  // Idempotent — later calls return the existing controller, ignoring
+  // `config`.
+  AdmissionController* EnableAdmission(const AdmissionConfig& config = {});
+  AdmissionController* admission() { return admission_.get(); }
 
   // Installs a fault injector driving this cluster: crash/restart maps
   // to scheduler detach + replica destruction / re-provisioning, disk
@@ -123,6 +134,7 @@ class ClusterHarness {
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<std::unique_ptr<LoadFunction>> loads_;
   std::vector<std::unique_ptr<ClientEmulator>> emulators_;
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<FaultBackend> fault_backend_;
   std::unique_ptr<FaultInjector> fault_injector_;
   ArrivalRecorder* arrival_recorder_ = nullptr;

@@ -89,6 +89,43 @@ TEST(FailureInjectionTest, WedgedReplicaDrainTimesOutIntoZombie) {
   EXPECT_EQ(h.metrics().counter("cluster.drain_timeouts")->value(), 1u);
 }
 
+TEST(FailureInjectionTest, DrainTimeoutEmitsFaultTraceEvent) {
+  ClusterHarness h;
+  h.trace().EnableBuffering();
+  h.AddServers(1);
+  Scheduler* app = h.AddApplication(OneStripeApp());
+  Replica* r = h.resources().CreateReplica(h.resources().servers()[0].get(),
+                                           8192);
+  app->AddReplica(r);
+  r->locks().AcquireAll({StripeOf(MakePageId(1, 0))}, [](double) {});
+  QueryInstance q;
+  q.app = app->app().id;
+  q.tmpl = app->app().FindTemplate(1);
+  for (int i = 0; i < 3; ++i) r->Run(q, nullptr);
+  h.RunFor(5);
+  ASSERT_GT(r->inflight(), 0u);
+  const int wedged_id = r->id();
+
+  h.resources().set_drain_timeout_seconds(20);
+  h.resources().Decommission(app, r);
+  h.sim().RunToCompletion();
+  ASSERT_EQ(h.resources().zombie_count(), 1u);
+
+  // The deadline expiry is an operator-visible fault event carrying
+  // which replica was abandoned and how deep the zombie pool now is.
+  bool found = false;
+  for (const std::string& line : h.trace().BufferedLines()) {
+    if (line.find("\"phase\":\"fault\"") == std::string::npos) continue;
+    if (line.find("\"kind\":\"drain_timeout\"") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(line.find("\"replica\":" + std::to_string(wedged_id)),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"zombies\":1"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(FailureInjectionTest, LosingTheOnlyReplicaTriggersReprovisioning) {
   ClusterHarness h;
   h.AddServers(2);

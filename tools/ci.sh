@@ -73,6 +73,42 @@ diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/chaos-live.jsonl" \
   --to-legacy-trace="${SMOKE_DIR}/live.trc" >/dev/null
 test -s "${SMOKE_DIR}/live.trc"
 
+echo "=== overload smoke: admission control + capture/replay ==="
+# The overload scenario turns admission on automatically; its trace must
+# carry phase=admission events, pass the schema check, and replay byte
+# for byte. An unknown --phase name must be rejected, not ignored.
+"./${PREFIX}/tools/fglb_sim" --scenario=overload --duration=420 \
+  --log-level=quiet --capture-out="${SMOKE_DIR}/overload.fglbcap" \
+  --trace-out="${SMOKE_DIR}/overload.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" --check
+test -n "$("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" \
+  --phase=admission)"
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" --summary \
+  | grep -q '^admission'
+if "./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" \
+  --phase=bogus 2>/dev/null; then
+  echo "fglb_tracecat accepted an unknown --phase name" >&2
+  exit 1
+fi
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/overload.fglbcap" \
+  --trace-out="${SMOKE_DIR}/overload-replay.jsonl"
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" \
+         --phase=action) \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload-replay.jsonl" \
+         --phase=action)
+
+echo "=== ASan+UBSan build + admission/overload tests ==="
+cmake -B "${PREFIX}-asan" -S . -DFGLB_SANITIZE=address-undefined >/dev/null
+cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+  --target admission_test scheduler_consistency_test failure_injection_test \
+  fglb_sim_cli fglb_tracecat
+ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+  -R 'Admission|Scheduler|FailureInjection'
+"./${PREFIX}-asan/tools/fglb_sim" --scenario=overload --duration=180 \
+  --log-level=quiet --trace-out="${SMOKE_DIR}/overload-asan.jsonl" >/dev/null
+"./${PREFIX}-asan/tools/fglb_tracecat" "${SMOKE_DIR}/overload-asan.jsonl" \
+  --check
+
 echo "=== TSan build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DFGLB_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \

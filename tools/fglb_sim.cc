@@ -82,6 +82,16 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
           options.seed + 1);
       break;
     }
+    case CliOptions::Scenario::kOverload: {
+      // ~3x one replica's saturation point (~300 clients at TPC-W's 1s
+      // think time): far past capacity, so without admission control
+      // the queue (and every class's latency) collapses together.
+      Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+      tpcw->AddReplica(harness->resources().CreateReplica(first, 8192));
+      harness->AddConstantClients(tpcw, 7.5 * options.tpcw_clients,
+                                  options.seed);
+      break;
+    }
     case CliOptions::Scenario::kChaosReplica:
     case CliOptions::Scenario::kChaosDisk: {
       // Consolidation topology plus a second TPC-W replica so a crash
@@ -114,6 +124,7 @@ const char* ScenarioName(CliOptions::Scenario scenario) {
     case CliOptions::Scenario::kIoContention: return "io";
     case CliOptions::Scenario::kChaosReplica: return "chaos-replica";
     case CliOptions::Scenario::kChaosDisk: return "chaos-disk";
+    case CliOptions::Scenario::kOverload: return "overload";
   }
   return "unknown";
 }
@@ -188,6 +199,37 @@ int main(int argc, char** argv) {
     harness.StartMetricsSampler(options.metrics_interval_seconds);
   }
   Assemble(options, &harness);
+  std::string admission_spec_text;
+  const bool admission_on =
+      options.admission == "on" ||
+      (options.admission == "auto" &&
+       options.scenario == CliOptions::Scenario::kOverload);
+  if (admission_on) {
+    AdmissionConfig admission_config;
+    if (options.admission_target > 0) {
+      admission_config.target_delay = options.admission_target;
+    }
+    if (options.admission_interval > 0) {
+      admission_config.codel_interval_seconds = options.admission_interval;
+    }
+    if (options.admission_max_queue > 0) {
+      admission_config.max_queue_depth =
+          static_cast<uint64_t>(options.admission_max_queue);
+    }
+    if (options.admission_retry_ratio >= 0) {
+      admission_config.retry_budget_ratio = options.admission_retry_ratio;
+    }
+    if (options.admission_breaker_threshold > 0) {
+      admission_config.breaker_failure_threshold =
+          options.admission_breaker_threshold;
+    }
+    if (options.admission_breaker_open > 0) {
+      admission_config.breaker_open_seconds = options.admission_breaker_open;
+    }
+    harness.EnableAdmission(admission_config);
+    admission_spec_text = admission_config.ToString();
+    LogInfo("overload protection on: %s", admission_spec_text.c_str());
+  }
   const std::string fault_spec_text =
       !options.fault_spec.empty() ? options.fault_spec
                                   : DefaultFaultSpec(options);
@@ -217,6 +259,7 @@ int main(int argc, char** argv) {
     info.mrc_sample_rate = options.mrc_sample_rate;
     info.max_migrations_per_interval =
         retuner_config.max_migrations_per_interval;
+    info.admission_spec = admission_spec_text;
     std::string capture_error;
     if (!capture_writer->Open(options.capture_out, info,
                               SnapshotTopology(harness), &capture_error)) {
@@ -235,6 +278,22 @@ int main(int argc, char** argv) {
   LogInfo("run complete: %zu intervals, %zu actions, %zu diagnoses",
           retuner.samples().size(), retuner.actions().size(),
           retuner.diagnoses().size());
+  if (harness.admission() != nullptr) {
+    uint64_t completed = 0;
+    uint64_t sla_ok = 0;
+    uint64_t shed = 0;
+    for (const auto& s : harness.schedulers()) {
+      completed += s->total_completed();
+      sla_ok += s->total_sla_ok();
+      shed += s->total_shed();
+    }
+    LogInfo("admission: %llu admitted, %llu shed; %llu of %llu "
+            "completions within SLA",
+            static_cast<unsigned long long>(harness.admission()->admitted()),
+            static_cast<unsigned long long>(shed),
+            static_cast<unsigned long long>(sla_ok),
+            static_cast<unsigned long long>(completed));
+  }
   if (harness.fault_injector() != nullptr) {
     LogInfo("faults injected: %llu (%llu no-op)",
             static_cast<unsigned long long>(

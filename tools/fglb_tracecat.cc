@@ -41,12 +41,20 @@ struct TracecatOptions {
   bool help = false;
 };
 
+// Every phase the cluster emits; --phase names outside this set are
+// rejected (a typo would otherwise silently match nothing) and
+// --summary prints a row per phase even at zero events.
+const char* const kKnownPhases[] = {"sla",    "impact",    "iqr",
+                                    "mrc",    "action",    "migration",
+                                    "fault",  "admission"};
+
 const char kUsage[] =
     R"(fglb_tracecat -- inspector for fglb_sim --trace-out JSONL traces
 
 usage: fglb_tracecat FILE [options]
 
-  --phase=NAME   only events of this phase (sla|impact|iqr|mrc|action);
+  --phase=NAME   only events of this phase (sla|impact|iqr|mrc|action|
+                 migration|fault|admission);
                  --phase=action prints the simulator's action-log format
   --app=N        only events of application N
   --class=N      only events mentioning query class N (any app)
@@ -80,6 +88,12 @@ bool ParseArgs(int argc, char** argv, TracecatOptions* options,
     const std::string value =
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (key == "phase") {
+      bool known = false;
+      for (const char* phase : kKnownPhases) known |= value == phase;
+      if (!known) {
+        *error = "unknown phase: " + value;
+        return false;
+      }
       options->phase = value;
     } else if (key == "app") {
       options->has_app = true;
@@ -195,6 +209,11 @@ int Run(const TracecatOptions& options) {
   }
 
   std::map<std::string, PhaseStats> phases;
+  if (options.summary && options.phase.empty()) {
+    // Every known phase gets a row, so "0 admission events" is visible
+    // rather than indistinguishable from "phase unknown to this tool".
+    for (const char* phase : kKnownPhases) phases[phase];
+  }
   std::map<std::string, uint64_t> action_kinds;
   uint64_t line_number = 0;
   uint64_t matched = 0;
