@@ -9,9 +9,8 @@ LockManager::LockManager(Simulator* sim) : sim_(sim) {
   assert(sim_ != nullptr);
 }
 
-uint64_t LockManager::AcquireAll(
-    const std::vector<PageId>& stripes,
-    std::function<void(double)> granted) {
+uint64_t LockManager::AcquireAll(const std::vector<PageId>& stripes,
+                                 GrantFn granted) {
   const uint64_t ticket = next_ticket_++;
   Request request;
   request.ticket = ticket;
@@ -46,8 +45,8 @@ void LockManager::TryAdvance(uint64_t ticket) {
   total_wait_seconds_ += wait;
   ++granted_total_;
   auto callback = std::move(request.granted);
-  request.granted = nullptr;
-  sim_->ScheduleAfter(0, [callback = std::move(callback), wait] {
+  request.granted.Reset();
+  sim_->ScheduleAfter(0, [callback = std::move(callback), wait]() mutable {
     if (callback) callback(wait);
   });
 }
@@ -56,7 +55,7 @@ void LockManager::Release(uint64_t ticket) {
   auto it = requests_.find(ticket);
   assert(it != requests_.end());
   Request& request = it->second;
-  assert(request.granted == nullptr && "released before grant");
+  assert(!request.granted && "released before grant");
   // Free held stripes, waking the head waiter of each.
   std::vector<uint64_t> to_advance;
   for (size_t i = 0; i < request.next_index; ++i) {

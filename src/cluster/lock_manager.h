@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/simulator.h"
 #include "storage/page.h"
 
@@ -27,12 +27,13 @@ class LockManager {
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
+  using GrantFn = InlineCallback<void(double wait_seconds)>;
+
   // Acquires every stripe in `stripes` (must be sorted ascending,
   // duplicates removed) exclusively. `granted` runs — via the simulator
   // — once all are held; it receives the total wait time. Returns a
   // ticket to pass to Release.
-  uint64_t AcquireAll(const std::vector<PageId>& stripes,
-                      std::function<void(double wait_seconds)> granted);
+  uint64_t AcquireAll(const std::vector<PageId>& stripes, GrantFn granted);
 
   // Releases every stripe held (or queued) under `ticket`. Must only be
   // called after the grant callback ran.
@@ -49,7 +50,7 @@ class LockManager {
     std::vector<PageId> stripes;  // sorted
     size_t next_index;            // stripes[0..next_index) are held
     SimTime start;
-    std::function<void(double)> granted;
+    GrantFn granted;
   };
 
   // Tries to advance a request through its remaining stripes; fires the

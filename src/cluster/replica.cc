@@ -19,53 +19,53 @@ Replica::Replica(int id, Simulator* sim, PhysicalServer* server,
 
 void Replica::Run(const QueryInstance& query, CompletionFn done) {
   ++inflight_;
-  const SimTime start = sim_->Now();
-  const ClassKey key = query.class_key();
   // Buffer-pool effects and demand derivation happen at admission; the
   // time those demands take is then served by the queueing stations.
-  auto counters =
-      std::make_shared<ExecutionCounters>(engine_->Execute(query));
-  counters->cpu_seconds *= slowdown_;
+  auto run = std::make_shared<RunState>();
+  run->key = query.class_key();
+  run->start = sim_->Now();
+  run->counters = engine_->Execute(query);
+  run->counters.cpu_seconds *= slowdown_;
+  run->done = std::move(done);
 
-  auto finish = [this, key, counters, start, done = std::move(done)]() {
-    const double latency = sim_->Now() - start;
-    --inflight_;
-    ++completed_;
-    engine_->RecordCompletion(key, latency, *counters);
-    if (done) done(latency, *counters);
-  };
-
-  // Stage 3 (updates only): take the commit's exclusive stripe locks,
-  // hold them for the commit work, release, finish.
-  auto commit_stage = [this, counters, finish = std::move(finish)]() {
-    if (counters->write_stripes.empty()) {
-      finish();
-      return;
-    }
-    auto ticket = std::make_shared<uint64_t>(0);
-    *ticket = locks_.AcquireAll(
-        counters->write_stripes,
-        [this, counters, ticket, finish](double wait_seconds) {
-          counters->lock_wait_seconds = wait_seconds;
-          sim_->ScheduleAfter(counters->commit_seconds,
-                              [this, ticket, finish] {
-                                locks_.Release(*ticket);
-                                finish();
-                              });
-        });
-  };
-
-  // Stage 2: CPU service. Stage 1: I/O service (if any).
-  auto cpu_stage = [this, counters,
-                    commit_stage = std::move(commit_stage)](double) {
-    server_->cpu().Submit(counters->cpu_seconds,
-                          [commit_stage](double) { commit_stage(); });
-  };
-  if (counters->io_seconds > 0) {
-    server_->io().Submit(counters->io_seconds, std::move(cpu_stage));
+  // Stage 1: I/O service (if any). Stage 2: CPU service. Stage 3
+  // (updates only): commit under exclusive stripe locks.
+  if (run->counters.io_seconds > 0) {
+    server_->io().Submit(run->counters.io_seconds,
+                         [this, run](double) { CpuStage(run); });
   } else {
-    cpu_stage(0);
+    CpuStage(run);
   }
+}
+
+void Replica::CpuStage(const std::shared_ptr<RunState>& run) {
+  server_->cpu().Submit(run->counters.cpu_seconds,
+                        [this, run](double) { CommitStage(run); });
+}
+
+void Replica::CommitStage(const std::shared_ptr<RunState>& run) {
+  if (run->counters.write_stripes.empty()) {
+    Finish(run);
+    return;
+  }
+  // Take the commit's exclusive stripe locks, hold them for the commit
+  // work, release, finish.
+  run->ticket = locks_.AcquireAll(
+      run->counters.write_stripes, [this, run](double wait_seconds) {
+        run->counters.lock_wait_seconds = wait_seconds;
+        sim_->ScheduleAfter(run->counters.commit_seconds, [this, run] {
+          locks_.Release(run->ticket);
+          Finish(run);
+        });
+      });
+}
+
+void Replica::Finish(const std::shared_ptr<RunState>& run) {
+  const double latency = sim_->Now() - run->start;
+  --inflight_;
+  ++completed_;
+  engine_->RecordCompletion(run->key, latency, run->counters);
+  if (run->done) run->done(latency, run->counters);
 }
 
 uint64_t Replica::AppliedSeq(AppId app) const {

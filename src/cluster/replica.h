@@ -2,7 +2,6 @@
 #define FGLB_CLUSTER_REPLICA_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -10,6 +9,7 @@
 #include "cluster/lock_manager.h"
 #include "cluster/physical_server.h"
 #include "engine/database_engine.h"
+#include "sim/inline_callback.h"
 #include "sim/simulator.h"
 #include "workload/query_class.h"
 
@@ -28,9 +28,12 @@ class Replica {
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
 
+  // Sized to hold the scheduler's fattest completion closure (the write
+  // primary's, which carries a CompletionCallback) inline.
   using CompletionFn =
-      std::function<void(double latency_seconds,
-                         const ExecutionCounters& counters)>;
+      InlineCallback<void(double latency_seconds,
+                          const ExecutionCounters& counters),
+                     104>;
 
   // Runs one query end to end: expands it against the engine (buffer
   // pool effects), queues its I/O demand on the server's channel, its
@@ -63,6 +66,22 @@ class Replica {
   void SetAppliedSeq(AppId app, uint64_t seq);
 
  private:
+  // Per-query control block: one allocation per Run() replacing the
+  // old shared counters + per-stage std::function closures. Stage
+  // lambdas capture only {this, shared_ptr<RunState>} so they ride in
+  // the queueing stations' and simulator's inline callback storage.
+  struct RunState {
+    ClassKey key;
+    SimTime start;
+    ExecutionCounters counters;
+    CompletionFn done;
+    uint64_t ticket = 0;
+  };
+
+  void CpuStage(const std::shared_ptr<RunState>& run);
+  void CommitStage(const std::shared_ptr<RunState>& run);
+  void Finish(const std::shared_ptr<RunState>& run);
+
   int id_;
   std::string name_;
   Simulator* sim_;

@@ -143,7 +143,7 @@ void Scheduler::Account(QueryClassId cls, double latency) {
 }
 
 void Scheduler::RunRead(Replica* replica, const QueryInstance& query,
-                        std::function<void(double)> on_complete) {
+                        CompletionCallback on_complete) {
   const ClassKey key = query.class_key();
   const QueryClassId cls = query.tmpl->id;
   const int replica_id = replica->id();
@@ -159,7 +159,7 @@ void Scheduler::RunRead(Replica* replica, const QueryInstance& query,
 }
 
 void Scheduler::Submit(const QueryInstance& query,
-                       std::function<void(double)> on_complete) {
+                       CompletionCallback on_complete) {
   assert(query.tmpl != nullptr);
   if (arrival_recorder_ != nullptr) arrival_recorder_->OnArrival(query);
   if (replicas_.empty()) {
@@ -167,7 +167,7 @@ void Scheduler::Submit(const QueryInstance& query,
     // so the SLA check trips and provisioning reacts.
     const double penalty = app_->sla_latency_seconds * 10;
     sim_->ScheduleAfter(penalty, [this, penalty, cls = query.tmpl->id,
-                                  on_complete = std::move(on_complete)] {
+                                  on_complete = std::move(on_complete)]() mutable {
       Account(cls, penalty);
       if (on_complete) on_complete(penalty);
     });
@@ -186,19 +186,24 @@ void Scheduler::Submit(const QueryInstance& query,
         primary = r;
       }
     }
+    // Replicas run in set order (event ordering is part of the
+    // deterministic-replay contract); only the primary's completion
+    // carries the client callback, which is move-only.
+    const AppId app_id = app_->id;
     for (Replica* r : replicas_) {
-      const bool is_primary = (r == primary);
-      AppId app_id = app_->id;
-      auto done = [this, r, seq, app_id, is_primary, cls = query.tmpl->id,
-                   on_complete](double latency,
-                                const ExecutionCounters&) mutable {
-        r->SetAppliedSeq(app_id, seq);
-        if (is_primary) {
+      if (r == primary) {
+        r->Run(query, [this, r, seq, app_id, cls = query.tmpl->id,
+                       on_complete = std::move(on_complete)](
+                          double latency, const ExecutionCounters&) mutable {
+          r->SetAppliedSeq(app_id, seq);
           Account(cls, latency);
           if (on_complete) on_complete(latency);
-        }
-      };
-      r->Run(query, std::move(done));
+        });
+      } else {
+        r->Run(query, [r, seq, app_id](double, const ExecutionCounters&) {
+          r->SetAppliedSeq(app_id, seq);
+        });
+      }
     }
     return;
   }
@@ -230,7 +235,7 @@ void Scheduler::Submit(const QueryInstance& query,
         ++interval_shed_;
         ++total_shed_;
         sim_->ScheduleAfter(kShedLatencySeconds,
-                            [on_complete = std::move(on_complete)] {
+                            [on_complete = std::move(on_complete)]() mutable {
                               if (on_complete) on_complete(kShedLatencySeconds);
                             });
         return;

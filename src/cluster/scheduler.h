@@ -2,7 +2,6 @@
 #define FGLB_CLUSTER_SCHEDULER_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -59,7 +58,7 @@ class Scheduler final : public QuerySink {
   // --- Query routing ---
 
   void Submit(const QueryInstance& query,
-              std::function<void(double)> on_complete) override;
+              CompletionCallback on_complete) override;
 
   // Read routing: the class's placement set, narrowed by the admission
   // controller's breaker filter when one is installed, then freshness-
@@ -122,7 +121,7 @@ class Scheduler final : public QuerySink {
   // the bounded retry after a shed; nullptr when no alternative exists.
   Replica* RetryTarget(const QueryInstance& query, const Replica* exclude);
   void RunRead(Replica* replica, const QueryInstance& query,
-               std::function<void(double)> on_complete);
+               CompletionCallback on_complete);
   void Account(QueryClassId cls, double latency);
 
   Simulator* sim_;

@@ -86,6 +86,24 @@ double Rng::Normal(double mean, double stddev) {
 
 bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0) return 0;
+  if (p >= 1) return n;
+  // Walk the trial sequence by Geometric(p) gaps: each gap lands on
+  // the next success. Expected iterations: n*p + 1.
+  const double log_q = std::log1p(-p);  // < 0
+  uint64_t count = 0;
+  double position = 0;
+  while (true) {
+    double u = NextDouble();
+    if (u <= 0) u = 0x1.0p-53;
+    position += std::floor(std::log(u) / log_q) + 1;
+    if (position > static_cast<double>(n)) break;
+    ++count;
+  }
+  return count;
+}
+
 size_t Rng::Discrete(const std::vector<double>& weights) {
   assert(!weights.empty());
   double total = 0;

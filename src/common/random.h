@@ -39,6 +39,12 @@ class Rng {
   // Bernoulli trial: true with probability p.
   bool Bernoulli(double p);
 
+  // Binomial(n, p): number of successes in n trials. O(n*p + 1) via
+  // geometric gaps between successes, so drawing "how many of a
+  // million thinking clients wake this batch" does not cost a million
+  // Bernoulli draws.
+  uint64_t Binomial(uint64_t n, double p);
+
   // Samples an index in [0, weights.size()) proportionally to weights.
   // Requires a non-empty vector with a positive total weight.
   size_t Discrete(const std::vector<double>& weights);

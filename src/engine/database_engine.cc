@@ -32,30 +32,34 @@ ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
   }
 
   ExecutionCounters counters;
+  // Resolve the class's stats window and buffer-pool partition once;
+  // the access string is then consumed as one contiguous span against
+  // them (these lookups used to run once per page access).
+  StatsCollector::AccessRecorder recorder = stats_.RecorderFor(key);
+  BufferPool& partition = pool_.PartitionOf(key);
+  counters.page_accesses = scratch_.size();
   for (const PageAccess& access : scratch_) {
-    stats_.RecordPageAccess(key, access.page);
-    ++counters.page_accesses;
+    recorder.Record(access.page);
     if (access.is_write) ++counters.page_writes;
     if (access.kind == AccessKind::kSequential) {
       // Sequential run: if the page is not resident, read-ahead fetches
       // its whole 64-page extent in one I/O, so the page (and its
       // neighbours) then hit logically.
-      if (!pool_.Contains(key, access.page)) {
+      if (!partition.Contains(access.page)) {
         ++counters.read_aheads;
         ++counters.io_requests;
         const uint64_t offset = OffsetOf(access.page);
         const uint64_t extent_start = offset - offset % kExtentPages;
         for (uint64_t i = 0; i < kExtentPages; ++i) {
-          if (pool_.Insert(key,
-                           MakePageId(TableOf(access.page),
-                                      extent_start + i))) {
+          if (partition.Insert(MakePageId(TableOf(access.page),
+                                          extent_start + i))) {
             ++counters.buffer_misses;  // physically read from disk
           }
         }
       }
-      pool_.Access(key, access.page);
+      partition.Access(access.page);
     } else {
-      if (!pool_.Access(key, access.page)) {
+      if (!partition.Access(access.page)) {
         ++counters.random_misses;
         ++counters.buffer_misses;
         ++counters.io_requests;

@@ -64,6 +64,22 @@ class StatsCollector {
   // Records a page reference into the class's recent-access window.
   void RecordPageAccess(ClassKey key, PageId page);
 
+  // Resolve-once handle for the engine's per-query hot loop: one class
+  // lookup per query instead of one map lookup per page access. Valid
+  // as long as the collector lives (class states never move).
+  class AccessRecorder {
+   public:
+    void Record(PageId page) { window_->Push(page); }
+
+   private:
+    friend class StatsCollector;
+    explicit AccessRecorder(RingWindow<PageId>* window) : window_(window) {}
+    RingWindow<PageId>* window_;
+  };
+  AccessRecorder RecorderFor(ClassKey key) {
+    return AccessRecorder(&ClassState(key).window);
+  }
+
   // Records a completed query with its end-to-end latency and counters.
   void RecordQuery(ClassKey key, double latency_seconds,
                    const ExecutionCounters& counters);

@@ -66,6 +66,12 @@ usage: fglb_sim [options]
   --duration=SEC    simulated seconds                       (default 900)
   --tpcw-clients=N  TPC-W closed-loop clients               (default 120)
   --rubis-clients=N RUBiS closed-loop clients               (default 45)
+  --clients-scale=X multiply every scenario's client counts by X
+                    (million-client runs: e.g. overload at
+                    --clients-scale=100)                    (default 1)
+  --cohorts=MODE    client emulation: auto | on | off; batched
+                    cohorts replace per-client think events
+                    (auto = on from 10k clients per app)    (default auto)
   --seed=N          RNG seed (runs are deterministic)       (default 1)
   --mrc-threads=N   diagnosis worker threads; 0 = all cores (default 0)
   --mrc-sample-rate=R  Mattson replay sampling rate in (0,1];
@@ -136,6 +142,12 @@ bool ParseCliOptions(const std::vector<std::string>& args,
     } else if (key == "rubis-clients") {
       ok = ParseDouble(value, &options->rubis_clients) &&
            options->rubis_clients >= 0;
+    } else if (key == "clients-scale") {
+      ok = ParseDouble(value, &options->clients_scale) &&
+           options->clients_scale > 0;
+    } else if (key == "cohorts") {
+      ok = value == "auto" || value == "on" || value == "off";
+      options->cohorts = value;
     } else if (key == "seed") {
       ok = ParseUint64(value, &options->seed);
     } else if (key == "mrc-threads") {

@@ -33,6 +33,15 @@ struct CliOptions {
   double duration_seconds = 900;
   double tpcw_clients = 120;
   double rubis_clients = 45;
+  // Multiplies every scenario's client counts (tpcw/rubis, including
+  // scenario-specific defaults like overload's 7.5x), so e.g.
+  // --clients-scale=100 drives the overload scenario at 100x without
+  // recomputing per-app numbers by hand.
+  double clients_scale = 1;
+  // Client emulation: "auto" uses batched cohorts when the scaled
+  // client count is large enough to need them (>= 10k per app), "on" /
+  // "off" force the choice. See ClientEmulator::Options::cohort.
+  std::string cohorts = "auto";
   uint64_t seed = 1;
   // MRC analysis pipeline: worker threads for the diagnosis fan-out
   // (0 = hardware concurrency, 1 = serial) and the Mattson replay

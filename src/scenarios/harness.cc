@@ -86,8 +86,10 @@ class HarnessFaultBackend : public FaultBackend {
 }  // namespace
 
 ClusterHarness::ClusterHarness(SelectiveRetuner::Config config,
-                               bool observability)
+                               bool observability,
+                               Simulator::QueueKind queue_kind)
     : observability_(observability),
+      sim_(queue_kind),
       resources_(&sim_),
       retuner_(&sim_, &resources_, WithObservability(std::move(config))) {
   if (observability_) {
@@ -200,10 +202,11 @@ ClientEmulator* ClusterHarness::AddClients(Scheduler* scheduler,
   return emulators_.back().get();
 }
 
-ClientEmulator* ClusterHarness::AddConstantClients(Scheduler* scheduler,
-                                                   double clients,
-                                                   uint64_t seed) {
-  return AddClients(scheduler, std::make_unique<ConstantLoad>(clients), seed);
+ClientEmulator* ClusterHarness::AddConstantClients(
+    Scheduler* scheduler, double clients, uint64_t seed,
+    ClientEmulator::Options options) {
+  return AddClients(scheduler, std::make_unique<ConstantLoad>(clients), seed,
+                    options);
 }
 
 ApplicationSpec* ClusterHarness::mutable_app(Scheduler* scheduler) {

@@ -28,9 +28,12 @@ class ClusterHarness {
   // bindings anywhere, so instrumented hot paths take their null-check
   // branch (bench_overhead measures the difference). When true,
   // config.metrics/config.trace default to the harness-owned instances
-  // unless the caller already supplied its own.
-  explicit ClusterHarness(SelectiveRetuner::Config config = {},
-                          bool observability = true);
+  // unless the caller already supplied its own. `queue_kind` selects
+  // the simulator's event-queue discipline (bench_des_kernel runs the
+  // same scenario under both to isolate the queue's contribution).
+  explicit ClusterHarness(
+      SelectiveRetuner::Config config = {}, bool observability = true,
+      Simulator::QueueKind queue_kind = Simulator::QueueKind::kCalendar);
   ClusterHarness(const ClusterHarness&) = delete;
   ClusterHarness& operator=(const ClusterHarness&) = delete;
 
@@ -50,7 +53,8 @@ class ClusterHarness {
 
   // Shorthand: constant client population.
   ClientEmulator* AddConstantClients(Scheduler* scheduler, double clients,
-                                     uint64_t seed);
+                                     uint64_t seed,
+                                     ClientEmulator::Options options = {});
 
   // Turns on overload protection cluster-wide: creates the admission
   // controller, installs it on every scheduler (existing and future),

@@ -1,0 +1,131 @@
+#ifndef FGLB_SIM_INLINE_CALLBACK_H_
+#define FGLB_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fglb {
+
+// Move-only callable wrapper with small-buffer storage: callables up to
+// `InlineBytes` live inside the wrapper (no allocation); larger ones
+// fall back to the heap. The DES hot path schedules millions of events
+// per second, each carrying a closure — with std::function every
+// oversized capture is a malloc/free pair per event, which dominates
+// dispatch cost. Completion callbacks throughout the cluster are sized
+// to fit inline (see the static_asserts at their binding sites).
+//
+// Invoking a default-constructed (or moved-from) callback is undefined;
+// callers test with operator bool first, mirroring std::function use.
+template <typename Signature, size_t InlineBytes = 48>
+class InlineCallback;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineCallback<R(Args...), InlineBytes> {
+ public:
+  InlineCallback() = default;
+
+  // Implicit by design: call sites keep passing plain lambdas, exactly
+  // as they did when these parameters were std::function.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      invoke_ = &InvokeInline<Fn>;
+      relocate_ = &RelocateInline<Fn>;
+      destroy_ = &DestroyInline<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      invoke_ = &InvokeHeap<Fn>;
+      relocate_ = &RelocateHeap;
+      destroy_ = &DestroyHeap<Fn>;
+    }
+  }
+
+  // nullptr mimics the std::function idiom `Submit(..., nullptr)`.
+  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  void Reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  void MoveFrom(InlineCallback& other) noexcept {
+    if (other.relocate_ != nullptr) other.relocate_(storage_, other.storage_);
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  template <typename Fn>
+  static R InvokeInline(void* storage, Args... args) {
+    return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+        std::forward<Args>(args)...);
+  }
+  template <typename Fn>
+  static void RelocateInline(void* to, void* from) noexcept {
+    Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+    ::new (to) Fn(std::move(*src));
+    src->~Fn();
+  }
+  template <typename Fn>
+  static void DestroyInline(void* storage) noexcept {
+    std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+  }
+
+  template <typename Fn>
+  static R InvokeHeap(void* storage, Args... args) {
+    return (**std::launder(reinterpret_cast<Fn**>(storage)))(
+        std::forward<Args>(args)...);
+  }
+  static void RelocateHeap(void* to, void* from) noexcept {
+    ::new (to) void*(*std::launder(reinterpret_cast<void**>(from)));
+  }
+  template <typename Fn>
+  static void DestroyHeap(void* storage) noexcept {
+    delete *std::launder(reinterpret_cast<Fn**>(storage));
+  }
+
+  using InvokeFn = R (*)(void*, Args...);
+  using RelocateFn = void (*)(void*, void*) noexcept;
+  using DestroyFn = void (*)(void*) noexcept;
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  InvokeFn invoke_ = nullptr;
+  RelocateFn relocate_ = nullptr;
+  DestroyFn destroy_ = nullptr;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_SIM_INLINE_CALLBACK_H_

@@ -19,8 +19,7 @@ void QueueResource::AccumulateBusy() {
   last_change_ = now;
 }
 
-void QueueResource::Submit(double service_time,
-                           std::function<void(double)> on_complete) {
+void QueueResource::Submit(double service_time, CompletionFn on_complete) {
   assert(service_time >= 0);
   Job job{service_time, sim_->Now(), std::move(on_complete)};
   if (busy_ < servers_) {
@@ -36,17 +35,19 @@ void QueueResource::StartService(Job job) {
   const SimTime arrival = job.arrival;
   // Move the callback into the completion event.
   auto on_complete = std::move(job.on_complete);
-  sim_->ScheduleAfter(job.service_time, [this, arrival, on_complete]() {
-    AccumulateBusy();
-    --busy_;
-    ++completed_;
-    if (!waiting_.empty()) {
-      Job next = std::move(waiting_.front());
-      waiting_.pop_front();
-      StartService(std::move(next));
-    }
-    if (on_complete) on_complete(sim_->Now() - arrival);
-  });
+  sim_->ScheduleAfter(
+      job.service_time,
+      [this, arrival, on_complete = std::move(on_complete)]() mutable {
+        AccumulateBusy();
+        --busy_;
+        ++completed_;
+        if (!waiting_.empty()) {
+          Job next = std::move(waiting_.front());
+          waiting_.pop_front();
+          StartService(std::move(next));
+        }
+        if (on_complete) on_complete(sim_->Now() - arrival);
+      });
 }
 
 double QueueResource::UtilizationSinceReset() const {

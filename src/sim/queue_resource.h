@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "sim/inline_callback.h"
 #include "sim/simulator.h"
 
 namespace fglb {
@@ -17,14 +17,19 @@ namespace fglb {
 // time-integral of busy servers divided by capacity.
 class QueueResource {
  public:
+  // Completion callbacks receive the job's sojourn (queued + service)
+  // time. Move-only, small-buffer backed: the scheduler/replica chains
+  // that flow through here would otherwise pay a std::function heap
+  // allocation per stage per query.
+  using CompletionFn = InlineCallback<void(double sojourn)>;
+
   QueueResource(Simulator* sim, int servers, std::string name);
   QueueResource(const QueueResource&) = delete;
   QueueResource& operator=(const QueueResource&) = delete;
 
   // Enqueues a job. `on_complete` runs (via the simulator) when service
   // finishes; it receives the time the job spent queued + in service.
-  void Submit(double service_time,
-              std::function<void(double sojourn)> on_complete);
+  void Submit(double service_time, CompletionFn on_complete);
 
   int servers() const { return servers_; }
   const std::string& name() const { return name_; }
@@ -48,7 +53,7 @@ class QueueResource {
   struct Job {
     double service_time;
     SimTime arrival;
-    std::function<void(double)> on_complete;
+    CompletionFn on_complete;
   };
 
   void StartService(Job job);

@@ -54,6 +54,13 @@ class PartitionedBufferPool {
   // Whether `page` is resident in the partition `key` maps to.
   bool Contains(PartitionKey key, PageId page) const;
 
+  // Resolves the partition `key`'s accesses land in (dedicated when one
+  // exists, shared otherwise). Valid until the next SetQuota/DropQuota.
+  // The engine resolves once per query and walks the access string
+  // against the pool directly, instead of paying the partition lookup
+  // on every page access.
+  BufferPool& PartitionOf(PartitionKey key) { return *PoolFor(key); }
+
   uint64_t capacity() const { return capacity_; }
   uint64_t shared_capacity() const { return shared_.capacity(); }
   uint64_t dedicated_total() const { return dedicated_total_; }

@@ -28,6 +28,11 @@ void ClientEmulator::Start() {
   if (running_) return;
   running_ = true;
   sim_->ScheduleAfter(0, [this] { ControlTick(); });
+  if (options_.cohort) {
+    assert(options_.cohort_batch_seconds > 0);
+    sim_->ScheduleAfter(options_.cohort_batch_seconds,
+                        [this] { BatchTick(); });
+  }
 }
 
 void ClientEmulator::Stop() { running_ = false; }
@@ -69,8 +74,84 @@ void ClientEmulator::SpawnClient(double initial_delay) {
       options_.session_time_seconds > 0
           ? sim_->Now() + rng_.Exponential(options_.session_time_seconds)
           : std::numeric_limits<SimTime>::infinity();
+  if (options_.cohort) {
+    // First interaction fires directly (like the legacy path, staggered
+    // across the tick); completions then feed the idle pool.
+    sim_->ScheduleAfter(initial_delay, [this, id, session_end] {
+      CohortIssue(id, session_end);
+    });
+    return;
+  }
   sim_->ScheduleAfter(initial_delay, [this, id, session_end] {
     ClientIssue(id, session_end);
+  });
+}
+
+void ClientEmulator::BatchTick() {
+  // Retirements come out of the idle pool first; in-flight clients
+  // retire at their completion boundary like the legacy path.
+  while (retire_pending_ > 0 && !idle_.empty()) {
+    --retire_pending_;
+    assert(active_clients_ > 0);
+    --active_clients_;
+    idle_.pop_back();
+  }
+  const double delta = options_.cohort_batch_seconds;
+  if (!idle_.empty()) {
+    // Probability an Exponential(Z') think ends within this batch. The
+    // batch discretization adds ~delta/2 of expected extra wait per
+    // interaction, so the effective mean compensates by that half-step
+    // to keep cohort throughput matching the per-client emulator.
+    const double think =
+        std::max(app_->think_time_seconds - 0.5 * delta, 0.5 * delta);
+    const double p = 1.0 - std::exp(-delta / think);
+    const size_t pool = idle_.size();
+    const uint64_t waking = rng_.Binomial(pool, p);
+    // Move the waking clients to the back (uniform without-replacement
+    // selection), then issue them.
+    for (uint64_t j = 0; j < waking; ++j) {
+      const size_t pick = static_cast<size_t>(rng_.NextUint64(pool - j));
+      std::swap(idle_[pick], idle_[pool - 1 - j]);
+    }
+    for (uint64_t j = 0; j < waking; ++j) {
+      const IdleClient client = idle_.back();
+      idle_.pop_back();
+      CohortIssue(client.id, client.session_end);
+    }
+  }
+  if (!running_ && active_clients_ == 0) return;
+  sim_->ScheduleAfter(delta, [this] { BatchTick(); });
+}
+
+void ClientEmulator::CohortIssue(uint64_t client_id, SimTime session_end) {
+  if (retire_pending_ > 0) {
+    --retire_pending_;
+    assert(active_clients_ > 0);
+    --active_clients_;
+    return;
+  }
+  if (sim_->Now() >= session_end) {
+    // Session over: this client leaves; the control loop admits a new
+    // one at the next tick to hold the target population.
+    assert(active_clients_ > 0);
+    --active_clients_;
+    return;
+  }
+  const size_t index = app_->SampleTemplateIndex(rng_);
+  QueryInstance query;
+  query.app = app_->id;
+  query.tmpl = &app_->templates[index];
+  query.client_id = client_id;
+  query.submit_time = sim_->Now();
+  sink_->Submit(query, [this, client_id, session_end](double) {
+    ++completed_queries_;
+    if (retire_pending_ > 0) {
+      --retire_pending_;
+      assert(active_clients_ > 0);
+      --active_clients_;
+      return;
+    }
+    idle_.push_back(IdleClient{client_id, session_end});
   });
 }
 

@@ -30,6 +30,16 @@ class ClientEmulator {
     // loop admits a fresh one — the paper's emulator "randomly varying
     // the session time". 0 disables churn (sessions never end).
     double session_time_seconds = 0;
+    // Batched-cohort mode: instead of one scheduled think event per
+    // client per interaction, thinking clients sit in an idle pool and
+    // one batch event per cohort_batch_seconds draws Binomial(idle, p)
+    // of them to issue, p matching the exponential think time over the
+    // batch window. Statistically equivalent closed-loop load at a
+    // per-interaction event cost that no longer scales with the client
+    // count; per-client identity (id, session end) materializes only
+    // when a client issues. Required for million-client scenarios.
+    bool cohort = false;
+    double cohort_batch_seconds = 0.1;
   };
 
   ClientEmulator(Simulator* sim, const ApplicationSpec* app, QuerySink* sink,
@@ -54,10 +64,19 @@ class ClientEmulator {
   const ApplicationSpec& app() const { return *app_; }
 
  private:
+  // The lazily-materialized identity of a client between interactions.
+  struct IdleClient {
+    uint64_t id;
+    SimTime session_end;
+  };
+
   void ControlTick();
   void SpawnClient(double initial_delay);
   void ClientThink(uint64_t client_id, SimTime session_end);
   void ClientIssue(uint64_t client_id, SimTime session_end);
+  // Cohort mode: per-batch arrival draw / one client's issue path.
+  void BatchTick();
+  void CohortIssue(uint64_t client_id, SimTime session_end);
 
   Simulator* sim_;
   const ApplicationSpec* app_;
@@ -73,6 +92,9 @@ class ClientEmulator {
   // its next think boundary instead of issuing another query.
   uint64_t retire_pending_ = 0;
   uint64_t completed_queries_ = 0;
+  // Cohort mode: clients thinking between interactions (unordered;
+  // selection swaps with the back for O(1) removal).
+  std::vector<IdleClient> idle_;
 };
 
 }  // namespace fglb

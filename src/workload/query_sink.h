@@ -1,11 +1,16 @@
 #ifndef FGLB_WORKLOAD_QUERY_SINK_H_
 #define FGLB_WORKLOAD_QUERY_SINK_H_
 
-#include <functional>
-
+#include "sim/inline_callback.h"
 #include "workload/query_class.h"
 
 namespace fglb {
+
+// Completion callback for one submitted query, carrying its end-to-end
+// latency in seconds. Move-only with small-buffer storage: at
+// million-client event rates a std::function here costs one heap
+// round-trip per query hop (client → scheduler → replica and back).
+using CompletionCallback = InlineCallback<void(double latency_seconds)>;
 
 // Where clients hand queries off to. The cluster's per-application
 // Scheduler implements this; tests can plug in fakes.
@@ -16,8 +21,7 @@ class QuerySink {
   // Submits one query. `on_complete` fires (through the simulator) when
   // the query finishes, carrying its end-to-end latency in seconds.
   virtual void Submit(const QueryInstance& query,
-                      std::function<void(double latency_seconds)>
-                          on_complete) = 0;
+                      CompletionCallback on_complete) = 0;
 };
 
 }  // namespace fglb

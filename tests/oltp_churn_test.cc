@@ -46,9 +46,8 @@ TEST(OltpSpecTest, CommitHoldConfigurable) {
 class NullSink : public QuerySink {
  public:
   explicit NullSink(Simulator* sim) : sim_(sim) {}
-  void Submit(const QueryInstance&,
-              std::function<void(double)> on_complete) override {
-    sim_->ScheduleAfter(0.01, [on_complete] {
+  void Submit(const QueryInstance&, CompletionCallback on_complete) override {
+    sim_->ScheduleAfter(0.01, [on_complete = std::move(on_complete)]() mutable {
       if (on_complete) on_complete(0.01);
     });
   }

@@ -1,0 +1,135 @@
+// Byte-identical replay at scale: a live overload run at 10x the
+// default client population, driven by the batched-cohort client
+// emulator, captured and replayed through ReplayRunner. The replayed
+// run's action and admission trace projections must match the live
+// run byte for byte — the cohort fast path and the calendar-queue
+// kernel change how events are produced, not what the cluster does,
+// and the capture/replay contract has to survive both.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/trace_check.h"
+#include "replay/capture.h"
+#include "replay/replayer.h"
+#include "scenarios/harness.h"
+#include "workload/tpcw.h"
+
+namespace fglb {
+namespace {
+
+constexpr double kDurationSeconds = 240;
+// fglb_sim's overload scenario at --clients-scale=10: 7.5 x 120
+// default TPC-W clients, times ten. Over the 10k auto-cohort
+// threshold is not required — the test forces cohorts on.
+constexpr double kClients = 9000;
+constexpr uint64_t kSeed = 11;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// The run-to-run comparable projection of one phase's events: the raw
+// trace lines minus the wall-clock header field (mono_us differs
+// across runs by construction; everything else must not).
+std::vector<std::string> PhaseLines(const std::vector<std::string>& lines,
+                                    const std::string& phase) {
+  std::vector<std::string> out;
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    JsonValue event;
+    std::string error;
+    EXPECT_TRUE(JsonValue::Parse(line, &event, &error)) << error;
+    if (event.StringOr("phase", "") != phase) continue;
+    event.object.erase("mono_us");
+    out.push_back(event.Dump());
+  }
+  return out;
+}
+
+struct RunTraces {
+  std::vector<std::string> action;
+  std::vector<std::string> admission;
+};
+
+RunTraces TracesOf(const std::vector<std::string>& lines) {
+  RunTraces traces;
+  std::string error;
+  EXPECT_TRUE(CheckTraceLines(lines, &error)) << error;
+  EXPECT_TRUE(ActionLines(lines, &traces.action, &error)) << error;
+  traces.admission = PhaseLines(lines, "admission");
+  return traces;
+}
+
+TEST(ScaleReplayTest, CohortOverloadAt10xReplaysByteIdentically) {
+  const std::string path = TempPath("fglb_scale_replay_overload.fglbcap");
+
+  // --- live: overload topology at 10x, cohorts on, capture attached.
+  RunTraces live;
+  uint64_t live_completed = 0;
+  {
+    ClusterHarness harness;
+    harness.trace().EnableBuffering();
+    // Mirrors fglb_sim --scenario=overload --clients-scale=10: the
+    // default 4-server pool, one TPC-W replica, admission on.
+    harness.AddServers(4);
+    Scheduler* tpcw = harness.AddApplication(MakeTpcw());
+    tpcw->AddReplica(harness.resources().CreateReplica(
+        harness.resources().servers()[0].get(), 8192));
+    AdmissionConfig admission_config;
+    harness.EnableAdmission(admission_config);
+    ClientEmulator::Options emu;
+    emu.cohort = true;
+    harness.AddConstantClients(tpcw, kClients, kSeed, emu);
+
+    CaptureWriter writer(&harness.sim());
+    CaptureInfo info;
+    info.seed = kSeed;
+    info.scenario = "overload";
+    info.duration_seconds = kDurationSeconds;
+    info.interval_seconds = harness.retuner().config().interval_seconds;
+    info.mrc_sample_rate = harness.retuner().config().mrc.sample_rate;
+    info.max_migrations_per_interval =
+        harness.retuner().config().max_migrations_per_interval;
+    info.admission_spec = admission_config.ToString();
+    std::string error;
+    ASSERT_TRUE(writer.Open(path, info, SnapshotTopology(harness), &error))
+        << error;
+    harness.AttachRecorders(&writer, &writer);
+    harness.Start();
+    harness.RunFor(kDurationSeconds);
+    ASSERT_TRUE(writer.Finalize(harness.retuner().actions(),
+                                harness.retuner().samples()));
+    live_completed = tpcw->total_completed();
+    live = TracesOf(harness.trace().BufferedLines());
+  }
+  // The run must actually overload the replica and trip admission, or
+  // byte-equality of empty projections would prove nothing.
+  ASSERT_GT(live_completed, 0u);
+  ASSERT_FALSE(live.admission.empty());
+
+  // --- replay: strict mode, zero generated fallbacks allowed.
+  Capture capture;
+  std::string error;
+  ASSERT_TRUE(ReadCapture(path, &capture, &error)) << error;
+  ReplayRunner runner(&capture, ReplayBuildOptions{});
+  ASSERT_TRUE(runner.Build(&error)) << error;
+  runner.harness()->trace().EnableBuffering();
+  ASSERT_TRUE(runner.Run(&error)) << error;
+  EXPECT_EQ(runner.source()->misses(), 0u);
+  EXPECT_EQ(runner.source()->remaining(), 0u);
+  const RunTraces replayed =
+      TracesOf(runner.harness()->trace().BufferedLines());
+
+  EXPECT_EQ(replayed.action, live.action);
+  EXPECT_EQ(replayed.admission, live.admission);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fglb

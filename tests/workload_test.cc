@@ -243,12 +243,13 @@ class FixedDelaySink : public QuerySink {
  public:
   FixedDelaySink(Simulator* sim, double delay) : sim_(sim), delay_(delay) {}
   void Submit(const QueryInstance& query,
-              std::function<void(double)> on_complete) override {
+              CompletionCallback on_complete) override {
     ++submitted_;
     by_class_[query.tmpl->id]++;
-    sim_->ScheduleAfter(delay_, [this, on_complete] {
-      if (on_complete) on_complete(delay_);
-    });
+    sim_->ScheduleAfter(
+        delay_, [this, on_complete = std::move(on_complete)]() mutable {
+          if (on_complete) on_complete(delay_);
+        });
   }
   uint64_t submitted() const { return submitted_; }
   const std::map<QueryClassId, uint64_t>& by_class() const {

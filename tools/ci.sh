@@ -97,13 +97,23 @@ diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" \
      <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload-replay.jsonl" \
          --phase=action)
 
+echo "=== DES kernel smoke: calendar queue vs legacy heap ==="
+# Small event budgets, but the full old-vs-new comparison: the run
+# exits non-zero if the calendar queue is slower than the heap on the
+# hold model, and the JSON must carry the kernel's headline fields.
+cmake --build "${PREFIX}" -j "${JOBS}" --target bench_des_kernel
+"./${PREFIX}/bench/bench_des_kernel" "${SMOKE_DIR}/des.json" smoke
+grep -q '"events_per_sec_calendar"' "${SMOKE_DIR}/des.json"
+grep -q '"accesses_per_sec"' "${SMOKE_DIR}/des.json"
+grep -q '"sim_wall_ratio_100x"' "${SMOKE_DIR}/des.json"
+
 echo "=== ASan+UBSan build + admission/overload tests ==="
 cmake -B "${PREFIX}-asan" -S . -DFGLB_SANITIZE=address-undefined >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
   --target admission_test scheduler_consistency_test failure_injection_test \
-  fglb_sim_cli fglb_tracecat
+  sim_determinism_test scale_replay_test fglb_sim_cli fglb_tracecat
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-  -R 'Admission|Scheduler|FailureInjection'
+  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay'
 "./${PREFIX}-asan/tools/fglb_sim" --scenario=overload --duration=180 \
   --log-level=quiet --trace-out="${SMOKE_DIR}/overload-asan.jsonl" >/dev/null
 "./${PREFIX}-asan/tools/fglb_tracecat" "${SMOKE_DIR}/overload-asan.jsonl" \
@@ -114,8 +124,9 @@ cmake -B "${PREFIX}-tsan" -S . -DFGLB_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
   --target mrc_pipeline_test log_analyzer_test selective_retuner_test \
   metrics_registry_test trace_log_test observability_integration_test \
-  fault_injector_test chaos_soak_test replay_codec_test replay_test
+  fault_injector_test chaos_soak_test replay_codec_test replay_test \
+  sim_determinism_test scale_replay_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay'
 
 echo "CI OK"

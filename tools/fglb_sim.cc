@@ -24,15 +24,33 @@ namespace {
 
 using namespace fglb;
 
+// Per-app emulator options for a scenario whose (scaled) population is
+// `clients`: batched cohorts kick in under --cohorts=auto once the app
+// is large enough that per-client think events would dominate the
+// event queue.
+ClientEmulator::Options EmulatorOptions(const CliOptions& options,
+                                        double clients) {
+  constexpr double kAutoCohortClients = 10000;
+  ClientEmulator::Options emu;
+  emu.cohort = options.cohorts == "on" ||
+               (options.cohorts == "auto" && clients >= kAutoCohortClients);
+  return emu;
+}
+
 void Assemble(const CliOptions& options, ClusterHarness* harness) {
   harness->AddServers(options.servers);
   PhysicalServer* first = harness->resources().servers()[0].get();
+  // --clients-scale multiplies every population below, including the
+  // overload scenario's 7.5x default.
+  const double tpcw_clients = options.tpcw_clients * options.clients_scale;
+  const double rubis_clients = options.rubis_clients * options.clients_scale;
 
   switch (options.scenario) {
     case CliOptions::Scenario::kSteady: {
       Scheduler* tpcw = harness->AddApplication(MakeTpcw());
       tpcw->AddReplica(harness->resources().CreateReplica(first, 8192));
-      harness->AddConstantClients(tpcw, options.tpcw_clients, options.seed);
+      harness->AddConstantClients(tpcw, tpcw_clients, options.seed,
+                                  EmulatorOptions(options, tpcw_clients));
       break;
     }
     case CliOptions::Scenario::kBurst: {
@@ -42,9 +60,9 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
       harness->AddClients(
           tpcw,
           std::make_unique<StepLoad>(std::vector<std::pair<SimTime, double>>{
-              {0, options.tpcw_clients / 4},
-              {options.duration_seconds / 3, options.tpcw_clients}}),
-          options.seed);
+              {0, tpcw_clients / 4},
+              {options.duration_seconds / 3, tpcw_clients}}),
+          options.seed, EmulatorOptions(options, tpcw_clients));
       break;
     }
     case CliOptions::Scenario::kConsolidation: {
@@ -55,12 +73,13 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
       Replica* shared = harness->resources().CreateReplica(first, 8192);
       tpcw->AddReplica(shared);
       rubis->AddReplica(shared);
-      harness->AddConstantClients(tpcw, options.tpcw_clients, options.seed);
+      harness->AddConstantClients(tpcw, tpcw_clients, options.seed,
+                                  EmulatorOptions(options, tpcw_clients));
       harness->AddClients(
           rubis,
           std::make_unique<StepLoad>(std::vector<std::pair<SimTime, double>>{
-              {options.duration_seconds / 3, options.rubis_clients}}),
-          options.seed + 1);
+              {options.duration_seconds / 3, rubis_clients}}),
+          options.seed + 1, EmulatorOptions(options, rubis_clients));
       break;
     }
     case CliOptions::Scenario::kIoContention: {
@@ -73,13 +92,13 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
       Scheduler* rubis2 = harness->AddApplication(MakeRubis(b));
       rubis1->AddReplica(harness->resources().CreateReplica(first, 8192, 51));
       rubis2->AddReplica(harness->resources().CreateReplica(first, 8192, 52));
-      harness->AddConstantClients(rubis1, options.rubis_clients,
-                                  options.seed);
+      harness->AddConstantClients(rubis1, rubis_clients, options.seed,
+                                  EmulatorOptions(options, rubis_clients));
       harness->AddClients(
           rubis2,
           std::make_unique<StepLoad>(std::vector<std::pair<SimTime, double>>{
-              {options.duration_seconds / 3, options.rubis_clients}}),
-          options.seed + 1);
+              {options.duration_seconds / 3, rubis_clients}}),
+          options.seed + 1, EmulatorOptions(options, rubis_clients));
       break;
     }
     case CliOptions::Scenario::kOverload: {
@@ -88,8 +107,9 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
       // the queue (and every class's latency) collapses together.
       Scheduler* tpcw = harness->AddApplication(MakeTpcw());
       tpcw->AddReplica(harness->resources().CreateReplica(first, 8192));
-      harness->AddConstantClients(tpcw, 7.5 * options.tpcw_clients,
-                                  options.seed);
+      const double clients = 7.5 * tpcw_clients;
+      harness->AddConstantClients(tpcw, clients, options.seed,
+                                  EmulatorOptions(options, clients));
       break;
     }
     case CliOptions::Scenario::kChaosReplica:
@@ -108,9 +128,10 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
       tpcw->AddReplica(shared);
       tpcw->AddReplica(spare);
       rubis->AddReplica(shared);
-      harness->AddConstantClients(tpcw, options.tpcw_clients, options.seed);
-      harness->AddConstantClients(rubis, options.rubis_clients,
-                                  options.seed + 1);
+      harness->AddConstantClients(tpcw, tpcw_clients, options.seed,
+                                  EmulatorOptions(options, tpcw_clients));
+      harness->AddConstantClients(rubis, rubis_clients, options.seed + 1,
+                                  EmulatorOptions(options, rubis_clients));
       break;
     }
   }
