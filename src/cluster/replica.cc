@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/span_tracer.h"
+
 namespace fglb {
 
 Replica::Replica(int id, Simulator* sim, PhysicalServer* server,
@@ -27,20 +29,40 @@ void Replica::Run(const QueryInstance& query, CompletionFn done) {
   run->counters = engine_->Execute(query);
   run->counters.cpu_seconds *= slowdown_;
   run->done = std::move(done);
+  run->span = query.span;
+  if (run->span != nullptr) {
+    // Execute() consumed zero sim time, so Now() - submit is the whole
+    // pre-replica segment (admission decision + scheduler pick).
+    run->span->NoteExecution(sim_->Now(), id_, run->counters.page_accesses,
+                             run->counters.buffer_misses,
+                             run->counters.io_requests);
+  }
 
   // Stage 1: I/O service (if any). Stage 2: CPU service. Stage 3
-  // (updates only): commit under exclusive stripe locks.
+  // (updates only): commit under exclusive stripe locks. Each station
+  // reports its sojourn; sojourn minus the submitted service demand is
+  // the queueing wait, so span segments cost no extra events.
   if (run->counters.io_seconds > 0) {
-    server_->io().Submit(run->counters.io_seconds,
-                         [this, run](double) { CpuStage(run); });
+    server_->io().Submit(run->counters.io_seconds, [this, run](double sojourn) {
+      if (run->span != nullptr) {
+        run->span->AddSojourn(SpanSegment::kIoWait, SpanSegment::kIoService,
+                              sojourn, run->counters.io_seconds);
+      }
+      CpuStage(run);
+    });
   } else {
     CpuStage(run);
   }
 }
 
 void Replica::CpuStage(const std::shared_ptr<RunState>& run) {
-  server_->cpu().Submit(run->counters.cpu_seconds,
-                        [this, run](double) { CommitStage(run); });
+  server_->cpu().Submit(run->counters.cpu_seconds, [this, run](double sojourn) {
+    if (run->span != nullptr) {
+      run->span->AddSojourn(SpanSegment::kCpuWait, SpanSegment::kCpuService,
+                            sojourn, run->counters.cpu_seconds);
+    }
+    CommitStage(run);
+  });
 }
 
 void Replica::CommitStage(const std::shared_ptr<RunState>& run) {
@@ -53,6 +75,11 @@ void Replica::CommitStage(const std::shared_ptr<RunState>& run) {
   run->ticket = locks_.AcquireAll(
       run->counters.write_stripes, [this, run](double wait_seconds) {
         run->counters.lock_wait_seconds = wait_seconds;
+        if (run->span != nullptr) {
+          run->span->Add(SpanSegment::kLockWait, wait_seconds);
+          run->span->Add(SpanSegment::kCommitHold,
+                         run->counters.commit_seconds);
+        }
         sim_->ScheduleAfter(run->counters.commit_seconds, [this, run] {
           locks_.Release(run->ticket);
           Finish(run);
@@ -65,6 +92,10 @@ void Replica::Finish(const std::shared_ptr<RunState>& run) {
   --inflight_;
   ++completed_;
   engine_->RecordCompletion(run->key, latency, run->counters);
+  if (run->span != nullptr) {
+    run->span->owner->EndSpan(run->span, sim_->Now());
+    run->span = nullptr;
+  }
   if (run->done) run->done(latency, run->counters);
 }
 

@@ -76,6 +76,9 @@ class Replica {
     ExecutionCounters counters;
     CompletionFn done;
     uint64_t ticket = 0;
+    // Sampled-tracing recorder (null for unsampled queries); stages
+    // stamp wait/service segments into it and Finish() closes it.
+    QuerySpan* span = nullptr;
   };
 
   void CpuStage(const std::shared_ptr<RunState>& run);

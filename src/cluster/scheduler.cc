@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/span_tracer.h"
+
 namespace fglb {
 
 namespace {
@@ -162,10 +164,26 @@ void Scheduler::Submit(const QueryInstance& query,
                        CompletionCallback on_complete) {
   assert(query.tmpl != nullptr);
   if (arrival_recorder_ != nullptr) arrival_recorder_->OnArrival(query);
+  // Every submit bumps the tracer's sequence (sampling is a pure
+  // function of arrival order, so a replayed capture samples the same
+  // queries); the sampled 1-in-N get a span threaded to the replica.
+  const QueryInstance* routed = &query;
+  QueryInstance sampled;
+  if (spans_ != nullptr) {
+    QuerySpan* span = spans_->Begin(query.app, query.tmpl->id, sim_->Now());
+    if (span != nullptr) {
+      sampled = query;
+      sampled.span = span;
+      routed = &sampled;
+    }
+  }
   if (replicas_.empty()) {
     // No capacity at all: fail the query with a large penalty latency
     // so the SLA check trips and provisioning reacts.
     const double penalty = app_->sla_latency_seconds * 10;
+    if (routed->span != nullptr) {
+      spans_->EndImmediate(routed->span, SpanSegment::kPenalty, penalty);
+    }
     sim_->ScheduleAfter(penalty, [this, penalty, cls = query.tmpl->id,
                                   on_complete = std::move(on_complete)]() mutable {
       Account(cls, penalty);
@@ -192,7 +210,9 @@ void Scheduler::Submit(const QueryInstance& query,
     const AppId app_id = app_->id;
     for (Replica* r : replicas_) {
       if (r == primary) {
-        r->Run(query, [this, r, seq, app_id, cls = query.tmpl->id,
+        // Only the primary's run carries the span: the client-observed
+        // latency is the primary's, the async applies are background.
+        r->Run(*routed, [this, r, seq, app_id, cls = query.tmpl->id,
                        on_complete = std::move(on_complete)](
                           double latency, const ExecutionCounters&) mutable {
           r->SetAppliedSeq(app_id, seq);
@@ -208,7 +228,7 @@ void Scheduler::Submit(const QueryInstance& query,
     return;
   }
 
-  Replica* replica = PickReplica(query);
+  Replica* replica = PickReplica(*routed);
   assert(replica != nullptr);
   if (admission_ != nullptr) {
     const ClassKey key = query.class_key();
@@ -234,6 +254,10 @@ void Scheduler::Submit(const QueryInstance& query,
         // the shed share travels separately in the interval report.
         ++interval_shed_;
         ++total_shed_;
+        if (routed->span != nullptr) {
+          spans_->EndImmediate(routed->span, SpanSegment::kShed,
+                               kShedLatencySeconds);
+        }
         sim_->ScheduleAfter(kShedLatencySeconds,
                             [on_complete = std::move(on_complete)]() mutable {
                               if (on_complete) on_complete(kShedLatencySeconds);
@@ -243,7 +267,7 @@ void Scheduler::Submit(const QueryInstance& query,
       replica = alternative;
     }
   }
-  RunRead(replica, query, std::move(on_complete));
+  RunRead(replica, *routed, std::move(on_complete));
 }
 
 Scheduler::IntervalReport Scheduler::EndInterval(double interval_seconds) {

@@ -17,6 +17,8 @@
 
 namespace fglb {
 
+class SpanTracer;
+
 // Per-application scheduler (the paper's scheduling tier): maintains
 // the application's replica set, keeps replicas consistent with a
 // read-one/write-all scheme, load balances read-only query classes
@@ -82,6 +84,12 @@ class Scheduler final : public QuerySink {
     arrival_recorder_ = recorder;
   }
 
+  // Installs sampled per-query span tracing: every Submit() bumps the
+  // tracer's global sequence and the 1-in-N sampled queries carry a
+  // QuerySpan through the replica pipeline. Null detaches; the tracer
+  // must outlive the scheduler or be detached first.
+  void SetSpanTracer(SpanTracer* spans) { spans_ = spans; }
+
   // --- SLA / application-level metrics (tracked "through the
   // scheduler" per the paper) ---
 
@@ -128,6 +136,7 @@ class Scheduler final : public QuerySink {
   const ApplicationSpec* app_;
   ArrivalRecorder* arrival_recorder_ = nullptr;
   AdmissionController* admission_ = nullptr;
+  SpanTracer* spans_ = nullptr;
   std::vector<Replica*> replicas_;
   std::set<const Replica*> dedicated_targets_;
   std::map<QueryClassId, Replica*> dedicated_placement_;

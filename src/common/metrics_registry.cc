@@ -85,6 +85,15 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
   return it->second.get();
 }
 
+MaxGauge* MetricsRegistry::max_gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = max_gauges_.find(name);
+  if (it == max_gauges_.end()) {
+    it = max_gauges_.emplace(name, std::make_unique<MaxGauge>()).first;
+  }
+  return it->second.get();
+}
+
 LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -102,6 +111,11 @@ size_t MetricsRegistry::counter_count() const {
 size_t MetricsRegistry::gauge_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return gauges_.size();
+}
+
+size_t MetricsRegistry::max_gauge_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_gauges_.size();
 }
 
 size_t MetricsRegistry::histogram_count() const {
@@ -126,6 +140,13 @@ std::string MetricsRegistry::ToJson() const {
     first = false;
     out += "\"" + JsonEscape(name) + "\":" + JsonNumber(gauge->value());
   }
+  for (const auto& [name, gauge] : max_gauges_) {
+    if (!first) out += ',';
+    first = false;
+    // Reading a max gauge resets it: each snapshot reports the peak
+    // since the previous one.
+    out += "\"" + JsonEscape(name) + "\":" + JsonNumber(gauge->Take());
+  }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, hist] : histograms_) {
@@ -133,6 +154,7 @@ std::string MetricsRegistry::ToJson() const {
     first = false;
     out += "\"" + JsonEscape(name) + "\":{\"count\":" +
            std::to_string(hist->count()) +
+           ",\"sum_us\":" + JsonNumber(hist->sum_us()) +
            ",\"mean_us\":" + JsonNumber(hist->mean_us()) +
            ",\"p50_us\":" + JsonNumber(hist->Percentile(0.50)) +
            ",\"p95_us\":" + JsonNumber(hist->Percentile(0.95)) +

@@ -47,6 +47,27 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
+// High-water mark since the last snapshot. A sampled gauge misses
+// bursts between samples; a MaxGauge is updated from the hot path
+// (CAS-max, lock-free) and reset to 0 by the snapshot that reads it,
+// so each --metrics-out interval reports its true peak.
+class MaxGauge {
+ public:
+  void Update(double value) {
+    double seen = value_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !value_.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  // Returns the peak and resets it (snapshot semantics).
+  double Take() { return value_.exchange(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
 // Fixed-bucket latency histogram over microseconds. Bucket 0 holds
 // [0,1) us; bucket i >= 1 holds [2^(i-1), 2^i) us, so 40 buckets cover
 // up to ~2^39 us (~6.4 simulated days) with the final bucket absorbing
@@ -95,15 +116,19 @@ class MetricsRegistry {
   // namespaces, not an error).
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
+  MaxGauge* max_gauge(const std::string& name);
   LatencyHistogram* histogram(const std::string& name);
 
   size_t counter_count() const;
   size_t gauge_count() const;
+  size_t max_gauge_count() const;
   size_t histogram_count() const;
 
   // {"v":1,"counters":{...},"gauges":{...},"histograms":{name:
-  //  {"count":..,"mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..,
-  //   "max_us":..,"buckets":[[lo_us,count],...]}}}
+  //  {"count":..,"sum_us":..,"mean_us":..,"p50_us":..,"p95_us":..,
+  //   "p99_us":..,"max_us":..,"buckets":[[lo_us,count],...]}}}
+  // Max gauges are reported in "gauges" (their snapshot-and-reset
+  // semantics make them gauges from the reader's point of view).
   std::string ToJson() const;
   bool WriteJson(const std::string& path) const;
 
@@ -111,6 +136,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MaxGauge>> max_gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/json.h"
+#include "common/span_tracer.h"
 #include "core/io_interference.h"
 
 namespace fglb {
@@ -41,7 +42,8 @@ SelectiveRetuner::SelectiveRetuner(Simulator* sim, ResourceManager* resources,
       resources_(resources),
       config_(config),
       metrics_(config.metrics),
-      trace_(config.trace) {
+      trace_(config.trace),
+      spans_(config.spans) {
   assert(sim_ && resources_);
   if (metrics_ != nullptr) {
     tick_us_ = metrics_->histogram("controller.tick_us");
@@ -107,6 +109,7 @@ void SelectiveRetuner::Start() {
 void SelectiveRetuner::Log(ActionKind kind, AppId app,
                            std::string description) {
   actions_.push_back(Action{sim_->Now(), kind, app, std::move(description)});
+  if (spans_ != nullptr) spans_->RecordPhase("action", app, sim_->Now());
   if (metrics_ != nullptr) {
     metrics_
         ->counter(std::string("controller.actions.") + ActionKindName(kind))
@@ -134,6 +137,7 @@ void SelectiveRetuner::BeginViolationScope(
   scope_.active = true;
   scope_.app = scheduler->app().id;
   scope_.actions_before = actions_.size();
+  if (spans_ != nullptr) spans_->RecordPhase("sla", scope_.app, sim_->Now());
   if (!Tracing()) return;
   TraceEvent event("sla");
   event.Num("t", sim_->Now())
@@ -229,6 +233,11 @@ void SelectiveRetuner::TraceOutlierPhases(AppId app, int replica_id,
       .Int("replica", replica_id)
       .Raw("classes", classes)
       .Num("dur_us", report.impact_us);
+  if (spans_ != nullptr) {
+    // Measured latency breakdown alongside the inferred ratios: every
+    // value derives from simulated time, so replays reproduce it.
+    impact.Raw("wait_profile", spans_->WaitProfileJson(app));
+  }
   trace_->Emit(impact);
   scope_.impact_emitted = true;
 
@@ -588,6 +597,10 @@ bool SelectiveRetuner::TryMemoryRetuning(
 
     // 4a. Outlier contexts over this app's classes on this engine.
     const OutlierReport outliers = analyzer.DetectOutliers(app, snap);
+    if (spans_ != nullptr && scope_.active) {
+      spans_->RecordPhase("impact", app, sim_->Now());
+      spans_->RecordPhase("iqr", app, sim_->Now());
+    }
     if (Tracing() && scope_.active) {
       TraceOutlierPhases(app, r->id(), outliers);
     }
@@ -623,6 +636,9 @@ bool SelectiveRetuner::TryMemoryRetuning(
     const auto mrc_start = std::chrono::steady_clock::now();
     LogAnalyzer::MemoryDiagnosis diagnosis =
         analyzer.DiagnoseMemory(candidates);
+    if (spans_ != nullptr && scope_.active) {
+      spans_->RecordPhase("mrc", app, sim_->Now());
+    }
     if (Tracing() && scope_.active) {
       TraceMrcPhase(app, r->id(), MicrosSince(mrc_start), candidates.size(),
                     analyzer, diagnosis);

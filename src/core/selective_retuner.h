@@ -20,6 +20,8 @@
 
 namespace fglb {
 
+class SpanTracer;
+
 // Fate of one controller migration attempt, as decided by an optional
 // interceptor (the fault injector, in chaos runs): the attempt may fail
 // outright (the controller retries with backoff) or be applied only
@@ -123,6 +125,10 @@ class SelectiveRetuner {
     // violating interval (sla -> impact -> iqr -> mrc -> action).
     MetricsRegistry* metrics = nullptr;
     TraceLog* trace = nullptr;
+    // Sampled span tracer: phase=impact events carry its measured
+    // per-class wait profile, and controller phase marks land on its
+    // exported timeline.
+    SpanTracer* spans = nullptr;
   };
 
   enum class ActionKind {
@@ -205,6 +211,10 @@ class SelectiveRetuner {
   void set_admission(AdmissionController* admission) {
     admission_ = admission;
   }
+
+  // Late-binds the span tracer (the harness enables tracing after
+  // construction). Null detaches.
+  void set_span_tracer(SpanTracer* spans) { spans_ = spans; }
 
   const std::vector<Action>& actions() const { return actions_; }
   const std::vector<IntervalSample>& samples() const { return samples_; }
@@ -333,6 +343,7 @@ class SelectiveRetuner {
 
   MetricsRegistry* metrics_ = nullptr;
   TraceLog* trace_ = nullptr;
+  SpanTracer* spans_ = nullptr;
   LatencyHistogram* tick_us_ = nullptr;
   Counter* violations_ = nullptr;
   struct ViolationScope {

@@ -114,6 +114,7 @@ void EncodeInfo(const CaptureInfo& info, std::string* out) {
   PutDouble(out, info.mrc_sample_rate);
   PutVarint64(out, static_cast<uint64_t>(info.max_migrations_per_interval));
   PutString(out, info.admission_spec);
+  PutString(out, info.span_spec);
 }
 
 bool DecodeInfo(Reader& r, CaptureInfo* info) {
@@ -125,10 +126,12 @@ bool DecodeInfo(Reader& r, CaptureInfo* info) {
   info->interval_seconds = r.F64();
   info->mrc_sample_rate = r.F64();
   info->max_migrations_per_interval = static_cast<int>(r.U64());
-  // Optional trailing field; absent in captures from before overload
-  // protection existed.
+  // Optional trailing fields; absent in captures from before the
+  // corresponding subsystem existed.
   if (r.AtEnd()) return true;
   info->admission_spec = r.Str();
+  if (r.AtEnd()) return true;
+  info->span_spec = r.Str();
   return r.AtEnd();
 }
 

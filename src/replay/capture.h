@@ -57,6 +57,9 @@ struct CaptureInfo {
   // empty = admission off. Trails the info block as an optional field,
   // so captures written before it existed still decode.
   std::string admission_spec;
+  // SpanConfig::ToString() of the run's sampled span tracing; empty =
+  // tracing off. Also a trailing optional field.
+  std::string span_spec;
 };
 
 // Initial cluster assembly (block type 2), sufficient to rebuild the

@@ -118,6 +118,16 @@ std::unique_ptr<ClusterHarness> BuildClusterFromCapture(
     harness->EnableAdmission(admission_config);
   }
 
+  if (!capture.info.span_spec.empty()) {
+    SpanConfig span_config;
+    std::string span_error;
+    if (!SpanConfig::Parse(capture.info.span_spec, &span_config,
+                           &span_error)) {
+      return fail("capture carries unparsable span spec: " + span_error);
+    }
+    harness->EnableSpanTracing(span_config);
+  }
+
   if (source != nullptr) {
     // Existing replicas immediately; replicas the replayed controller
     // provisions (or fault restarts re-create) at creation.

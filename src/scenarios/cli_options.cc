@@ -83,6 +83,11 @@ usage: fglb_sim [options]
   --metrics-out=FILE  write a final metrics-registry JSON snapshot
   --metrics-interval=SEC  engine-stats sampling period;
                     0 = the retuner interval                 (default 0)
+  --spans-out=FILE  write sampled per-query span timelines as Chrome
+                    trace_event JSON (load in ui.perfetto.dev)
+  --span-sample=N   trace 1 in N queries, deterministically by submit
+                    sequence; implies span tracing even without
+                    --spans-out                      (default 64)
   --fault-spec=SPEC fault schedule, e.g.
                     "crash@120:replica=1,restart=60;disk@300:server=0,factor=8,duration=120"
                     (chaos-* scenarios provide one if omitted)
@@ -168,6 +173,12 @@ bool ParseCliOptions(const std::vector<std::string>& args,
     } else if (key == "metrics-interval") {
       ok = ParseDouble(value, &options->metrics_interval_seconds) &&
            options->metrics_interval_seconds >= 0;
+    } else if (key == "spans-out") {
+      ok = !value.empty();
+      options->spans_out = value;
+    } else if (key == "span-sample") {
+      ok = ParseUint64(value, &options->span_sample) &&
+           options->span_sample > 0;
     } else if (key == "fault-spec") {
       ok = !value.empty();
       options->fault_spec = value;

@@ -58,6 +58,11 @@ struct CliOptions {
   std::string capture_out;
   std::string metrics_out;
   double metrics_interval_seconds = 0;
+  // Sampled per-query span tracing: Chrome trace_event / Perfetto JSON
+  // timeline output (empty = no file) and the 1-in-N sampling rate
+  // (0 = leave tracing off unless --spans-out is given, then 1-in-64).
+  std::string spans_out;
+  uint64_t span_sample = 0;
   // Fault injection: an explicit schedule (see the FaultSpec grammar in
   // sim/fault_injector.h / README) and the seed for the injector's own
   // decisions (migration failures) and for seed-generated schedules.

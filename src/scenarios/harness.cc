@@ -137,6 +137,9 @@ Scheduler* ClusterHarness::AddApplication(ApplicationSpec spec) {
   if (arrival_recorder_ != nullptr) {
     schedulers_.back()->SetArrivalRecorder(arrival_recorder_);
   }
+  if (span_tracer_ != nullptr) {
+    schedulers_.back()->SetSpanTracer(span_tracer_.get());
+  }
   if (admission_ != nullptr) {
     admission_->RegisterApp(specs_.back()->id,
                             specs_.back()->sla_latency_seconds);
@@ -172,6 +175,17 @@ AdmissionController* ClusterHarness::EnableAdmission(
     resources_.set_execution_timeout_seconds(config.timeout_factor * max_sla);
   }
   return admission_.get();
+}
+
+SpanTracer* ClusterHarness::EnableSpanTracing(const SpanConfig& config) {
+  if (span_tracer_ != nullptr) return span_tracer_.get();
+  span_tracer_ = std::make_unique<SpanTracer>(config);
+  if (observability_) span_tracer_->BindMetrics(&metrics_);
+  for (auto& scheduler : schedulers_) {
+    scheduler->SetSpanTracer(span_tracer_.get());
+  }
+  retuner_.set_span_tracer(span_tracer_.get());
+  return span_tracer_.get();
 }
 
 void ClusterHarness::AttachRecorders(ArrivalRecorder* arrivals,

@@ -8,6 +8,7 @@
 #include "cluster/resource_manager.h"
 #include "cluster/scheduler.h"
 #include "common/metrics_registry.h"
+#include "common/span_tracer.h"
 #include "common/trace_log.h"
 #include "core/selective_retuner.h"
 #include "sim/fault_injector.h"
@@ -76,6 +77,15 @@ class ClusterHarness {
   FaultInjector* InjectFaults(FaultSpec spec, uint64_t seed);
   FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  // Turns on sampled per-query span tracing: creates the tracer,
+  // installs it on every scheduler (existing and future) and couples
+  // it into the retuner (phase marks + wait profiles on phase=impact
+  // events). Call before Start() so the sampling sequence covers the
+  // whole run. Idempotent — later calls return the existing tracer,
+  // ignoring `config`.
+  SpanTracer* EnableSpanTracing(const SpanConfig& config = {});
+  SpanTracer* span_tracer() { return span_tracer_.get(); }
+
   // Wires workload-capture hooks into the whole cluster: `arrivals`
   // observes every scheduler Submit (existing schedulers and ones
   // added later), `executions` observes every engine's page-access
@@ -139,6 +149,7 @@ class ClusterHarness {
   std::vector<std::unique_ptr<LoadFunction>> loads_;
   std::vector<std::unique_ptr<ClientEmulator>> emulators_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<SpanTracer> span_tracer_;
   std::unique_ptr<FaultBackend> fault_backend_;
   std::unique_ptr<FaultInjector> fault_injector_;
   ArrivalRecorder* arrival_recorder_ = nullptr;

@@ -63,6 +63,9 @@ void Simulator::ReleaseNode(EventNode* node) {
 
 void Simulator::CommitNode(EventNode* node) {
   ++pending_;
+  if (queue_depth_max_ != nullptr) {
+    queue_depth_max_->Update(static_cast<double>(pending_));
+  }
   if (kind_ == QueueKind::kLegacyHeap) {
     heap_.push_back(node);
     std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
@@ -210,10 +213,12 @@ void Simulator::BindMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     events_executed_ = nullptr;
     queue_depth_ = nullptr;
+    queue_depth_max_ = nullptr;
     return;
   }
   events_executed_ = registry->counter("sim.events_executed");
   queue_depth_ = registry->gauge("sim.queue_depth");
+  queue_depth_max_ = registry->max_gauge("sim.queue_depth_max");
 }
 
 void Simulator::RunUntil(SimTime until) {

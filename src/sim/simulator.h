@@ -75,12 +75,15 @@ class Simulator {
   size_t pending_events() const { return pending_; }
   uint64_t executed_events() const { return executed_; }
 
-  // Registers "sim.queue_depth" / "sim.events_executed" in `registry`
-  // and updates them as the event loop runs. The executed counter is
-  // exact (one relaxed add per dispatched event); the queue-depth gauge
-  // is sampled every kQueueDepthSampleEvery events — storing it per
-  // event is measurable overhead at calendar-queue event rates. A null
-  // registry unbinds and costs one branch.
+  // Registers "sim.queue_depth", "sim.queue_depth_max" and
+  // "sim.events_executed" in `registry` and updates them as the event
+  // loop runs. The executed counter is exact (one relaxed add per
+  // dispatched event); the queue-depth gauge is sampled every
+  // kQueueDepthSampleEvery events — storing it per event is measurable
+  // overhead at calendar-queue event rates. The sampled gauge misses
+  // bursts between samples, so the max gauge tracks the true high-water
+  // mark from every insert and resets on snapshot read. A null registry
+  // unbinds and costs one branch.
   void BindMetrics(MetricsRegistry* registry);
 
   // Callables at most this big (and at most max_align_t-aligned) are
@@ -203,9 +206,11 @@ class Simulator {
   // kLegacyHeap: binary heap over the same pooled nodes.
   std::vector<EventNode*> heap_;
 
-  // Bound together: events_executed_ != nullptr implies queue_depth_.
+  // Bound together: events_executed_ != nullptr implies queue_depth_
+  // and queue_depth_max_.
   Counter* events_executed_ = nullptr;
   Gauge* queue_depth_ = nullptr;
+  MaxGauge* queue_depth_max_ = nullptr;
 };
 
 }  // namespace fglb

@@ -84,6 +84,8 @@ struct QueryTemplate {
   }
 };
 
+struct QuerySpan;
+
 // One in-flight query instance, created by the client emulator and
 // routed by a scheduler to a replica.
 struct QueryInstance {
@@ -91,6 +93,9 @@ struct QueryInstance {
   const QueryTemplate* tmpl = nullptr;
   uint64_t client_id = 0;
   SimTime submit_time = 0;
+  // Sampled-tracing recorder; null for unsampled queries (the common
+  // case). Owned by the SpanTracer, threaded scheduler -> replica.
+  QuerySpan* span = nullptr;
 
   ClassKey class_key() const { return MakeClassKey(app, tmpl->id); }
 };

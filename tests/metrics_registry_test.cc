@@ -30,6 +30,20 @@ TEST(GaugeTest, LastWriteWins) {
   EXPECT_DOUBLE_EQ(g.value(), 0.25);
 }
 
+TEST(MaxGaugeTest, TracksHighWaterMarkAndResetsOnTake) {
+  MaxGauge m;
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+  m.Update(3.0);
+  m.Update(7.0);
+  m.Update(5.0);  // below the peak: no effect
+  EXPECT_DOUBLE_EQ(m.value(), 7.0);
+  EXPECT_DOUBLE_EQ(m.Take(), 7.0);
+  // Take resets: the next interval starts from zero.
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+  m.Update(2.0);
+  EXPECT_DOUBLE_EQ(m.Take(), 2.0);
+}
+
 TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
   MetricsRegistry registry;
   Counter* c1 = registry.counter("a.b.c");
@@ -38,11 +52,15 @@ TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
   EXPECT_NE(registry.counter("a.b.d"), c1);
   // Same name, different instrument kind: distinct namespaces.
   Gauge* g = registry.gauge("a.b.c");
+  MaxGauge* m = registry.max_gauge("a.b.c");
   LatencyHistogram* h = registry.histogram("a.b.c");
   EXPECT_NE(static_cast<void*>(g), static_cast<void*>(c1));
+  EXPECT_NE(static_cast<void*>(m), static_cast<void*>(g));
   EXPECT_NE(static_cast<void*>(h), static_cast<void*>(c1));
+  EXPECT_EQ(registry.max_gauge("a.b.c"), m);
   EXPECT_EQ(registry.counter_count(), 2u);
   EXPECT_EQ(registry.gauge_count(), 1u);
+  EXPECT_EQ(registry.max_gauge_count(), 1u);
   EXPECT_EQ(registry.histogram_count(), 1u);
 }
 
@@ -136,6 +154,7 @@ TEST(MetricsRegistryTest, ToJsonIsParseableAndComplete) {
   MetricsRegistry registry;
   registry.counter("cluster.queries")->Increment(123);
   registry.gauge("server.0.cpu_utilization")->Set(0.5);
+  registry.max_gauge("sim.queue_depth_max")->Update(42.0);
   LatencyHistogram* h = registry.histogram("controller.tick_us");
   h->Record(5.0);
   h->Record(100.0);
@@ -152,12 +171,19 @@ TEST(MetricsRegistryTest, ToJsonIsParseableAndComplete) {
   const JsonValue* gauges = root.Find("gauges");
   ASSERT_NE(gauges, nullptr);
   EXPECT_DOUBLE_EQ(gauges->NumberOr("server.0.cpu_utilization", 0), 0.5);
+  // Max gauges render among the gauges; the snapshot consumed the peak.
+  EXPECT_DOUBLE_EQ(gauges->NumberOr("sim.queue_depth_max", 0), 42.0);
+  EXPECT_DOUBLE_EQ(registry.max_gauge("sim.queue_depth_max")->value(), 0.0);
 
   const JsonValue* histograms = root.Find("histograms");
   ASSERT_NE(histograms, nullptr);
   const JsonValue* tick = histograms->Find("controller.tick_us");
   ASSERT_NE(tick, nullptr);
   EXPECT_DOUBLE_EQ(tick->NumberOr("count", 0), 2);
+  EXPECT_DOUBLE_EQ(tick->NumberOr("sum_us", 0), 105.0);
+  EXPECT_NE(tick->Find("p50_us"), nullptr);
+  EXPECT_NE(tick->Find("p95_us"), nullptr);
+  EXPECT_NE(tick->Find("p99_us"), nullptr);
   EXPECT_DOUBLE_EQ(tick->NumberOr("max_us", 0), 100.0);
   const JsonValue* buckets = tick->Find("buckets");
   ASSERT_NE(buckets, nullptr);

@@ -97,6 +97,31 @@ diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" \
      <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload-replay.jsonl" \
          --phase=action)
 
+echo "=== spans smoke: sampled query timelines + replay byte-identity ==="
+# A span-traced overload run (admission + shed paths exercise every
+# segment family) must export valid Chrome trace_event JSON that the
+# --spans summarizer accepts, and the span spec captured in FGLBCAP1
+# must make the replayed run reproduce the span file byte for byte.
+"./${PREFIX}/tools/fglb_sim" --scenario=overload --duration=420 \
+  --log-level=quiet --span-sample=16 \
+  --spans-out="${SMOKE_DIR}/spans.json" \
+  --capture-out="${SMOKE_DIR}/spans.fglbcap" >/dev/null
+test -s "${SMOKE_DIR}/spans.json"
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/spans.json" --spans \
+  | grep -q '^end_to_end'
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/spans.json" --spans \
+  | grep -q 'sampled query spans'
+# Malformed span JSON must be rejected with a non-zero exit.
+echo '[{"ph":"X"' > "${SMOKE_DIR}/broken-spans.json"
+if "./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/broken-spans.json" \
+  --spans 2>/dev/null; then
+  echo "fglb_tracecat accepted malformed span JSON" >&2
+  exit 1
+fi
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/spans.fglbcap" \
+  --spans-out="${SMOKE_DIR}/spans-replay.json"
+cmp "${SMOKE_DIR}/spans.json" "${SMOKE_DIR}/spans-replay.json"
+
 echo "=== DES kernel smoke: calendar queue vs legacy heap ==="
 # Small event budgets, but the full old-vs-new comparison: the run
 # exits non-zero if the calendar queue is slower than the heap on the
@@ -111,9 +136,10 @@ echo "=== ASan+UBSan build + admission/overload tests ==="
 cmake -B "${PREFIX}-asan" -S . -DFGLB_SANITIZE=address-undefined >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
   --target admission_test scheduler_consistency_test failure_injection_test \
-  sim_determinism_test scale_replay_test fglb_sim_cli fglb_tracecat
+  sim_determinism_test scale_replay_test span_tracer_test fglb_sim_cli \
+  fglb_tracecat
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay'
+  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay|SpanConfig|SpanTracer'
 "./${PREFIX}-asan/tools/fglb_sim" --scenario=overload --duration=180 \
   --log-level=quiet --trace-out="${SMOKE_DIR}/overload-asan.jsonl" >/dev/null
 "./${PREFIX}-asan/tools/fglb_tracecat" "${SMOKE_DIR}/overload-asan.jsonl" \
@@ -124,9 +150,9 @@ cmake -B "${PREFIX}-tsan" -S . -DFGLB_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
   --target mrc_pipeline_test log_analyzer_test selective_retuner_test \
   metrics_registry_test trace_log_test observability_integration_test \
-  fault_injector_test chaos_soak_test replay_codec_test replay_test \
-  sim_determinism_test scale_replay_test
+  span_tracer_test fault_injector_test chaos_soak_test replay_codec_test \
+  replay_test sim_determinism_test scale_replay_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|LatencyHistogram|TraceLog|Observability|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|MaxGauge|LatencyHistogram|TraceLog|Observability|SpanConfig|SpanTracer|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay'
 
 echo "CI OK"

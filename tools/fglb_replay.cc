@@ -28,6 +28,7 @@ using namespace fglb;
 struct ReplayCliOptions {
   std::string capture_path;
   std::string trace_out;
+  std::string spans_out;
   std::string to_legacy_trace;
   bool summary = false;
   bool what_if = false;
@@ -47,6 +48,10 @@ usage: fglb_replay CAPTURE [options]
   --trace-out=FILE   write the replayed controller's JSONL decision
                      trace (compare its --phase=action projection with
                      the live run's via fglb_tracecat)
+  --spans-out=FILE   write the replayed run's sampled span timelines
+                     (Chrome trace_event JSON; requires a capture whose
+                     live run had span tracing on — byte-identical to
+                     the live --spans-out file)
   --summary          print the capture's metadata and stream counts
   --what-if          replay the first (or requested) violation window
                      against quota / migrate / no-op candidates and
@@ -108,6 +113,9 @@ bool ParseArgs(const std::vector<std::string>& args, ReplayCliOptions* out,
     if (key == "trace-out") {
       ok = !value.empty();
       out->trace_out = value;
+    } else if (key == "spans-out") {
+      ok = !value.empty();
+      out->spans_out = value;
     } else if (key == "to-legacy-trace") {
       ok = !value.empty();
       out->to_legacy_trace = value;
@@ -242,11 +250,30 @@ int main(int argc, char** argv) {
                  error.c_str());
     return 1;
   }
+  if (!options.spans_out.empty()) {
+    SpanTracer* spans = runner.harness()->span_tracer();
+    if (spans == nullptr) {
+      // The capture carries no span spec — tracing with an arbitrary
+      // sampling rate here could not be byte-compared to anything.
+      std::fprintf(stderr,
+                   "error: capture has no span spec (live run did not "
+                   "enable span tracing); --spans-out unavailable\n");
+      return 1;
+    }
+    if (!spans->OpenFile(options.spans_out, &error)) {
+      std::fprintf(stderr, "error: cannot open --spans-out: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
   if (!runner.Run(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
   if (!options.trace_out.empty()) runner.harness()->trace().Close();
+  if (runner.harness()->span_tracer() != nullptr) {
+    runner.harness()->span_tracer()->Close();
+  }
 
   const SelectiveRetuner& retuner = runner.harness()->retuner();
   std::printf("replayed %llu arrivals; controller: %zu actions over %zu "

@@ -251,6 +251,22 @@ int main(int argc, char** argv) {
     admission_spec_text = admission_config.ToString();
     LogInfo("overload protection on: %s", admission_spec_text.c_str());
   }
+  std::string span_spec_text;
+  if (!options.spans_out.empty() || options.span_sample > 0) {
+    SpanConfig span_config;
+    if (options.span_sample > 0) span_config.sample_every = options.span_sample;
+    SpanTracer* spans = harness.EnableSpanTracing(span_config);
+    span_spec_text = spans->config().ToString();
+    if (!options.spans_out.empty()) {
+      std::string spans_error;
+      if (!spans->OpenFile(options.spans_out, &spans_error)) {
+        LogError("cannot open --spans-out file: %s", spans_error.c_str());
+        return 1;
+      }
+      LogDebug("span timelines -> %s", options.spans_out.c_str());
+    }
+    LogInfo("span tracing on: %s", span_spec_text.c_str());
+  }
   const std::string fault_spec_text =
       !options.fault_spec.empty() ? options.fault_spec
                                   : DefaultFaultSpec(options);
@@ -281,6 +297,7 @@ int main(int argc, char** argv) {
     info.max_migrations_per_interval =
         retuner_config.max_migrations_per_interval;
     info.admission_spec = admission_spec_text;
+    info.span_spec = span_spec_text;
     std::string capture_error;
     if (!capture_writer->Open(options.capture_out, info,
                               SnapshotTopology(harness), &capture_error)) {
@@ -342,6 +359,14 @@ int main(int argc, char** argv) {
              static_cast<unsigned long long>(
                  harness.trace().events_emitted()));
     harness.trace().Close();
+  }
+  if (harness.span_tracer() != nullptr) {
+    SpanTracer* spans = harness.span_tracer();
+    spans->Close();
+    LogInfo("spans: %llu of %llu queries sampled, %llu finished",
+            static_cast<unsigned long long>(spans->sampled()),
+            static_cast<unsigned long long>(spans->sequence()),
+            static_cast<unsigned long long>(spans->finished()));
   }
   if (!options.metrics_out.empty()) {
     if (!harness.metrics().WriteJson(options.metrics_out)) {

@@ -8,16 +8,21 @@
 //   ./build/tools/fglb_tracecat trace.jsonl --app=2 --phase=mrc
 //   ./build/tools/fglb_tracecat trace.jsonl --summary
 //   ./build/tools/fglb_tracecat trace.jsonl --check
+//   ./build/tools/fglb_tracecat spans.json --spans
 //
 // `--phase=action` prints the action log in the exact format of the
 // simulator's own table output ("t=... [kind] description"), so the
 // trace can be diffed against it. `--check` exits non-zero on any
 // malformed line or event missing the schema's required fields.
+// `--spans` reads a --spans-out Chrome trace_event file instead of a
+// JSONL decision trace and summarizes sampled query spans by segment
+// kind; it exits non-zero if the file is not a well-formed trace array.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,6 +43,7 @@ struct TracecatOptions {
   uint32_t cls = 0;
   bool summary = false;
   bool check = false;
+  bool spans = false;
   bool help = false;
 };
 
@@ -62,6 +68,9 @@ usage: fglb_tracecat FILE [options]
                  action-kind counts instead of the events themselves
   --check        validate every line (schema fields, JSON syntax);
                  exit 1 on the first malformed line
+  --spans        input is a --spans-out Chrome trace_event file;
+                 summarize sampled query spans by segment kind
+                 (exit 1 on malformed span JSON)
   --help         this text
 )";
 
@@ -107,6 +116,8 @@ bool ParseArgs(int argc, char** argv, TracecatOptions* options,
       options->summary = true;
     } else if (key == "check") {
       options->check = true;
+    } else if (key == "spans") {
+      options->spans = true;
     } else {
       *error = "unknown option " + arg;
       return false;
@@ -185,6 +196,74 @@ struct PhaseStats {
   std::vector<double> durations_us;
 };
 
+// --spans: summarize a --spans-out Chrome trace_event file. The whole
+// file is one JSON array; query slices carry cat "query" and the tiled
+// attribution slices underneath them cat "segment" (named by segment
+// kind). Anything that fails to parse as that shape exits 1 so CI can
+// gate on span-file well-formedness.
+int RunSpans(const TracecatOptions& options) {
+  std::ifstream in(options.path);
+  if (!in) {
+    std::fprintf(stderr, "fglb_tracecat: cannot open %s\n",
+                 options.path.c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  JsonValue root;
+  std::string error;
+  if (!JsonValue::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "fglb_tracecat: %s: malformed span JSON: %s\n",
+                 options.path.c_str(), error.c_str());
+    return 1;
+  }
+  if (!root.is_array()) {
+    std::fprintf(stderr,
+                 "fglb_tracecat: %s: span file is not a trace_event array\n",
+                 options.path.c_str());
+    return 1;
+  }
+
+  uint64_t queries = 0;
+  std::vector<double> end_to_end_us;
+  std::map<std::string, std::vector<double>> segments;
+  for (const JsonValue& event : root.array) {
+    if (!event.is_object()) {
+      std::fprintf(stderr,
+                   "fglb_tracecat: %s: non-object trace event\n",
+                   options.path.c_str());
+      return 1;
+    }
+    if (event.StringOr("ph", "") != "X") continue;
+    const std::string cat = event.StringOr("cat", "");
+    const double dur_us = event.NumberOr("dur", 0);
+    if (cat == "query") {
+      ++queries;
+      end_to_end_us.push_back(dur_us);
+    } else if (cat == "segment") {
+      segments[event.StringOr("name", "?")].push_back(dur_us);
+    }
+  }
+
+  std::printf("%llu sampled query spans\n",
+              static_cast<unsigned long long>(queries));
+  std::printf("%-12s %8s %12s %12s %12s %12s\n", "segment", "count",
+              "total_ms", "p50_us", "p95_us", "p99_us");
+  auto print_row = [](const std::string& name,
+                      const std::vector<double>& durations) {
+    double total_us = 0;
+    for (double d : durations) total_us += d;
+    std::printf("%-12s %8llu %12.3f %12.1f %12.1f %12.1f\n", name.c_str(),
+                static_cast<unsigned long long>(durations.size()),
+                total_us / 1000.0, PercentileOf(durations, 0.50),
+                PercentileOf(durations, 0.95),
+                PercentileOf(durations, 0.99));
+  };
+  print_row("end_to_end", end_to_end_us);
+  for (const auto& [name, durations] : segments) print_row(name, durations);
+  return 0;
+}
+
 int Run(const TracecatOptions& options) {
   std::ifstream in(options.path);
   if (!in) {
@@ -260,19 +339,22 @@ int Run(const TracecatOptions& options) {
     return 0;
   }
   if (options.summary) {
-    std::printf("%-8s %8s %8s %12s %12s %12s\n", "phase", "events",
-                "skipped", "dur_p50_us", "dur_p95_us", "dur_max_us");
+    std::printf("%-8s %8s %8s %12s %12s %12s %12s\n", "phase", "events",
+                "skipped", "dur_p50_us", "dur_p95_us", "dur_p99_us",
+                "dur_max_us");
     for (const auto& [phase, stats] : phases) {
       const double max_us =
           stats.durations_us.empty()
               ? 0
               : *std::max_element(stats.durations_us.begin(),
                                   stats.durations_us.end());
-      std::printf("%-8s %8llu %8llu %12.1f %12.1f %12.1f\n", phase.c_str(),
+      std::printf("%-8s %8llu %8llu %12.1f %12.1f %12.1f %12.1f\n",
+                  phase.c_str(),
                   static_cast<unsigned long long>(stats.events),
                   static_cast<unsigned long long>(stats.skipped),
                   PercentileOf(stats.durations_us, 0.50),
-                  PercentileOf(stats.durations_us, 0.95), max_us);
+                  PercentileOf(stats.durations_us, 0.95),
+                  PercentileOf(stats.durations_us, 0.99), max_us);
     }
     if (!action_kinds.empty()) {
       std::printf("\nactions by kind:\n");
@@ -298,5 +380,6 @@ int main(int argc, char** argv) {
     std::printf("%s", kUsage);
     return 0;
   }
+  if (options.spans) return RunSpans(options);
   return Run(options);
 }
