@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -95,6 +96,12 @@ class ResourceManager {
     return execution_timeout_seconds_;
   }
 
+  // Turns on streaming MRC estimation in every engine this manager
+  // owns — existing replicas immediately, future ones (controller
+  // provisioning, fault restarts) at creation.
+  void set_streaming_mrc(StreamingMrcEstimator::Options options);
+  bool streaming_mrc_enabled() const { return streaming_mrc_.has_value(); }
+
   // Observer invoked for every replica this manager creates — existing
   // ones immediately, future ones (controller provisioning, fault
   // restarts) at creation. The capture/replay subsystem uses it to wire
@@ -110,6 +117,7 @@ class ResourceManager {
   MetricsRegistry* metrics_ = nullptr;
   TraceLog* trace_ = nullptr;
   double execution_timeout_seconds_ = 0;
+  std::optional<StreamingMrcEstimator::Options> streaming_mrc_;
   std::function<void(Replica*)> replica_observer_;
   std::vector<std::unique_ptr<PhysicalServer>> servers_;
   std::vector<std::unique_ptr<Replica>> replicas_;

@@ -16,6 +16,11 @@ namespace fglb {
 struct ClassMemoryProfile {
   ClassKey key = 0;
   MrcParameters params;
+  // LRU-vs-Belady miss-ratio gap at the class's current quota
+  // (MrcConfig::opt_regret only; negative = not computed). Near zero
+  // means more memory genuinely helps; large means the workload is
+  // replacement-hostile and a quota bump would be wasted.
+  double regret_vs_opt = -1;
 };
 
 // The outcome of the paper's §3.3.2 heuristic for one engine.

@@ -50,6 +50,16 @@ SelectiveRetuner::SelectiveRetuner(Simulator* sim, ResourceManager* resources,
     violations_ = metrics_->counter("controller.violations");
     planner_.BindMetrics(metrics_);
   }
+  if (config_.mrc.mode == MrcMode::kStreaming) {
+    // Every engine maintains per-class streaming estimators at the
+    // same hash-sample rate the recompute path would use, windowed to
+    // the collector's access-window capacity so both modes see the
+    // same horizon.
+    StreamingMrcEstimator::Options options;
+    options.sample_rate = config_.mrc.sample_rate;
+    options.window_accesses = 0;  // match the collector window
+    resources_->set_streaming_mrc(options);
+  }
 }
 
 const char* SelectiveRetuner::ActionKindName(ActionKind kind) {
@@ -310,6 +320,9 @@ void SelectiveRetuner::TraceMrcPhase(
         out += ",\"stable_acceptable_pages\":" +
                std::to_string(stable->acceptable_memory_pages);
       }
+      if (p.regret_vs_opt >= 0) {
+        out += ",\"regret_vs_opt\":" + JsonNumber(p.regret_vs_opt);
+      }
       out += '}';
     }
     out += ']';
@@ -327,6 +340,7 @@ void SelectiveRetuner::TraceMrcPhase(
   event.Num("t", sim_->Now())
       .Uint("app", app)
       .Int("replica", replica_id)
+      .Str("mode", MrcModeName(config_.mrc.mode))
       .Uint("candidates", candidates)
       .Raw("suspects", profile_array(diagnosis.suspects))
       .Raw("cleared", profile_array(diagnosis.cleared))

@@ -73,6 +73,12 @@ class DatabaseEngine {
   // Fault-injection forwarder: degrades/restores the stats feed.
   void set_stats_dropout(StatsDropout mode) { stats_.set_dropout(mode); }
 
+  // Turns on per-class streaming MRC estimation in the stats feed
+  // (forwarder; see StatsCollector::EnableStreamingMrc).
+  void EnableStreamingMrc(StreamingMrcEstimator::Options options) {
+    stats_.EnableStreamingMrc(options);
+  }
+
   // Execution-timeout accounting: completions slower than this count
   // as timed out ("engine.<name>.timeouts" when metrics are bound) —
   // the signal the admission layer's circuit breakers key off. 0 (the

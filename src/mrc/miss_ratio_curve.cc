@@ -19,23 +19,94 @@ std::string MrcParameters::ToString() const {
   return buf;
 }
 
+const char* MrcModeName(MrcMode mode) {
+  switch (mode) {
+    case MrcMode::kRecompute:
+      return "recompute";
+    case MrcMode::kStreaming:
+      return "streaming";
+  }
+  return "unknown";
+}
+
+bool ParseMrcMode(const std::string& text, MrcMode* out) {
+  if (text == "recompute") *out = MrcMode::kRecompute;
+  else if (text == "streaming") *out = MrcMode::kStreaming;
+  else return false;
+  return true;
+}
+
+std::string MrcSpecString(const MrcConfig& config) {
+  if (config.mode == MrcMode::kRecompute && !config.opt_regret) return "";
+  std::string spec = std::string("mode=") + MrcModeName(config.mode);
+  spec += ",opt_regret=";
+  spec += config.opt_regret ? '1' : '0';
+  return spec;
+}
+
+bool ParseMrcSpec(const std::string& text, MrcConfig* config,
+                  std::string* error) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      if (error != nullptr) *error = "mrc spec item lacks '=': " + item;
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "mode") {
+      if (!ParseMrcMode(value, &config->mode)) {
+        if (error != nullptr) *error = "unknown mrc mode: " + value;
+        return false;
+      }
+    } else if (key == "opt_regret") {
+      if (value != "0" && value != "1") {
+        if (error != nullptr) *error = "opt_regret must be 0 or 1: " + value;
+        return false;
+      }
+      config->opt_regret = value == "1";
+    } else {
+      if (error != nullptr) *error = "unknown mrc spec key: " + key;
+      return false;
+    }
+  }
+  return true;
+}
+
 MissRatioCurve MissRatioCurve::FromStack(const MattsonStack& stack) {
+  // Normalization is by the stack's own mass (hits + cold misses)
+  // rather than total_accesses(): for exact stacks the two are equal;
+  // for a hash-sampled stack the sampled pages' reference share
+  // fluctuates around the nominal rate (badly so on skewed traces,
+  // where one head page in or out of the sample moves the share by
+  // whole percents), and dividing by the sample's own scaled mass —
+  // the SHARDS "adjusted" estimator — cancels that fluctuation instead
+  // of folding it into every point of the curve.
+  return FromHistogram(stack.hit_counts(), stack.cold_misses(),
+                       stack.total_accesses());
+}
+
+MissRatioCurve MissRatioCurve::FromHistogram(std::span<const uint64_t> hits,
+                                             uint64_t cold_misses,
+                                             uint64_t total_accesses) {
   MissRatioCurve curve;
-  curve.total_accesses_ = stack.total_accesses();
-  if (curve.total_accesses_ == 0) return curve;
-  const auto& hits = stack.hit_counts();
+  curve.total_accesses_ = total_accesses;
+  if (total_accesses == 0) return curve;
   curve.miss_ratio_.resize(hits.size() + 1);
   curve.miss_ratio_[0] = 1.0;
-  // Normalize by the stack's own mass (hits + cold misses) rather than
-  // total_accesses(). For exact stacks the two are equal; for a
-  // hash-sampled stack the sampled pages' reference share fluctuates
-  // around the nominal rate (badly so on skewed traces, where one head
-  // page in or out of the sample moves the share by whole percents),
-  // and dividing by the sample's own scaled mass — the SHARDS "adjusted"
-  // estimator — cancels that fluctuation instead of folding it into
-  // every point of the curve.
-  uint64_t mass = stack.cold_misses();
+  uint64_t mass = cold_misses;
   for (uint64_t h : hits) mass += h;
+  // A non-empty window whose sample caught nothing yields the
+  // pessimistic constant-1 curve rather than dividing by zero.
+  if (mass == 0) {
+    curve.miss_ratio_.assign(1, 1.0);
+    return curve;
+  }
   const double total = static_cast<double>(mass);
   uint64_t cumulative_hits = 0;
   for (size_t depth = 1; depth <= hits.size(); ++depth) {

@@ -29,6 +29,19 @@ struct MrcParameters {
   std::string ToString() const;
 };
 
+// How the diagnosis phase obtains a class's current curve.
+//  - kRecompute: replay the recent access window through a Mattson
+//    stack on demand (the paper's behaviour; O(window) at violation
+//    time). Kept as the reference implementation for differential
+//    testing.
+//  - kStreaming: read the per-class StreamingMrcEstimator that is
+//    maintained incrementally on every sampled access, so the curve is
+//    already fresh when a violation fires.
+enum class MrcMode { kRecompute, kStreaming };
+
+const char* MrcModeName(MrcMode mode);
+bool ParseMrcMode(const std::string& text, MrcMode* out);
+
 // Policy knobs for curve computation and stable-state comparison.
 struct MrcConfig {
   // Physical memory cap used for "total memory needed".
@@ -54,7 +67,23 @@ struct MrcConfig {
   // threads including the caller; 1 = fully serial, 0 = use hardware
   // concurrency.
   int analysis_threads = 0;
+  // Where DiagnoseMemory gets each class's current curve from (see
+  // MrcMode). Streaming mode falls back to recomputation for classes
+  // without a warm estimator.
+  MrcMode mode = MrcMode::kRecompute;
+  // When true, the diagnosis also computes each candidate's Belady/OPT
+  // miss ratio over the window and surfaces the LRU-vs-OPT regret at
+  // the acceptable memory size in phase=mrc trace events.
+  bool opt_regret = false;
 };
+
+// Round-trips the capture-relevant MRC knobs (mode, opt_regret)
+// through a compact "k=v,k=v" spec string. The all-defaults config
+// encodes as "" so captures taken before these knobs existed decode
+// unchanged.
+std::string MrcSpecString(const MrcConfig& config);
+bool ParseMrcSpec(const std::string& text, MrcConfig* config,
+                  std::string* error);
 
 // An LRU miss-ratio curve: miss ratio as a function of cache size in
 // pages, derived from Mattson stack hit counts. MR(0) = 1 by
@@ -67,6 +96,16 @@ class MissRatioCurve {
   static MissRatioCurve FromStack(const MattsonStack& stack);
   static MissRatioCurve FromTrace(std::span<const PageId> trace,
                                   MattsonImpl impl = MattsonImpl::kFenwick);
+
+  // Builds a curve from externally maintained Mattson-style counts:
+  // hits[d] = (scaled) hits at stack depth d+1. Like FromStack the
+  // curve is normalized by the histogram's own mass (hits + cold);
+  // `total_accesses` is the exact reference count the histogram stands
+  // for and becomes total_accesses(). The streaming estimator's
+  // snapshot path.
+  static MissRatioCurve FromHistogram(std::span<const uint64_t> hits,
+                                      uint64_t cold_misses,
+                                      uint64_t total_accesses);
 
   // Copy-free variants consuming a (possibly wrapped) ring-window
   // snapshot directly.

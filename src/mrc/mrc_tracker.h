@@ -61,6 +61,17 @@ class MrcTracker {
     return Recompute(SpanPair<PageId>(trace));
   }
 
+  // Streaming-mode counterpart of Recompute: diagnoses an
+  // already-computed curve (from a StreamingMrcEstimator snapshot)
+  // against the baseline without any replay. The curve is taken as-is;
+  // the estimator's own window bounds the trace length, so no
+  // baseline-length trimming applies.
+  Recomputation Diagnose(const MissRatioCurve& curve) const;
+
+  // Installs an externally computed curve as the stable baseline
+  // (streaming-mode analogue of SetStableFromTrace).
+  void SetStableFromCurve(const MissRatioCurve& curve);
+
   size_t stable_trace_length() const { return stable_trace_length_; }
 
   // Adopts a recomputation as the new stable baseline (after the

@@ -1,0 +1,48 @@
+#ifndef FGLB_MRC_OPT_ORACLE_H_
+#define FGLB_MRC_OPT_ORACLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mrc/miss_ratio_curve.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// Belady/OPT oracle over a captured access window. OPT (evict the
+// page whose next use is farthest away) is the offline optimum among
+// demand-paging policies, so LRU_miss_ratio - OPT_miss_ratio at the
+// class's acceptable memory size is the class's *regret*: how much of
+// its miss traffic is the replacement policy's fault rather than an
+// inherent property of the access pattern. The diagnosis phase
+// surfaces this as `regret_vs_opt` in phase=mrc trace events — a class
+// with high regret is mistuned (scan thrash, loop just over quota),
+// not memory-starved, and more memory is the wrong fix for it.
+
+// Sentinel distance for a reference whose page is never used again.
+inline constexpr uint64_t kNoNextUse = ~0ULL;
+
+// Forward (OPT) reuse distances: result[i] is the number of distinct
+// pages referenced strictly between position i and the next occurrence
+// of trace[i], or kNoNextUse if there is none. Computed with a Fenwick
+// tree over first-occurrence marks in O(n log n); the property test
+// checks it against an O(n^2) brute-force reference.
+std::vector<uint64_t> OptForwardDistances(std::span<const PageId> trace);
+
+// Exact Belady miss ratio of a cache of `cache_pages` pages replaying
+// `trace` from cold, via full simulation with a lazy-deletion next-use
+// heap: O(n log c). Farthest-next-use eviction is provably optimal, so
+// the result is a true lower bound on any demand policy's miss ratio
+// over the same trace (the OPT <= LRU property test).
+double OptMissRatioAt(std::span<const PageId> trace, uint64_t cache_pages);
+
+// The regret of an LRU(-estimated) curve against OPT at `cache_pages`,
+// clamped at zero (a sampled LRU curve can dip below the exact OPT by
+// estimation noise; negative regret is meaningless).
+double RegretVsOpt(std::span<const PageId> trace,
+                   const MissRatioCurve& lru_curve, uint64_t cache_pages);
+
+}  // namespace fglb
+
+#endif  // FGLB_MRC_OPT_ORACLE_H_

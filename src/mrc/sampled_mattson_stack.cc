@@ -34,26 +34,57 @@ bool SampledMattsonStack::InSample(PageId page) const {
 
 uint64_t SampledMattsonStack::Access(PageId page) {
   ++total_;
+  scaled_stale_ = true;
   if (scale_ > 1 && !InSample(page)) return 0;
   const uint64_t depth = inner_.Access(page);
   if (depth == 0) {
-    cold_misses_ += scale_;
+    ++raw_cold_;
     return 0;
   }
   // A sampled reuse pair saw ~1/k of the distinct pages between its
   // endpoints, so the true stack depth is ~k times the observed one;
   // the hit it represents stands for ~k hits of the full trace.
-  const uint64_t scaled_depth = depth * scale_;
-  if (hits_.size() < scaled_depth) hits_.resize(scaled_depth, 0);
-  hits_[scaled_depth - 1] += scale_;
-  return scaled_depth;
+  if (raw_hits_.size() < depth) raw_hits_.resize(depth, 0);
+  ++raw_hits_[depth - 1];
+  return depth * scale_;
+}
+
+const std::vector<uint64_t>& SampledMattsonStack::hit_counts() const {
+  if (!scaled_stale_) return scaled_hits_;
+  scaled_stale_ = false;
+  scaled_hits_.assign(raw_hits_.size() * scale_, 0);
+  uint64_t raw_mass = raw_cold_;
+  for (size_t d = 0; d < raw_hits_.size(); ++d) {
+    raw_mass += raw_hits_[d];
+    if (raw_hits_[d] != 0) {
+      scaled_hits_[(d + 1) * scale_ - 1] = raw_hits_[d] * scale_;
+    }
+  }
+  // Adjusted-mass correction, recomputed from the snapshot's own
+  // totals: fold the residual between the exact reference count and
+  // the sample's scaled mass into the smallest-distance bucket
+  // (SHARDS-adj). A deficit adds phantom near-hits for the mass the
+  // sample missed; an excess is taken back out of the same bucket,
+  // clamped at zero.
+  const int64_t residual = static_cast<int64_t>(total_) -
+                           static_cast<int64_t>(raw_mass * scale_);
+  if (residual > 0) {
+    if (scaled_hits_.empty()) scaled_hits_.resize(1, 0);
+    scaled_hits_[0] += static_cast<uint64_t>(residual);
+  } else if (residual < 0 && !scaled_hits_.empty()) {
+    const uint64_t excess = static_cast<uint64_t>(-residual);
+    scaled_hits_[0] -= std::min(scaled_hits_[0], excess);
+  }
+  return scaled_hits_;
 }
 
 void SampledMattsonStack::Reset() {
   inner_.Reset();
-  hits_.clear();
-  cold_misses_ = 0;
+  raw_hits_.clear();
+  raw_cold_ = 0;
   total_ = 0;
+  scaled_hits_.clear();
+  scaled_stale_ = true;
 }
 
 }  // namespace fglb

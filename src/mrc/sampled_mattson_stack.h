@@ -27,6 +27,17 @@ namespace fglb {
 //    sampled pages (scaled estimates).
 //  - hit_counts()/cold_misses()/distinct_pages() are scaled estimates;
 //    total_accesses() remains exact (every reference is counted).
+//
+// The scaled histogram carries the SHARDS "adjusted mass" correction:
+// the sample's scaled mass k*(sampled hits + sampled cold) fluctuates
+// around the exact reference count, and the residual is folded into
+// the smallest-distance bucket so the histogram's mass always equals
+// total_accesses(). The correction is recomputed from the *current*
+// totals on every snapshot rather than accumulated per access: a class
+// whose sampled-page reference share shifts mid-window (a hot-set
+// move, a rate step) would otherwise bake a stale correction into the
+// counts and the mass would drift from the exact total (the
+// RateStep regression test pins this down).
 class SampledMattsonStack final : public MattsonStack {
  public:
   // `rate` in (0, 1] is rounded to 1/k for an integer k (clamped to
@@ -37,8 +48,8 @@ class SampledMattsonStack final : public MattsonStack {
 
   uint64_t Access(PageId page) override;
   void Reset() override;
-  const std::vector<uint64_t>& hit_counts() const override { return hits_; }
-  uint64_t cold_misses() const override { return cold_misses_; }
+  const std::vector<uint64_t>& hit_counts() const override;
+  uint64_t cold_misses() const override { return raw_cold_ * scale_; }
   uint64_t total_accesses() const override { return total_; }
   uint64_t distinct_pages() const override {
     return inner_.distinct_pages() * scale_;
@@ -54,9 +65,13 @@ class SampledMattsonStack final : public MattsonStack {
  private:
   uint64_t scale_;
   FenwickMattsonStack inner_;
-  std::vector<uint64_t> hits_;  // scaled counts at scaled depths
-  uint64_t cold_misses_ = 0;
+  // Unscaled per-depth hit counts at *raw* (sampled) depths; the
+  // scaled, mass-adjusted view is materialized lazily per snapshot.
+  std::vector<uint64_t> raw_hits_;
+  uint64_t raw_cold_ = 0;
   uint64_t total_ = 0;
+  mutable std::vector<uint64_t> scaled_hits_;
+  mutable bool scaled_stale_ = true;
 };
 
 }  // namespace fglb

@@ -1,0 +1,178 @@
+#include "mrc/streaming_mrc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fglb {
+
+namespace {
+
+// Same SplitMix64 finalizer as SampledMattsonStack, so a page is in
+// the streaming sample iff it is in the recompute path's sample — the
+// differential tests compare like with like.
+uint64_t MixPage(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ScaleFor(double rate) {
+  if (!(rate > 0)) return 4096;
+  const double k = std::round(1.0 / rate);
+  return static_cast<uint64_t>(std::clamp(k, 1.0, 4096.0));
+}
+
+}  // namespace
+
+StreamingMrcEstimator::StreamingMrcEstimator(const Options& options)
+    : scale_(ScaleFor(options.sample_rate)),
+      window_(options.window_accesses > 0 ? options.window_accesses : 30000),
+      tree_(1025, 0) {}
+
+void StreamingMrcEstimator::FenwickAdd(size_t slot, int64_t delta) {
+  for (size_t i = slot + 1; i < tree_.size(); i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+}
+
+uint64_t StreamingMrcEstimator::FenwickPrefixSum(size_t slot) const {
+  int64_t sum = 0;
+  for (size_t i = slot + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+  assert(sum >= 0);
+  return static_cast<uint64_t>(sum);
+}
+
+void StreamingMrcEstimator::EnsureCapacity(size_t slot) {
+  if (slot + 2 <= tree_.size()) return;
+  size_t new_size = tree_.size();
+  while (slot + 2 > new_size) new_size *= 2;
+  tree_.assign(new_size, 0);
+  // Rebuild from the marks (pages_ holds exactly the marked slots).
+  for (const auto& [page, state] : pages_) tree_[state.slot + 1] = 1;
+  for (size_t i = 1; i < tree_.size(); ++i) {
+    const size_t parent = i + (i & (~i + 1));
+    if (parent < tree_.size()) tree_[parent] += tree_[i];
+  }
+}
+
+void StreamingMrcEstimator::CompactIfSparse() {
+  // Slots advance forever with the stream, so unlike a replay stack
+  // compaction is load-bearing here: without it the tree would grow
+  // with the total access count instead of the window population.
+  if (next_slot_ < 4096 || next_slot_ < 4 * pages_.size()) return;
+  std::vector<std::pair<size_t, PageId>> by_slot;
+  by_slot.reserve(pages_.size());
+  for (const auto& [page, state] : pages_) {
+    by_slot.emplace_back(state.slot, page);
+  }
+  std::sort(by_slot.begin(), by_slot.end());
+  std::fill(tree_.begin(), tree_.end(), 0);
+  next_slot_ = 0;
+  for (const auto& [old_slot, page] : by_slot) {
+    pages_[page].slot = next_slot_;
+    FenwickAdd(next_slot_, +1);
+    ++next_slot_;
+  }
+  ++compactions_;
+}
+
+void StreamingMrcEstimator::Expire(const Entry& entry) {
+  if (entry.depth > 0) {
+    assert(raw_hits_.size() >= entry.depth && raw_hits_[entry.depth - 1] > 0);
+    --raw_hits_[entry.depth - 1];
+  } else {
+    assert(raw_cold_ > 0);
+    --raw_cold_;
+  }
+  auto it = pages_.find(entry.page);
+  if (it != pages_.end() && it->second.index == entry.index) {
+    // Still the page's newest sampled reference: the page falls off
+    // the bottom of the stack. Its slot is the oldest marked slot
+    // (every other marked slot belongs to a newer reference), so no
+    // other page's depth changes.
+    FenwickAdd(it->second.slot, -1);
+    --marked_;
+    pages_.erase(it);
+  }
+}
+
+void StreamingMrcEstimator::Record(PageId page) {
+  ++total_;
+  while (!entries_.empty() && entries_.front().index + window_ <= total_) {
+    Expire(entries_.front());
+    entries_.pop_front();
+  }
+  if (scale_ > 1 && MixPage(page) % scale_ != 0) return;
+
+  // Grow the tree before touching any marks: EnsureCapacity rebuilds
+  // from pages_, which is only consistent with the tree between
+  // transitions.
+  const size_t slot = next_slot_++;
+  EnsureCapacity(slot);
+  uint32_t depth = 0;
+  auto it = pages_.find(page);
+  if (it != pages_.end()) {
+    const size_t old_slot = it->second.slot;
+    depth = static_cast<uint32_t>(marked_ - FenwickPrefixSum(old_slot) + 1);
+    FenwickAdd(old_slot, -1);
+    --marked_;
+  }
+  FenwickAdd(slot, +1);
+  ++marked_;
+  if (it != pages_.end()) {
+    it->second.slot = slot;
+    it->second.index = total_;
+  } else {
+    pages_.emplace(page, PageState{slot, total_});
+  }
+  if (depth > 0) {
+    if (raw_hits_.size() < depth) raw_hits_.resize(depth, 0);
+    ++raw_hits_[depth - 1];
+  } else {
+    ++raw_cold_;
+  }
+  entries_.push_back(Entry{page, total_, depth});
+  CompactIfSparse();
+}
+
+MissRatioCurve StreamingMrcEstimator::Curve() const {
+  size_t max_depth = raw_hits_.size();
+  while (max_depth > 0 && raw_hits_[max_depth - 1] == 0) --max_depth;
+  std::vector<uint64_t> scaled(max_depth * scale_, 0);
+  uint64_t raw_mass = raw_cold_;
+  for (size_t d = 0; d < max_depth; ++d) {
+    raw_mass += raw_hits_[d];
+    if (raw_hits_[d] != 0) {
+      scaled[(d + 1) * scale_ - 1] = raw_hits_[d] * scale_;
+    }
+  }
+  // Per-snapshot adjusted-mass correction against the exact in-window
+  // reference count, same policy as SampledMattsonStack::hit_counts().
+  const uint64_t in_window = in_window_accesses();
+  const int64_t residual = static_cast<int64_t>(in_window) -
+                           static_cast<int64_t>(raw_mass * scale_);
+  if (residual > 0) {
+    if (scaled.empty() && in_window > 0) scaled.resize(1, 0);
+    if (!scaled.empty()) scaled[0] += static_cast<uint64_t>(residual);
+  } else if (residual < 0 && !scaled.empty()) {
+    const uint64_t excess = static_cast<uint64_t>(-residual);
+    scaled[0] -= std::min(scaled[0], excess);
+  }
+  return MissRatioCurve::FromHistogram(scaled, raw_cold_ * scale_, in_window);
+}
+
+void StreamingMrcEstimator::Reset() {
+  total_ = 0;
+  entries_.clear();
+  pages_.clear();
+  std::fill(tree_.begin(), tree_.end(), 0);
+  next_slot_ = 0;
+  marked_ = 0;
+  raw_hits_.clear();
+  raw_cold_ = 0;
+  compactions_ = 0;
+}
+
+}  // namespace fglb

@@ -1,0 +1,123 @@
+#ifndef FGLB_MRC_STREAMING_MRC_H_
+#define FGLB_MRC_STREAMING_MRC_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mrc/miss_ratio_curve.h"
+#include "storage/page.h"
+
+namespace fglb {
+
+// Incremental SHARDS-style miss-ratio-curve estimator over a sliding
+// window of the most recent accesses. Instead of replaying the access
+// window through a Mattson stack when a violation fires (O(window) on
+// the controller's critical path), the estimator is fed every access
+// as it happens and keeps a reuse-distance histogram of the window
+// continuously up to date, so a curve snapshot is O(histogram) — the
+// always-fresh MRC that ROADMAP item 2 calls for.
+//
+// Mechanics:
+//  - Spatially-hashed sampling (same SplitMix64 hash and 1/k rounding
+//    as SampledMattsonStack): unsampled references only advance the
+//    access clock, so the amortized per-access cost is O(1) with an
+//    O(log s) Fenwick update on the ~1/k sampled share (s = sampled
+//    references resident in the window).
+//  - Sliding-window Mattson: each sampled reference occupies a slot in
+//    a Fenwick tree; a page's reuse depth is the number of pages whose
+//    newest sampled reference is more recent than its own. When the
+//    window slides past a sampled reference it is expired: its
+//    histogram contribution is removed, and if it is still its page's
+//    newest reference the page leaves the stack. Because that page's
+//    slot is by construction the oldest marked slot, removing it
+//    shifts no other page's depth — expiry is depth-stable.
+//  - The histogram keeps *raw* (sampled-domain) counts; Curve()
+//    materializes the scaled view and applies the SHARDS adjusted-mass
+//    correction from the snapshot's own totals, exactly like
+//    SampledMattsonStack does.
+//
+// Error model (vs. recomputing the same window from scratch): sampled
+// curves carry the usual SHARDS sampling error; in addition, a
+// reference early in the window whose previous use lies just *before*
+// the window start was scored as a hit when it was recorded (its
+// predecessor was still inside the sliding window then) but a
+// from-scratch replay scores it cold. At most one such reference
+// exists per distinct page, so the divergence is bounded by
+// (distinct pages)/(window length) at any curve point — small whenever
+// reuse distances are short relative to the window, and measured
+// explicitly by the differential tests and bench_streaming_mrc.
+//
+// Deterministic: no RNG anywhere, so the same access sequence always
+// produces a byte-identical curve (live vs. capture replay included).
+// Single-threaded like the engine that feeds it.
+class StreamingMrcEstimator {
+ public:
+  struct Options {
+    // Hash-sampling rate, rounded to 1/k as in SampledMattsonStack.
+    double sample_rate = 1.0 / 8;
+    // Sliding window length in (total, not sampled) references;
+    // matches the stats collector's ring window by default.
+    size_t window_accesses = 30000;
+  };
+
+  explicit StreamingMrcEstimator(const Options& options);
+
+  // Feeds one page reference. O(1) for unsampled references.
+  void Record(PageId page);
+
+  // Snapshot of the current window's curve: scaled + mass-adjusted
+  // histogram through MissRatioCurve::FromHistogram. O(histogram).
+  MissRatioCurve Curve() const;
+
+  void Reset();
+
+  uint64_t total_accesses() const { return total_; }
+  // References currently covered by the window (= min(total, window)).
+  uint64_t in_window_accesses() const {
+    return total_ < window_ ? total_ : window_;
+  }
+  uint64_t window_accesses() const { return window_; }
+  uint64_t scale() const { return scale_; }
+  // Sampled references resident in the window right now.
+  uint64_t sampled_live() const { return entries_.size(); }
+  // Fenwick renumber passes (observable so the bench can show the
+  // amortized maintenance cost stays bounded).
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  // One sampled reference resident in the window.
+  struct Entry {
+    PageId page = 0;
+    uint64_t index = 0;   // global 1-based access number
+    uint32_t depth = 0;   // raw reuse depth scored at record time; 0 = cold
+  };
+  // Stack state of a page with a live sampled reference.
+  struct PageState {
+    size_t slot = 0;      // newest reference's Fenwick slot
+    uint64_t index = 0;   // newest reference's access number
+  };
+
+  void FenwickAdd(size_t slot, int64_t delta);
+  uint64_t FenwickPrefixSum(size_t slot) const;
+  void EnsureCapacity(size_t slot);
+  void CompactIfSparse();
+  void Expire(const Entry& entry);
+
+  uint64_t scale_;
+  uint64_t window_;
+  uint64_t total_ = 0;
+  std::deque<Entry> entries_;  // window-resident sampled refs, oldest first
+  std::unordered_map<PageId, PageState> pages_;
+  std::vector<int64_t> tree_;  // 1-based Fenwick tree over slots
+  size_t next_slot_ = 0;
+  uint64_t marked_ = 0;        // live (marked) slots == pages_.size()
+  std::vector<uint64_t> raw_hits_;  // raw depth d+1 -> in-window hits
+  uint64_t raw_cold_ = 0;           // in-window cold-scored sampled refs
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace fglb
+
+#endif  // FGLB_MRC_STREAMING_MRC_H_

@@ -115,6 +115,7 @@ void EncodeInfo(const CaptureInfo& info, std::string* out) {
   PutVarint64(out, static_cast<uint64_t>(info.max_migrations_per_interval));
   PutString(out, info.admission_spec);
   PutString(out, info.span_spec);
+  PutString(out, info.mrc_spec);
 }
 
 bool DecodeInfo(Reader& r, CaptureInfo* info) {
@@ -132,6 +133,8 @@ bool DecodeInfo(Reader& r, CaptureInfo* info) {
   info->admission_spec = r.Str();
   if (r.AtEnd()) return true;
   info->span_spec = r.Str();
+  if (r.AtEnd()) return true;
+  info->mrc_spec = r.Str();
   return r.AtEnd();
 }
 

@@ -60,6 +60,10 @@ struct CaptureInfo {
   // SpanConfig::ToString() of the run's sampled span tracing; empty =
   // tracing off. Also a trailing optional field.
   std::string span_spec;
+  // MrcSpecString() of the run's MRC diagnosis configuration; empty =
+  // all defaults (recompute mode, no OPT regret). Also a trailing
+  // optional field.
+  std::string mrc_spec;
 };
 
 // Initial cluster assembly (block type 2), sufficient to rebuild the

@@ -49,6 +49,15 @@ std::unique_ptr<ClusterHarness> BuildClusterFromCapture(
   config.mrc.analysis_threads = options.mrc_threads;
   config.max_migrations_per_interval =
       capture.info.max_migrations_per_interval;
+  if (!capture.info.mrc_spec.empty()) {
+    // Streaming/regret settings must be restored before the harness is
+    // built: the retuner enables per-engine streaming estimators in its
+    // constructor.
+    std::string mrc_error;
+    if (!ParseMrcSpec(capture.info.mrc_spec, &config.mrc, &mrc_error)) {
+      return fail("capture carries unparsable mrc spec: " + mrc_error);
+    }
+  }
 
   auto harness = std::make_unique<ClusterHarness>(config);
 

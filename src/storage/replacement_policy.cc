@@ -1,0 +1,30 @@
+#include "storage/replacement_policy.h"
+
+namespace fglb {
+
+const char* ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "lru";
+    case ReplacementPolicy::kClock:
+      return "clock";
+    case ReplacementPolicy::kArc:
+      return "arc";
+  }
+  return "lru";
+}
+
+bool ParseReplacementPolicy(const std::string& text, ReplacementPolicy* out) {
+  if (text == "lru") {
+    *out = ReplacementPolicy::kLru;
+  } else if (text == "clock") {
+    *out = ReplacementPolicy::kClock;
+  } else if (text == "arc") {
+    *out = ReplacementPolicy::kArc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fglb

@@ -1,0 +1,22 @@
+#ifndef FGLB_STORAGE_REPLACEMENT_POLICY_H_
+#define FGLB_STORAGE_REPLACEMENT_POLICY_H_
+
+#include <string>
+
+namespace fglb {
+
+// The replacement policies the storage layer can model. kLru is the
+// policy the paper's Mattson-based MRC machinery assumes; kClock and
+// kArc exist so the quota planner's predictions can be evaluated
+// against engines that do not satisfy the LRU inclusion property
+// (bench_ablation_replacement replays the same traces against all
+// three).
+enum class ReplacementPolicy { kLru, kClock, kArc };
+
+// "lru" | "clock" | "arc" — stable config-string round trip.
+const char* ReplacementPolicyName(ReplacementPolicy policy);
+bool ParseReplacementPolicy(const std::string& text, ReplacementPolicy* out);
+
+}  // namespace fglb
+
+#endif  // FGLB_STORAGE_REPLACEMENT_POLICY_H_

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "mrc/miss_ratio_curve.h"
 #include "mrc/mrc_tracker.h"
+#include "mrc/sampled_mattson_stack.h"
 #include "storage/buffer_pool.h"
 
 namespace fglb {
@@ -229,6 +230,64 @@ TEST(MrcTrackerTest, GrownWorkingSetIsSuspect) {
   // Working set grows 10x.
   const auto rec = tracker.Recompute(MakeZipfTrace(3000, 0.3, 20000, 31));
   EXPECT_TRUE(rec.suspect);
+}
+
+TEST(SampledMattsonStackTest, RateStepCorrectionRecomputedPerSnapshot) {
+  // Regression for adjusted-mass drift: the SHARDS-adj residual must be
+  // recomputed from the snapshot's own totals every time hit_counts()
+  // is read, not cached at the first read. Scenario: snapshot
+  // mid-stream, then a rate step — the class keeps referencing pages,
+  // but only ones outside the spatial sample, so the exact reference
+  // count grows while the sampled mass stands still. A cached
+  // correction would under-count all post-snapshot mass.
+  const double kRate = 0.25;
+  SampledMattsonStack stepped(kRate);
+  ASSERT_EQ(stepped.scale(), 4u);
+
+  std::vector<PageId> unsampled;
+  for (uint64_t i = 0; unsampled.size() < 64; ++i) {
+    const PageId page = MakePageId(3, i);
+    if (!stepped.InSample(page)) unsampled.push_back(page);
+  }
+
+  std::vector<PageId> trace = MakeZipfTrace(1000, 0.8, 8000, 47);
+  for (PageId p : trace) stepped.Access(p);
+  // First snapshot (materializes the scaled view once).
+  const std::vector<uint64_t> first = stepped.hit_counts();
+  EXPECT_EQ(stepped.total_accesses(), 8000u);
+  const int64_t phase1_residual =
+      8000 - static_cast<int64_t>(4 * stepped.sampled_accesses());
+
+  // Rate step: 8000 more references, none visible to the sample.
+  Rng rng(53);
+  for (int i = 0; i < 8000; ++i) {
+    const PageId p = unsampled[rng.NextUint64(unsampled.size())];
+    stepped.Access(p);
+    trace.push_back(p);
+  }
+  const std::vector<uint64_t>& second = stepped.hit_counts();
+
+  // Differential reference: a fresh stack fed the whole trace in one
+  // go (it never took a mid-stream snapshot, so a stale cached
+  // correction in `stepped` would show up as a histogram mismatch).
+  SampledMattsonStack fresh(kRate);
+  for (PageId p : trace) fresh.Access(p);
+  EXPECT_EQ(second, fresh.hit_counts());
+  EXPECT_EQ(stepped.cold_misses(), fresh.cold_misses());
+  EXPECT_EQ(stepped.total_accesses(), fresh.total_accesses());
+
+  // The post-step sample is in deficit (the step added mass the sample
+  // never saw), so the folded residual must restore exact mass
+  // conservation: scaled hits + scaled cold == true reference count.
+  uint64_t mass = stepped.cold_misses();
+  for (uint64_t h : second) mass += h;
+  EXPECT_EQ(mass, stepped.total_accesses());
+  // And the correction moved with the step: at scale 4 the raw
+  // histogram never lands in bucket 0, so the second snapshot's bucket
+  // 0 is exactly the recomputed residual — the step's 8000 unseen
+  // references plus whatever deficit/excess phase 1 left behind.
+  ASSERT_FALSE(second.empty());
+  EXPECT_EQ(static_cast<int64_t>(second[0]), phase1_residual + 8000);
 }
 
 TEST(MrcTrackerTest, AdoptSilencesSuspicion) {

@@ -97,6 +97,34 @@ diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload.jsonl" \
      <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/overload-replay.jsonl" \
          --phase=action)
 
+echo "=== streaming-MRC smoke: always-fresh curves + OPT regret ==="
+# A streaming-mode run must emit phase=mrc events tagged
+# mode=streaming whose class profiles carry regret_vs_opt, pass the
+# schema check, and — because the mrc spec rides in the FGLBCAP1
+# header — replay to identical curves and diagnoses. dur_us is wall
+# clock, so it is stripped before the mrc-phase diff; the action
+# projection must match byte for byte as usual. (consolidation, not
+# overload: overload sheds its way past the mrc phase.)
+"./${PREFIX}/tools/fglb_sim" --scenario=consolidation --duration=600 \
+  --log-level=quiet --mrc-mode=streaming --mrc-opt-regret \
+  --capture-out="${SMOKE_DIR}/mrc.fglbcap" \
+  --trace-out="${SMOKE_DIR}/mrc.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/mrc.jsonl" --check
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/mrc.jsonl" --phase=mrc \
+  | grep -q '"mode":"streaming"'
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/mrc.jsonl" --phase=mrc \
+  | grep -q 'regret_vs_opt'
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/mrc.fglbcap" \
+  --trace-out="${SMOKE_DIR}/mrc-replay.jsonl"
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/mrc.jsonl" \
+         --phase=mrc | sed 's/"dur_us":[0-9.]*,//') \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/mrc-replay.jsonl" \
+         --phase=mrc | sed 's/"dur_us":[0-9.]*,//')
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/mrc.jsonl" \
+         --phase=action) \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/mrc-replay.jsonl" \
+         --phase=action)
+
 echo "=== spans smoke: sampled query timelines + replay byte-identity ==="
 # A span-traced overload run (admission + shed paths exercise every
 # segment family) must export valid Chrome trace_event JSON that the
@@ -136,10 +164,11 @@ echo "=== ASan+UBSan build + admission/overload tests ==="
 cmake -B "${PREFIX}-asan" -S . -DFGLB_SANITIZE=address-undefined >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
   --target admission_test scheduler_consistency_test failure_injection_test \
-  sim_determinism_test scale_replay_test span_tracer_test fglb_sim_cli \
+  sim_determinism_test scale_replay_test span_tracer_test \
+  streaming_mrc_test opt_oracle_test arc_buffer_pool_test fglb_sim_cli \
   fglb_tracecat
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay|SpanConfig|SpanTracer'
+  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay|SpanConfig|SpanTracer|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|ArcBufferPool|ReplacementPolicy'
 "./${PREFIX}-asan/tools/fglb_sim" --scenario=overload --duration=180 \
   --log-level=quiet --trace-out="${SMOKE_DIR}/overload-asan.jsonl" >/dev/null
 "./${PREFIX}-asan/tools/fglb_tracecat" "${SMOKE_DIR}/overload-asan.jsonl" \
@@ -151,8 +180,9 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
   --target mrc_pipeline_test log_analyzer_test selective_retuner_test \
   metrics_registry_test trace_log_test observability_integration_test \
   span_tracer_test fault_injector_test chaos_soak_test replay_codec_test \
-  replay_test sim_determinism_test scale_replay_test
+  replay_test sim_determinism_test scale_replay_test \
+  streaming_mrc_test opt_oracle_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|MaxGauge|LatencyHistogram|TraceLog|Observability|SpanConfig|SpanTracer|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|MaxGauge|LatencyHistogram|TraceLog|Observability|SpanConfig|SpanTracer|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt'
 
 echo "CI OK"

@@ -202,6 +202,8 @@ int main(int argc, char** argv) {
   SelectiveRetuner::Config retuner_config;
   retuner_config.mrc.analysis_threads = options.mrc_threads;
   retuner_config.mrc.sample_rate = options.mrc_sample_rate;
+  ParseMrcMode(options.mrc_mode, &retuner_config.mrc.mode);  // CLI-validated
+  retuner_config.mrc.opt_regret = options.mrc_opt_regret;
   if (chaos) {
     // Under injected churn, bound re-placement so flapping faults
     // cannot translate into unbounded migrations.
@@ -298,6 +300,7 @@ int main(int argc, char** argv) {
         retuner_config.max_migrations_per_interval;
     info.admission_spec = admission_spec_text;
     info.span_spec = span_spec_text;
+    info.mrc_spec = MrcSpecString(retuner_config.mrc);
     std::string capture_error;
     if (!capture_writer->Open(options.capture_out, info,
                               SnapshotTopology(harness), &capture_error)) {
