@@ -102,6 +102,20 @@ class ResourceManager {
   void set_streaming_mrc(StreamingMrcEstimator::Options options);
   bool streaming_mrc_enabled() const { return streaming_mrc_.has_value(); }
 
+  // Buffer-hierarchy defaults baked into every engine created from now
+  // on (controller provisioning and fault restarts included): the
+  // replacement policy the DRAM partitions run and the second-tier
+  // cache config. Unlike the settings above these cannot be applied
+  // retroactively — an engine's pools are built in its constructor —
+  // so scenarios set them before the first replica exists.
+  void set_engine_defaults(ReplacementPolicy replacement,
+                           const TierConfig& tier) {
+    engine_replacement_ = replacement;
+    engine_tier_ = tier;
+  }
+  ReplacementPolicy engine_replacement() const { return engine_replacement_; }
+  const TierConfig& engine_tier() const { return engine_tier_; }
+
   // Observer invoked for every replica this manager creates — existing
   // ones immediately, future ones (controller provisioning, fault
   // restarts) at creation. The capture/replay subsystem uses it to wire
@@ -118,6 +132,8 @@ class ResourceManager {
   TraceLog* trace_ = nullptr;
   double execution_timeout_seconds_ = 0;
   std::optional<StreamingMrcEstimator::Options> streaming_mrc_;
+  ReplacementPolicy engine_replacement_ = ReplacementPolicy::kLru;
+  TierConfig engine_tier_;
   std::function<void(Replica*)> replica_observer_;
   std::vector<std::unique_ptr<PhysicalServer>> servers_;
   std::vector<std::unique_ptr<Replica>> replicas_;

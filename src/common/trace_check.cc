@@ -44,6 +44,35 @@ bool CheckTraceLines(const std::vector<std::string>& lines,
       return false;
     }
     last_seq = seq;
+    // phase=mrc events from tiered engines carry the tier fields as a
+    // unit: a partial or nonsensical set means the producer is broken,
+    // not merely tierless (tierless events omit all three).
+    if (event.StringOr("phase", "") == "mrc") {
+      const JsonValue* pages = event.Find("tier2_pages");
+      const JsonValue* resident = event.Find("tier2_resident");
+      const JsonValue* read_us = event.Find("tier2_read_us");
+      if (pages != nullptr || resident != nullptr || read_us != nullptr) {
+        const char* bad = nullptr;
+        if (pages == nullptr || pages->kind != JsonValue::Kind::kNumber ||
+            pages->number <= 0) {
+          bad = "tier2_pages";
+        } else if (resident == nullptr ||
+                   resident->kind != JsonValue::Kind::kNumber ||
+                   resident->number < 0 ||
+                   resident->number > pages->number) {
+          bad = "tier2_resident";
+        } else if (read_us == nullptr ||
+                   read_us->kind != JsonValue::Kind::kNumber ||
+                   read_us->number <= 0) {
+          bad = "tier2_read_us";
+        }
+        if (bad != nullptr) {
+          *error = LineError(i + 1, std::string("malformed tier spec: ") +
+                                        bad);
+          return false;
+        }
+      }
+    }
   }
   return true;
 }

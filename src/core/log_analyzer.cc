@@ -149,6 +149,9 @@ LogAnalyzer::MemoryDiagnosis LogAnalyzer::DiagnoseMemory(
     ClassMemoryProfile profile;
     profile.key = job.key;
     profile.params = job.rec.params;
+    // Carry the curve itself: tiered planning reads the (dram, tier2)
+    // split straight off the reuse-distance histogram.
+    profile.curve = std::make_shared<MissRatioCurve>(job.rec.curve);
     if (mrc_config_.opt_regret) {
       // LRU-vs-Belady gap at the class's acceptable-memory point: how
       // much of the remaining miss ratio is replacement-policy regret
@@ -184,6 +187,10 @@ std::vector<ClassMemoryProfile> LogAnalyzer::StableProfilesExcept(
     ClassMemoryProfile profile;
     profile.key = key;
     profile.params = tracker->stable_params();
+    if (!tracker->stable_curve().empty()) {
+      profile.curve =
+          std::make_shared<MissRatioCurve>(tracker->stable_curve());
+    }
     profiles.push_back(profile);
   }
   return profiles;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,20 @@ struct ClassMemoryProfile {
   // means more memory genuinely helps; large means the workload is
   // replacement-hostile and a quota bump would be wasted.
   double regret_vs_opt = -1;
+  // The full curve the parameters were derived from (shared with the
+  // tracker's stable state; may be null for legacy callers). Tiered
+  // planning needs it: (dram, tier2) placement is a second read-out of
+  // the same reuse-distance histogram, not a second computation.
+  std::shared_ptr<const MissRatioCurve> curve;
+};
+
+// Per-access service times (microseconds) of the three levels a read
+// can land in — the blended latency model two-level planning optimizes:
+//   L(d1, d2) = dram_hit·t_mem + tier2_hit·t_ssd + miss·t_disk.
+struct TierCostModel {
+  double t_mem_us = 1.0;
+  double t_ssd_us = 100.0;    // TierConfig::read_us
+  double t_disk_us = 2000.0;  // DiskModel::random_read_seconds
 };
 
 // The outcome of the paper's §3.3.2 heuristic for one engine.
@@ -31,6 +46,10 @@ struct QuotaPlan {
   // Quotas to enforce (problem classes only); empty if placement_fits
   // or the plan is to migrate instead.
   std::map<ClassKey, uint64_t> quotas;
+  // Tier-2 quotas chosen by PlanTiered for classes whose working-set
+  // overflow is demoted to the second tier instead of rescheduled —
+  // always a subset of `quotas` keys; empty for DRAM-only plans.
+  std::map<ClassKey, uint64_t> tier2_quotas;
   // Problem classes that cannot be kept under any acceptable quota and
   // should be rescheduled on a different replica.
   std::vector<ClassKey> reschedule;
@@ -62,6 +81,23 @@ class QuotaPlanner {
                  const std::vector<ClassMemoryProfile>& problem,
                  const std::vector<ClassMemoryProfile>& others) const;
 
+  // Two-level variant for engines backed by a second-tier cache:
+  // allocates each problem class a (dram, tier2) quota pair by greedy
+  // marginal *rate* against the blended latency model — each round the
+  // budget extension (of any granule multiple) with the largest
+  // predicted latency saving per page wins, so a cliff-shaped curve
+  // (cyclic scan under LRU: flat until the whole loop fits) is jumped
+  // in one step instead of starving the class. A class is kept (demoted, not
+  // rescheduled) when its blended latency is no worse than what its
+  // acceptable DRAM-only allocation would deliver; classes the two
+  // tiers together cannot satisfy still land in `reschedule`. Problem
+  // classes without a curve fall back to the DRAM-only acceptable-fit
+  // rule against whatever DRAM the greedy pass left.
+  QuotaPlan PlanTiered(uint64_t pool_pages, uint64_t tier2_pages,
+                       const std::vector<ClassMemoryProfile>& problem,
+                       const std::vector<ClassMemoryProfile>& others,
+                       const TierCostModel& cost) const;
+
   // The destination fit test used when rescheduling: does `incoming`
   // fit on an engine with `pool_pages` already hosting `existing`, with
   // everyone at their acceptable memory?
@@ -70,17 +106,22 @@ class QuotaPlanner {
 
   uint64_t min_quota_pages() const { return min_quota_pages_; }
 
-  // Records each Plan() call's wall-clock into
-  // "controller.plan.quota_us". Null unbinds.
+  // Records each Plan() / PlanTiered() call's wall-clock into
+  // "controller.plan.quota_us" / "controller.plan.tiered_us". Null
+  // unbinds.
   void BindMetrics(MetricsRegistry* registry) {
     plan_us_ = registry != nullptr
                    ? registry->histogram("controller.plan.quota_us")
                    : nullptr;
+    tiered_us_ = registry != nullptr
+                     ? registry->histogram("controller.plan.tiered_us")
+                     : nullptr;
   }
 
  private:
   uint64_t min_quota_pages_;
   LatencyHistogram* plan_us_ = nullptr;
+  LatencyHistogram* tiered_us_ = nullptr;
 };
 
 }  // namespace fglb

@@ -78,6 +78,8 @@ const char* SelectiveRetuner::ActionKindName(ActionKind kind) {
       return "io_eviction";
     case ActionKind::kCoarseFallback:
       return "coarse_fallback";
+    case ActionKind::kDemote:
+      return "demote";
   }
   return "unknown";
 }
@@ -302,7 +304,8 @@ void SelectiveRetuner::TraceOutlierPhases(AppId app, int replica_id,
 
 void SelectiveRetuner::TraceMrcPhase(
     AppId app, int replica_id, double dur_us, size_t candidates,
-    LogAnalyzer& analyzer, const LogAnalyzer::MemoryDiagnosis& diagnosis) {
+    LogAnalyzer& analyzer, const LogAnalyzer::MemoryDiagnosis& diagnosis,
+    const TieredBufferPool* tier2) {
   auto profile_array = [&analyzer](
                            const std::vector<ClassMemoryProfile>& profiles) {
     std::string out = "[";
@@ -340,8 +343,15 @@ void SelectiveRetuner::TraceMrcPhase(
   event.Num("t", sim_->Now())
       .Uint("app", app)
       .Int("replica", replica_id)
-      .Str("mode", MrcModeName(config_.mrc.mode))
-      .Uint("candidates", candidates)
+      .Str("mode", MrcModeName(config_.mrc.mode));
+  if (tier2 != nullptr) {
+    // Second-tier state at diagnosis time; absent on tierless engines
+    // so pre-tier traces replay unchanged.
+    event.Uint("tier2_pages", tier2->capacity())
+        .Uint("tier2_resident", tier2->resident_pages())
+        .Num("tier2_read_us", tier2->config().read_us);
+  }
+  event.Uint("candidates", candidates)
       .Raw("suspects", profile_array(diagnosis.suspects))
       .Raw("cleared", profile_array(diagnosis.cleared))
       .Raw("insufficient", insufficient)
@@ -655,7 +665,7 @@ bool SelectiveRetuner::TryMemoryRetuning(
     }
     if (Tracing() && scope_.active) {
       TraceMrcPhase(app, r->id(), MicrosSince(mrc_start), candidates.size(),
-                    analyzer, diagnosis);
+                    analyzer, diagnosis, r->engine().tier2());
     }
     DiagnosisRecord record;
     record.time = sim_->Now();
@@ -672,9 +682,23 @@ bool SelectiveRetuner::TryMemoryRetuning(
     const std::vector<ClassMemoryProfile> others =
         analyzer.StableProfilesExcept(suspect_keys);
 
-    // 4e. Quota fit test and plan.
-    const QuotaPlan plan = planner_.Plan(r->engine().pool().capacity(),
-                                         diagnosis.suspects, others);
+    // 4e. Quota fit test and plan. Engines backed by a second tier
+    // plan (dram, tier2) quota pairs against the blended latency model
+    // — the demote rung; tierless engines keep the DRAM-only fit test.
+    const TieredBufferPool* tier2 = r->engine().tier2();
+    QuotaPlan plan;
+    if (tier2 != nullptr) {
+      TierCostModel cost;
+      cost.t_ssd_us = tier2->config().read_us;
+      cost.t_disk_us =
+          r->engine().disk_model().random_read_seconds * 1e6;
+      plan = planner_.PlanTiered(r->engine().pool().capacity(),
+                                 tier2->capacity(), diagnosis.suspects,
+                                 others, cost);
+    } else {
+      plan = planner_.Plan(r->engine().pool().capacity(),
+                           diagnosis.suspects, others);
+    }
     if (plan.placement_fits) {
       // The pool can hold everyone's working set, but a scan-style
       // suspect still pollutes it: prefetched extents evict other
@@ -710,20 +734,46 @@ bool SelectiveRetuner::TryMemoryRetuning(
     // right first step; the streak-based coarse fallback catches
     // whatever remains.
 
+    // One plan is one coherent decision: snapshot the warmup guard
+    // before applying it, so enforcing the first class's quota (which
+    // starts the owner app's warmup) cannot block the rest of the same
+    // plan — notably a demote paired behind another class's quota.
+    std::map<AppId, bool> warm_before;
+    for (const auto& [key, pages] : plan.quotas) {
+      if (!warm_before.count(AppOf(key))) {
+        warm_before[AppOf(key)] = InWarmup(AppOf(key));
+      }
+    }
     for (const auto& [key, pages] : plan.quotas) {
       // Cross-application actions respect the owner app's cooldown.
-      if (InWarmup(AppOf(key))) continue;
-      if (r->engine().SetQuota(key, pages)) {
-        analyzer.AdoptRecomputation(key);
-        NoteTopologyChange(AppOf(key));
-        char buf[160];
+      if (warm_before[AppOf(key)]) continue;
+      if (!r->engine().SetQuota(key, pages)) continue;
+      analyzer.AdoptRecomputation(key);
+      NoteTopologyChange(AppOf(key));
+      char buf[160];
+      // Demote rung: the plan pairs the DRAM cap with a tier-2 quota
+      // for the working-set overflow — cheaper than migrating the
+      // class off the engine. A tier quota the pool cannot grant
+      // degrades to the plain DRAM quota action.
+      const auto tier_it = plan.tier2_quotas.find(key);
+      if (tier_it != plan.tier2_quotas.end() &&
+          r->engine().SetTierQuota(key, tier_it->second)) {
+        std::snprintf(buf, sizeof(buf),
+                      "memory interference: demoted %s to %llu dram + "
+                      "%llu tier2 pages on %s",
+                      ClassLabel(key).c_str(),
+                      static_cast<unsigned long long>(pages),
+                      static_cast<unsigned long long>(tier_it->second),
+                      r->name().c_str());
+        Log(ActionKind::kDemote, AppOf(key), buf);
+      } else {
         std::snprintf(buf, sizeof(buf),
                       "memory interference: quota %llu pages for %s on %s",
                       static_cast<unsigned long long>(pages),
                       ClassLabel(key).c_str(), r->name().c_str());
         Log(ActionKind::kQuotaEnforced, AppOf(key), buf);
-        acted = true;
       }
+      acted = true;
     }
     for (ClassKey key : plan.reschedule) {
       if (InPlacementCooldown(key) || InWarmup(AppOf(key))) continue;

@@ -139,6 +139,11 @@ class SelectiveRetuner {
     kClassRescheduled,
     kIoEviction,
     kCoarseFallback,
+    // Cheapest memory rung on tiered engines: cap the class's DRAM
+    // quota and give its working-set overflow a tier-2 quota instead
+    // of migrating it. Appended last — captures persist the kind as a
+    // small integer.
+    kDemote,
   };
 
   struct Action {
@@ -308,9 +313,13 @@ class SelectiveRetuner {
   bool Tracing() const { return trace_ != nullptr && trace_->enabled(); }
   void TraceOutlierPhases(AppId app, int replica_id,
                           const OutlierReport& report);
+  // `tier2` non-null adds the engine's second-tier state to the event
+  // (tier2_pages/tier2_resident/tier2_read_us); tierless traces are
+  // byte-identical to before the tier existed.
   void TraceMrcPhase(AppId app, int replica_id, double dur_us,
                      size_t candidates, LogAnalyzer& analyzer,
-                     const LogAnalyzer::MemoryDiagnosis& diagnosis);
+                     const LogAnalyzer::MemoryDiagnosis& diagnosis,
+                     const TieredBufferPool* tier2);
   void EmitActionEvent(const Action& action);
 
   // Whether the app's pools are still warming after a topology change.

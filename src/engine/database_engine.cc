@@ -9,11 +9,20 @@ DatabaseEngine::DatabaseEngine(std::string name, const Options& options,
                                const DiskModel* disk_model)
     : name_(std::move(name)),
       options_(options),
-      pool_(options.buffer_pool_pages),
+      pool_(options.buffer_pool_pages, options.replacement),
       stats_(options.access_window_capacity),
       disk_model_(disk_model),
       rng_(options.seed) {
   assert(disk_model != nullptr);
+  if (options.tier.enabled()) {
+    tier2_ = std::make_unique<TieredBufferPool>(options.tier);
+    // Demote-on-DRAM-evict: every page a partition pushes out under
+    // capacity pressure lands in the matching tier-2 partition.
+    pool_.SetEvictionListener([tier = tier2_.get()](PartitionKey key,
+                                                    PageId page) {
+      tier->Demote(key, page);
+    });
+  }
 }
 
 ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
@@ -36,7 +45,7 @@ ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
   // the access string is then consumed as one contiguous span against
   // them (these lookups used to run once per page access).
   StatsCollector::AccessRecorder recorder = stats_.RecorderFor(key);
-  BufferPool& partition = pool_.PartitionOf(key);
+  PageCache& partition = pool_.PartitionOf(key);
   counters.page_accesses = scratch_.size();
   for (const PageAccess& access : scratch_) {
     recorder.Record(access.page);
@@ -60,9 +69,19 @@ ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
       partition.Access(access.page);
     } else {
       if (!partition.Access(access.page)) {
-        ++counters.random_misses;
-        ++counters.buffer_misses;
-        ++counters.io_requests;
+        // DRAM miss: probe the second-tier cache before going to disk.
+        // A tier-2 hit promotes the page (Access above already made it
+        // DRAM-resident; PromoteHit removed the tier copy) and costs
+        // SSD latency; a tier-2 miss is a disk random read.
+        if (tier2_ != nullptr && tier2_->PromoteHit(key, access.page)) {
+          ++counters.tier2_hits;
+          ++counters.buffer_misses;
+          ++counters.io_requests;
+        } else {
+          ++counters.random_misses;
+          ++counters.buffer_misses;
+          ++counters.io_requests;
+        }
       }
     }
   }
@@ -90,6 +109,10 @@ ExecutionCounters DatabaseEngine::Execute(const QueryInstance& query) {
           static_cast<double>(counters.page_accesses);
   counters.io_seconds = disk_model_->ServiceDemand(
       counters.random_misses, counters.read_aheads, counters.page_writes);
+  if (counters.tier2_hits > 0) {
+    counters.io_seconds += static_cast<double>(counters.tier2_hits) *
+                           tier2_->HitServiceSeconds();
+  }
   return counters;
 }
 
@@ -109,6 +132,14 @@ bool DatabaseEngine::SetQuota(ClassKey key, uint64_t pages) {
 
 void DatabaseEngine::DropQuota(ClassKey key) { pool_.DropQuota(key); }
 
+bool DatabaseEngine::SetTierQuota(ClassKey key, uint64_t pages) {
+  return tier2_ != nullptr && tier2_->SetQuota(key, pages);
+}
+
+void DatabaseEngine::DropTierQuota(ClassKey key) {
+  if (tier2_ != nullptr) tier2_->DropQuota(key);
+}
+
 void DatabaseEngine::BindMetrics(MetricsRegistry* registry) {
   metrics_ = registry;
   if (registry == nullptr) {
@@ -125,6 +156,9 @@ void DatabaseEngine::BindMetrics(MetricsRegistry* registry) {
 void DatabaseEngine::PublishMetrics() const {
   if (metrics_ == nullptr) return;
   pool_.PublishMetrics(metrics_, "engine." + name_ + ".bufferpool.");
+  if (tier2_ != nullptr) {
+    tier2_->PublishMetrics(metrics_, "engine." + name_ + ".tier.");
+  }
 }
 
 }  // namespace fglb

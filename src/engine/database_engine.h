@@ -2,6 +2,7 @@
 #define FGLB_ENGINE_DATABASE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "storage/disk_model.h"
 #include "storage/page.h"
 #include "storage/partitioned_buffer_pool.h"
+#include "storage/replacement_policy.h"
+#include "storage/tiered_buffer_pool.h"
 #include "workload/access_generator.h"
 #include "workload/capture_hooks.h"
 #include "workload/query_class.h"
@@ -30,6 +33,11 @@ class DatabaseEngine {
     uint64_t buffer_pool_pages = 8192;  // 128 MB of 16 KiB pages
     size_t access_window_capacity = 30000;
     uint64_t seed = 1;
+    // Replacement policy every buffer-pool partition runs.
+    ReplacementPolicy replacement = ReplacementPolicy::kLru;
+    // Second-tier block cache between DRAM and disk; tier.pages == 0
+    // (the default) leaves the engine tierless.
+    TierConfig tier;
   };
 
   DatabaseEngine(std::string name, const Options& options,
@@ -55,6 +63,11 @@ class DatabaseEngine {
   bool SetQuota(ClassKey key, uint64_t pages);
   void DropQuota(ClassKey key);
 
+  // Tier-2 quota enforcement, mirroring the DRAM quotas. No-ops
+  // returning false / nothing when the engine has no tier.
+  bool SetTierQuota(ClassKey key, uint64_t pages);
+  void DropTierQuota(ClassKey key);
+
   // Hooks this engine's stats into `registry` under "engine.<name>.":
   // a completed-query counter and latency histogram updated inline, and
   // buffer-pool stats published by PublishMetrics(). Null unbinds.
@@ -72,6 +85,20 @@ class DatabaseEngine {
 
   // Fault-injection forwarder: degrades/restores the stats feed.
   void set_stats_dropout(StatsDropout mode) { stats_.set_dropout(mode); }
+
+  // Second-tier cache, null when the engine runs tierless.
+  TieredBufferPool* tier2() { return tier2_.get(); }
+  const TieredBufferPool* tier2() const { return tier2_.get(); }
+
+  // Fault-injection forwarders for the tier (no-ops without one):
+  // fail = the tier serves nothing and recovers cold; the latency
+  // factor scales every tier-2 hit's service time (degrade).
+  void SetTierFailed(bool failed) {
+    if (tier2_ != nullptr) tier2_->SetFailed(failed);
+  }
+  void SetTierLatencyFactor(double factor) {
+    if (tier2_ != nullptr) tier2_->SetLatencyFactor(factor);
+  }
 
   // Turns on per-class streaming MRC estimation in the stats feed
   // (forwarder; see StatsCollector::EnableStreamingMrc).
@@ -114,6 +141,7 @@ class DatabaseEngine {
   std::string name_;
   Options options_;
   PartitionedBufferPool pool_;
+  std::unique_ptr<TieredBufferPool> tier2_;
   StatsCollector stats_;
   const DiskModel* disk_model_;
   MetricsRegistry* metrics_ = nullptr;

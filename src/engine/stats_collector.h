@@ -27,8 +27,14 @@ struct ExecutionCounters {
   // ratio of a class is (accesses - random_misses - read_aheads) /
   // accesses: one stall per random miss or extent fetch.
   uint64_t random_misses = 0;
-  // I/O block requests issued: random reads + extent fetches + writes.
+  // I/O block requests issued: random reads + extent fetches + writes
+  // (tier-2 hits included: an SSD read is still a block request).
   uint64_t io_requests = 0;
+  // Random-read DRAM misses served by the second-tier block cache
+  // (subset of buffer_misses, disjoint from random_misses): the page
+  // was promoted from tier 2 at SSD latency instead of read from disk.
+  // Always 0 without a configured tier.
+  uint64_t tier2_hits = 0;
   uint64_t read_aheads = 0;
   uint64_t page_writes = 0;
   // Resource demands derived from the above.

@@ -125,6 +125,20 @@ class MissRatioCurve {
   // Miss ratio of an LRU cache holding `pages` pages.
   double MissRatioAt(uint64_t pages) const;
 
+  // Second read-out of the same reuse-distance histogram for a
+  // two-tier hierarchy: the fraction of accesses that miss a
+  // `dram_pages` DRAM tier but hit an exclusive `tier2_pages` second
+  // tier stacked under it — hits at reuse depths in
+  // (dram_pages, dram_pages + tier2_pages]. The blended latency of a
+  // (d1, d2) placement is then
+  //   (1 - MissRatioAt(d1))·t_mem + Tier2HitRatioAt(d1, d2)·t_ssd +
+  //   MissRatioAt(d1 + d2)·t_disk.
+  double Tier2HitRatioAt(uint64_t dram_pages, uint64_t tier2_pages) const {
+    const double ratio = MissRatioAt(dram_pages) -
+                         MissRatioAt(dram_pages + tier2_pages);
+    return ratio > 0 ? ratio : 0.0;
+  }
+
   // Largest cache size at which the curve still changes. MissRatioAt is
   // constant beyond this.
   uint64_t max_pages() const {

@@ -116,6 +116,8 @@ void EncodeInfo(const CaptureInfo& info, std::string* out) {
   PutString(out, info.admission_spec);
   PutString(out, info.span_spec);
   PutString(out, info.mrc_spec);
+  PutString(out, info.tier_spec);
+  PutString(out, info.replacement_spec);
 }
 
 bool DecodeInfo(Reader& r, CaptureInfo* info) {
@@ -135,6 +137,10 @@ bool DecodeInfo(Reader& r, CaptureInfo* info) {
   info->span_spec = r.Str();
   if (r.AtEnd()) return true;
   info->mrc_spec = r.Str();
+  if (r.AtEnd()) return true;
+  info->tier_spec = r.Str();
+  if (r.AtEnd()) return true;
+  info->replacement_spec = r.Str();
   return r.AtEnd();
 }
 

@@ -64,6 +64,12 @@ struct CaptureInfo {
   // all defaults (recompute mode, no OPT regret). Also a trailing
   // optional field.
   std::string mrc_spec;
+  // TierConfig::ToString() of the engines' second-tier cache; empty =
+  // tierless (the pre-tier behaviour). Also a trailing optional field.
+  std::string tier_spec;
+  // ReplacementPolicyName() of the engines' DRAM partition policy;
+  // empty = lru. Also a trailing optional field.
+  std::string replacement_spec;
 };
 
 // Initial cluster assembly (block type 2), sufficient to rebuild the

@@ -61,6 +61,26 @@ std::unique_ptr<ClusterHarness> BuildClusterFromCapture(
 
   auto harness = std::make_unique<ClusterHarness>(config);
 
+  // The buffer hierarchy is baked into each engine at construction, so
+  // the captured tier/replacement specs must be installed before the
+  // first replica below (and they then also cover replicas the replayed
+  // controller provisions mid-run).
+  TierConfig tier_config;
+  if (!capture.info.tier_spec.empty()) {
+    std::string tier_error;
+    if (!TierConfig::Parse(capture.info.tier_spec, &tier_config,
+                           &tier_error)) {
+      return fail("capture carries unparsable tier spec: " + tier_error);
+    }
+  }
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  if (!capture.info.replacement_spec.empty() &&
+      !ParseReplacementPolicy(capture.info.replacement_spec, &replacement)) {
+    return fail("capture carries unknown replacement policy: " +
+                capture.info.replacement_spec);
+  }
+  harness->resources().set_engine_defaults(replacement, tier_config);
+
   for (const CaptureServerSpec& s : capture.topology.servers) {
     PhysicalServer::Options server_options;
     server_options.cores = s.cores;

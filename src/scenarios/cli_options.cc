@@ -16,6 +16,9 @@ bool ParseScenario(const std::string& value, CliOptions::Scenario* out) {
     *out = CliOptions::Scenario::kChaosReplica;
   else if (value == "chaos-disk") *out = CliOptions::Scenario::kChaosDisk;
   else if (value == "overload") *out = CliOptions::Scenario::kOverload;
+  else if (value == "tier-thrash") *out = CliOptions::Scenario::kTierThrash;
+  else if (value == "tier-fail") *out = CliOptions::Scenario::kTierFail;
+  else if (value == "cold-start") *out = CliOptions::Scenario::kColdStart;
   else return false;
   return true;
 }
@@ -45,9 +48,15 @@ bool ParseInt(const std::string& value, int* out) {
 }
 
 bool ParseUint64(const std::string& value, uint64_t* out) {
+  // strtoull silently wraps negative input ("-5" parses fine), so
+  // reject anything that is not a plain digit string up front.
+  if (value.empty() || value.find_first_not_of("0123456789") !=
+                           std::string::npos) {
+    return false;
+  }
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || value.empty()) return false;
+  if (end == nullptr || *end != '\0') return false;
   *out = parsed;
   return true;
 }
@@ -60,7 +69,8 @@ std::string CliUsage() {
 usage: fglb_sim [options]
 
   --scenario=NAME   steady | burst | consolidation | io |
-                    chaos-replica | chaos-disk | overload   (default steady)
+                    chaos-replica | chaos-disk | overload |
+                    tier-thrash | tier-fail | cold-start    (default steady)
   --output=FORMAT   table | samples-csv | actions-csv | servers-csv
   --servers=N       machines in the shared pool             (default 4)
   --duration=SEC    simulated seconds                       (default 900)
@@ -73,6 +83,13 @@ usage: fglb_sim [options]
                     cohorts replace per-client think events
                     (auto = on from 10k clients per app)    (default auto)
   --seed=N          RNG seed (runs are deterministic)       (default 1)
+  --tier2-pages=N   second-tier (SSD) cache pages per engine; 0 = no
+                    tier (tier-* scenarios default to 16384) (default 0)
+  --tier2-read-us=X service time of one tier-2 hit in usec  (default 100)
+  --tier2-demote=M  on | off: demote DRAM evictions into the tier
+                                                            (default on)
+  --replacement=P   DRAM partition replacement: lru | clock | arc
+                                                            (default lru)
   --mrc-threads=N   diagnosis worker threads; 0 = all cores (default 0)
   --mrc-sample-rate=R  Mattson replay sampling rate in (0,1];
                     1 = exact, 0.125 ~ 8x cheaper           (default 1)
@@ -162,6 +179,17 @@ bool ParseCliOptions(const std::vector<std::string>& args,
       options->cohorts = value;
     } else if (key == "seed") {
       ok = ParseUint64(value, &options->seed);
+    } else if (key == "tier2-pages") {
+      ok = ParseUint64(value, &options->tier2_pages);
+    } else if (key == "tier2-read-us") {
+      ok = ParseDouble(value, &options->tier2_read_us) &&
+           options->tier2_read_us > 0;
+    } else if (key == "tier2-demote") {
+      ok = value == "on" || value == "off" || value == "1" || value == "0";
+      options->tier2_demote = value == "on" || value == "1";
+    } else if (key == "replacement") {
+      ok = value == "lru" || value == "clock" || value == "arc";
+      options->replacement = value;
     } else if (key == "mrc-threads") {
       ok = ParseInt(value, &options->mrc_threads) &&
            options->mrc_threads >= 0;

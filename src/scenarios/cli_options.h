@@ -19,6 +19,9 @@ struct CliOptions {
     kChaosReplica,   // consolidation + replica crash/restart faults
     kChaosDisk,      // consolidation + disk-latency spike faults
     kOverload,       // 3x TPC-W load on one replica (admission control)
+    kTierThrash,     // consolidation squeezed into small DRAM + tier-2
+    kTierFail,       // tier-thrash + the SSD tier failing mid-run
+    kColdStart,      // tiered steady state from empty caches
   };
   enum class Output {
     kTable,       // human-readable series + actions
@@ -43,6 +46,16 @@ struct CliOptions {
   // "off" force the choice. See ClientEmulator::Options::cohort.
   std::string cohorts = "auto";
   uint64_t seed = 1;
+  // Second-tier block cache under every engine's DRAM pool: total
+  // pages (0 = tierless; the tier-* scenarios default it on), the
+  // per-hit SSD read service time, and whether DRAM evictions are
+  // demoted into the tier. Persisted in captures as the canonical
+  // TierConfig spec so replays rebuild the identical hierarchy.
+  uint64_t tier2_pages = 0;
+  double tier2_read_us = 100.0;
+  bool tier2_demote = true;
+  // Replacement policy of every DRAM buffer-pool partition.
+  std::string replacement = "lru";
   // MRC analysis pipeline: worker threads for the diagnosis fan-out
   // (0 = hardware concurrency, 1 = serial) and the Mattson replay
   // hash-sampling rate (1.0 = exact; e.g. 0.125 replays ~1/8 of the

@@ -73,6 +73,22 @@ class HarnessFaultBackend : public FaultBackend {
     return true;
   }
 
+  bool SetTierFault(int replica_id, int mode, double factor) override {
+    Replica* replica = harness_->resources().FindReplica(replica_id);
+    if (replica == nullptr || replica->engine().tier2() == nullptr) {
+      return false;
+    }
+    if (mode == kTierFail) {
+      replica->engine().SetTierFailed(true);
+    } else if (mode == kTierDegrade) {
+      replica->engine().SetTierLatencyFactor(factor);
+    } else {
+      replica->engine().SetTierFailed(false);
+      replica->engine().SetTierLatencyFactor(1.0);
+    }
+    return true;
+  }
+
  private:
   struct CrashRecord {
     uint64_t pool_pages = 0;

@@ -38,6 +38,7 @@ bool ParseKind(const std::string& name, FaultKind* out) {
   else if (name == "slow") *out = FaultKind::kSlow;
   else if (name == "stats") *out = FaultKind::kStats;
   else if (name == "migration") *out = FaultKind::kMigration;
+  else if (name == "tier") *out = FaultKind::kTier;
   else return false;
   return true;
 }
@@ -90,6 +91,8 @@ const char* FaultKindName(FaultKind kind) {
       return "stats";
     case FaultKind::kMigration:
       return "migration";
+    case FaultKind::kTier:
+      return "tier";
   }
   return "unknown";
 }
@@ -122,6 +125,12 @@ std::string FaultSpec::ToString() const {
         break;
       case FaultKind::kMigration:
         out += "delay=" + Num(e->delay_seconds) + ",fail=" + Num(e->fail_rate);
+        if (e->duration > 0) out += ",duration=" + Num(e->duration);
+        break;
+      case FaultKind::kTier:
+        out += "replica=" + std::to_string(e->replica) + ",mode=" +
+               (e->tier_mode == kTierDegrade ? "degrade" : "fail");
+        if (e->tier_mode == kTierDegrade) out += ",factor=" + Num(e->factor);
         if (e->duration > 0) out += ",duration=" + Num(e->duration);
         break;
     }
@@ -173,6 +182,8 @@ bool FaultSpec::Parse(const std::string& text, FaultSpec* out,
       else if (key == "mode") {
         if (value == "drop") event.stats_mode = kStatsDropAll;
         else if (value == "partial") event.stats_mode = kStatsPartial;
+        else if (value == "fail") event.tier_mode = kTierFail;
+        else if (value == "degrade") event.tier_mode = kTierDegrade;
         else ok = false;
       } else {
         *error = "unknown fault param: " + key;
@@ -202,6 +213,12 @@ bool FaultSpec::Parse(const std::string& text, FaultSpec* out,
         break;
       case FaultKind::kMigration:
         if (event.fail_rate < 0 || event.fail_rate > 1) missing = "fail";
+        break;
+      case FaultKind::kTier:
+        if (event.replica < 0) missing = "replica";
+        else if (event.tier_mode == 0) missing = "mode";
+        else if (event.tier_mode == kTierDegrade && event.factor <= 0)
+          missing = "factor";
         break;
     }
     if (missing != nullptr) {
@@ -271,6 +288,19 @@ FaultSpec MakeRandomFaultSpec(uint64_t seed, double duration,
     e.delay_seconds = rng.UniformDouble(1, 8);
     e.fail_rate = rng.UniformDouble(0, 0.6);
     e.duration = rng.UniformDouble(60, 240);
+    spec.events.push_back(e);
+  }
+  // Drawn last so existing seeds (tier_faults defaults to 0) keep
+  // expanding to their historical schedules byte-for-byte.
+  for (int i = 0; i < profile.tier_faults; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kTier;
+    e.time = when();
+    e.replica = pick(profile.replicas);
+    e.tier_mode = rng.Bernoulli(0.5) ? kTierFail : kTierDegrade;
+    e.factor =
+        e.tier_mode == kTierDegrade ? rng.UniformDouble(2, 10) : 0;
+    e.duration = rng.UniformDouble(30, 120);
     spec.events.push_back(e);
   }
   return spec;
@@ -383,6 +413,17 @@ void FaultInjector::Fire(const FaultEvent& event) {
       }
       break;
     }
+    case FaultKind::kTier: {
+      const bool ok = backend_->SetTierFault(event.replica, event.tier_mode,
+                                             event.factor);
+      Note("tier", event.replica,
+           event.tier_mode == kTierDegrade ? event.factor : 0, ok, false);
+      if (ok && event.duration > 0) {
+        const FaultEvent copy = event;
+        sim_->ScheduleAfter(event.duration, [this, copy] { Revert(copy); });
+      }
+      break;
+    }
   }
 }
 
@@ -405,6 +446,10 @@ void FaultInjector::Revert(const FaultEvent& event) {
     case FaultKind::kMigration:
       migration_windows_ = std::max(0, migration_windows_ - 1);
       Note("migration_window", -1, 0, true, true);
+      break;
+    case FaultKind::kTier:
+      Note("tier", event.replica, 1.0,
+           backend_->SetTierFault(event.replica, 0, 1.0), true);
       break;
   }
 }

@@ -28,6 +28,7 @@ enum class FaultKind {
   kSlow,       // slow-replica degradation (CPU demand multiplier)
   kStats,      // stats-collector dropout (missing/partial metrics)
   kMigration,  // window in which class migrations are delayed/failed
+  kTier,       // second-tier cache failure (cold) or degradation (slow)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -38,12 +39,19 @@ const char* FaultKindName(FaultKind kind);
 inline constexpr int kStatsDropAll = 1;
 inline constexpr int kStatsPartial = 2;
 
+// Tier fault modes carried by kTier events: fail drops the tier's
+// contents and serves nothing until reverted (recovery is cold);
+// degrade multiplies every tier-2 hit's service time by `factor`.
+inline constexpr int kTierFail = 1;
+inline constexpr int kTierDegrade = 2;
+
 // One scheduled fault. Which fields matter depends on `kind`:
 //   kCrash:     replica, restart_after (< 0 = never restarted)
 //   kDisk:      server, factor, duration (<= 0 = permanent)
 //   kSlow:      replica, factor, duration
 //   kStats:     replica, stats_mode, duration
 //   kMigration: delay_seconds, fail_rate, duration
+//   kTier:      replica, tier_mode, factor (degrade only), duration
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   SimTime time = 0;
@@ -53,6 +61,7 @@ struct FaultEvent {
   double duration = 0;
   double restart_after = -1;
   int stats_mode = kStatsDropAll;
+  int tier_mode = 0;  // required for kTier: kTierFail or kTierDegrade
   double delay_seconds = 0;
   double fail_rate = 0;
 };
@@ -67,6 +76,8 @@ struct FaultEvent {
 //   slow@200:replica=0,factor=3,duration=100
 //   stats@250:replica=0,mode=drop,duration=50
 //   migration@100:delay=5,fail=0.5,duration=300
+//   tier@150:replica=0,mode=fail,duration=60
+//   tier@150:replica=0,mode=degrade,factor=10,duration=60
 struct FaultSpec {
   std::vector<FaultEvent> events;
 
@@ -94,6 +105,9 @@ struct RandomFaultProfile {
   int slowdowns = 1;
   int stats_dropouts = 1;
   int migration_windows = 1;
+  // Off by default: pre-tier seeds must keep expanding to the
+  // byte-identical schedules they always did.
+  int tier_faults = 0;
   double min_time_fraction = 0.2;
   double max_time_fraction = 0.8;
 };
@@ -118,6 +132,13 @@ class FaultBackend {
   virtual bool SetReplicaSlowdown(int replica_id, double factor) = 0;
   // mode: 0 = none (restore), kStatsDropAll, kStatsPartial.
   virtual bool SetStatsDropout(int replica_id, int mode) = 0;
+  // mode: 0 = restore, kTierFail, kTierDegrade (`factor` scales tier-2
+  // hit latency). Defaulted — not pure — so backends predating the
+  // tier keep compiling; the default reports "target does not exist".
+  virtual bool SetTierFault(int /*replica_id*/, int /*mode*/,
+                            double /*factor*/) {
+    return false;
+  }
 };
 
 class FaultInjector {

@@ -6,7 +6,7 @@
 namespace fglb {
 
 ArcBufferPool::ArcBufferPool(uint64_t capacity_pages)
-    : capacity_(capacity_pages) {}
+    : PageCache(capacity_pages) {}
 
 std::list<PageId>& ArcBufferPool::ListOf(List which) {
   switch (which) {
@@ -45,6 +45,7 @@ void ArcBufferPool::Replace(bool ghost_hit_in_b2) {
   const PageId victim = from_t1 ? t1_.back() : t2_.back();
   MoveTo(victim, map_.at(victim), from_t1 ? List::kB1 : List::kB2);
   ++stats_.evictions;
+  NotifyEvicted(victim);
 }
 
 bool ArcBufferPool::Access(PageId page) {
@@ -88,8 +89,10 @@ bool ArcBufferPool::Access(PageId page) {
       Replace(false);
     } else {
       // B1 empty and T1 full: the LRU of T1 leaves without a ghost.
+      const PageId victim = t1_.back();
       DropLru(List::kT1);
       ++stats_.evictions;
+      NotifyEvicted(victim);
     }
   } else if (t1_.size() + b1_.size() < c &&
              t1_.size() + t2_.size() + b1_.size() + b2_.size() >= c) {
@@ -125,6 +128,54 @@ bool ArcBufferPool::Insert(PageId page) {
   map_[page] = Slot{List::kT1, std::prev(t1_.end())};
   ++stats_.prefetch_inserts;
   return true;
+}
+
+bool ArcBufferPool::Erase(PageId page) {
+  auto it = map_.find(page);
+  if (it == map_.end() ||
+      (it->second.where != List::kT1 && it->second.where != List::kT2)) {
+    return false;
+  }
+  ListOf(it->second.where).erase(it->second.it);
+  map_.erase(it);
+  return true;
+}
+
+void ArcBufferPool::Resize(uint64_t capacity_pages) {
+  capacity_ = capacity_pages;
+  if (capacity_ == 0) {
+    for (PageId page : t1_) {
+      ++stats_.evictions;
+      NotifyEvicted(page);
+    }
+    for (PageId page : t2_) {
+      ++stats_.evictions;
+      NotifyEvicted(page);
+    }
+    t1_.clear();
+    t2_.clear();
+    b1_.clear();
+    b2_.clear();
+    map_.clear();
+    p_ = 0;
+    return;
+  }
+  p_ = std::min(p_, capacity_);
+  while (t1_.size() + t2_.size() > capacity_) Replace(false);
+  while (t1_.size() + b1_.size() > capacity_ && !b1_.empty()) {
+    DropLru(List::kB1);
+  }
+  while (map_.size() > 2 * capacity_ && !b2_.empty()) DropLru(List::kB2);
+  while (map_.size() > 2 * capacity_ && !b1_.empty()) DropLru(List::kB1);
+}
+
+void ArcBufferPool::Clear() {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  map_.clear();
+  p_ = 0;
 }
 
 }  // namespace fglb

@@ -6,8 +6,8 @@
 #include <list>
 #include <unordered_map>
 
-#include "storage/buffer_pool.h"
 #include "storage/page.h"
+#include "storage/page_cache.h"
 
 namespace fglb {
 
@@ -22,34 +22,43 @@ namespace fglb {
 // *not* satisfy the inclusion property, so the paper's Mattson-based
 // MRC predictions are approximate for it; bench_ablation_replacement
 // quantifies that gap for the quota planner.
-class ArcBufferPool {
+class ArcBufferPool : public PageCache {
  public:
   explicit ArcBufferPool(uint64_t capacity_pages);
 
   // References `page`. Returns true on hit (page was in T1 or T2).
   // On a miss the page is brought in (unless capacity is zero),
   // adapting `p` when the page id is remembered in a ghost list.
-  bool Access(PageId page);
+  bool Access(PageId page) override;
 
   // Read-ahead landing: installs the page at the cold (LRU) end of T1
   // without counting an access, touching the ghost lists or adapting —
   // the prefetched page is first in line for eviction unless actually
   // used, mirroring the CLOCK pool's clear-reference-bit landing.
   // Returns true if the page was brought in.
-  bool Insert(PageId page);
+  bool Insert(PageId page) override;
 
-  bool Contains(PageId page) const {
+  bool Contains(PageId page) const override {
     auto it = map_.find(page);
     return it != map_.end() &&
            (it->second.where == List::kT1 || it->second.where == List::kT2);
   }
 
-  uint64_t capacity() const { return capacity_; }
-  uint64_t resident_pages() const { return t1_.size() + t2_.size(); }
+  bool Erase(PageId page) override;
+
+  // Shrinks or grows the cache. Shrinking replays ARC's own REPLACE
+  // until residency fits, then trims the ghost directory back under
+  // its |T1|+|B1| <= c and total <= 2c invariants.
+  void Resize(uint64_t capacity_pages) override;
+
+  void Clear() override;
+
+  uint64_t resident_pages() const override {
+    return t1_.size() + t2_.size();
+  }
+
   // Current adaptation target for |T1| (observable for tests).
   uint64_t target_t1() const { return p_; }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
 
  private:
   enum class List : uint8_t { kT1, kT2, kB1, kB2 };
@@ -68,11 +77,9 @@ class ArcBufferPool {
   // evicting from T1 on the |T1| == p boundary, per the paper.
   void Replace(bool ghost_hit_in_b2);
 
-  uint64_t capacity_;
   uint64_t p_ = 0;  // adaptation target for |T1|
   std::list<PageId> t1_, t2_, b1_, b2_;  // front = MRU
   std::unordered_map<PageId, Slot> map_;
-  BufferPoolStats stats_;
 };
 
 }  // namespace fglb

@@ -2,7 +2,7 @@
 
 namespace fglb {
 
-BufferPool::BufferPool(uint64_t capacity_pages) : capacity_(capacity_pages) {}
+BufferPool::BufferPool(uint64_t capacity_pages) : PageCache(capacity_pages) {}
 
 bool BufferPool::Access(PageId page) {
   ++stats_.accesses;
@@ -32,6 +32,14 @@ bool BufferPool::Insert(PageId page) {
 
 bool BufferPool::Contains(PageId page) const { return map_.contains(page); }
 
+bool BufferPool::Erase(PageId page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
 void BufferPool::Resize(uint64_t capacity_pages) {
   capacity_ = capacity_pages;
   EvictIfNeeded();
@@ -44,9 +52,11 @@ void BufferPool::Clear() {
 
 void BufferPool::EvictIfNeeded() {
   while (map_.size() > capacity_) {
-    map_.erase(lru_.back());
+    const PageId victim = lru_.back();
+    map_.erase(victim);
     lru_.pop_back();
     ++stats_.evictions;
+    NotifyEvicted(victim);
   }
 }
 

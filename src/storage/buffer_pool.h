@@ -6,66 +6,48 @@
 #include <unordered_map>
 
 #include "storage/page.h"
+#include "storage/page_cache.h"
 
 namespace fglb {
-
-// Cumulative counters for one buffer pool (or pool partition).
-struct BufferPoolStats {
-  uint64_t accesses = 0;
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t prefetch_inserts = 0;
-
-  double hit_ratio() const {
-    return accesses > 0 ? static_cast<double>(hits) / accesses : 0.0;
-  }
-  double miss_ratio() const {
-    return accesses > 0 ? static_cast<double>(misses) / accesses : 0.0;
-  }
-};
 
 // LRU page cache modeling one InnoDB buffer pool (or one partition of
 // it). Purely a containment simulator: it answers hit/miss and tracks
 // counters; I/O timing for misses is the disk model's job.
-class BufferPool {
+class BufferPool : public PageCache {
  public:
   explicit BufferPool(uint64_t capacity_pages);
 
   // References `page`, promoting it to most-recently-used. Returns true
   // on a hit. On a miss the page is brought in, evicting the LRU page
   // if the pool is full.
-  bool Access(PageId page);
+  bool Access(PageId page) override;
 
   // Inserts a page without counting an access (read-ahead landing).
   // Returns true if the page was actually brought in; no-op returning
   // false if already resident (residency is refreshed to MRU by real
   // accesses only, matching InnoDB's treatment of prefetched pages).
   // A zero-capacity pool also returns false.
-  bool Insert(PageId page);
+  bool Insert(PageId page) override;
 
-  bool Contains(PageId page) const;
+  bool Contains(PageId page) const override;
+
+  bool Erase(PageId page) override;
 
   // Shrinks or grows the pool, evicting LRU pages as needed. A zero
   // capacity pool misses every access and caches nothing.
-  void Resize(uint64_t capacity_pages);
+  void Resize(uint64_t capacity_pages) override;
 
   // Drops all resident pages (counters are retained).
-  void Clear();
+  void Clear() override;
 
-  uint64_t capacity() const { return capacity_; }
-  uint64_t resident_pages() const { return map_.size(); }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  uint64_t resident_pages() const override { return map_.size(); }
 
  private:
   void EvictIfNeeded();
 
-  uint64_t capacity_;
   // Front = most recently used.
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator> map_;
-  BufferPoolStats stats_;
 };
 
 }  // namespace fglb

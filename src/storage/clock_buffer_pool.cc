@@ -1,11 +1,12 @@
 #include "storage/clock_buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fglb {
 
 ClockBufferPool::ClockBufferPool(uint64_t capacity_pages)
-    : capacity_(capacity_pages), frames_(capacity_pages) {}
+    : PageCache(capacity_pages), frames_(capacity_pages) {}
 
 size_t ClockBufferPool::FindVictim() {
   assert(capacity_ > 0);
@@ -29,8 +30,10 @@ size_t ClockBufferPool::FindVictim() {
 void ClockBufferPool::InstallAt(size_t index, PageId page, bool referenced) {
   Frame& frame = frames_[index];
   if (frame.occupied) {
-    map_.erase(frame.page);
+    const PageId victim = frame.page;
+    map_.erase(victim);
     ++stats_.evictions;
+    NotifyEvicted(victim);
   }
   frame.page = page;
   frame.occupied = true;
@@ -58,6 +61,50 @@ bool ClockBufferPool::Insert(PageId page) {
   ++stats_.prefetch_inserts;
   InstallAt(FindVictim(), page, /*referenced=*/false);
   return true;
+}
+
+bool ClockBufferPool::Erase(PageId page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return false;
+  frames_[it->second] = Frame{};
+  map_.erase(it);
+  return true;
+}
+
+void ClockBufferPool::Resize(uint64_t capacity_pages) {
+  // Collect residents hand-first: the frames the hand reaches soonest
+  // are the next eviction candidates, so when shrinking those are the
+  // ones to let go.
+  std::vector<Frame> resident;
+  resident.reserve(map_.size());
+  if (!frames_.empty()) {
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      const Frame& frame = frames_[(hand_ + i) % frames_.size()];
+      if (frame.occupied) resident.push_back(frame);
+    }
+  }
+  capacity_ = capacity_pages;
+  const size_t keep_from = resident.size() > capacity_pages
+                               ? resident.size() - capacity_pages
+                               : 0;
+  for (size_t i = 0; i < keep_from; ++i) {
+    ++stats_.evictions;
+    NotifyEvicted(resident[i].page);
+  }
+  frames_.assign(capacity_pages, Frame{});
+  map_.clear();
+  hand_ = 0;
+  for (size_t i = keep_from; i < resident.size(); ++i) {
+    const size_t index = i - keep_from;
+    frames_[index] = resident[i];
+    map_[resident[i].page] = index;
+  }
+}
+
+void ClockBufferPool::Clear() {
+  std::fill(frames_.begin(), frames_.end(), Frame{});
+  map_.clear();
+  hand_ = 0;
 }
 
 }  // namespace fglb

@@ -6,8 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "storage/buffer_pool.h"
 #include "storage/page.h"
+#include "storage/page_cache.h"
 
 namespace fglb {
 
@@ -19,24 +19,30 @@ namespace fglb {
 // bench_ablation_replacement binary quantifies that gap — the
 // sensitivity of the paper's whole memory-diagnosis pipeline to its
 // LRU assumption.
-class ClockBufferPool {
+class ClockBufferPool : public PageCache {
  public:
   explicit ClockBufferPool(uint64_t capacity_pages);
 
   // References `page`, setting its reference bit. Returns true on hit.
-  bool Access(PageId page);
+  bool Access(PageId page) override;
 
   // Read-ahead landing: installs the page with a clear reference bit
   // (first in line for eviction unless actually used). Returns true if
   // the page was brought in.
-  bool Insert(PageId page);
+  bool Insert(PageId page) override;
 
-  bool Contains(PageId page) const { return map_.contains(page); }
+  bool Contains(PageId page) const override { return map_.contains(page); }
 
-  uint64_t capacity() const { return capacity_; }
-  uint64_t resident_pages() const { return map_.size(); }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  bool Erase(PageId page) override;
+
+  // Rebuilds the frame table at the new capacity, keeping the pages
+  // furthest from the hand (the ones CLOCK would have evicted last)
+  // when shrinking. The hand restarts at frame 0.
+  void Resize(uint64_t capacity_pages) override;
+
+  void Clear() override;
+
+  uint64_t resident_pages() const override { return map_.size(); }
 
  private:
   struct Frame {
@@ -50,11 +56,9 @@ class ClockBufferPool {
   size_t FindVictim();
   void InstallAt(size_t index, PageId page, bool referenced);
 
-  uint64_t capacity_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> map_;
   size_t hand_ = 0;
-  BufferPoolStats stats_;
 };
 
 }  // namespace fglb

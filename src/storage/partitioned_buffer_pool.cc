@@ -2,10 +2,50 @@
 
 #include <cassert>
 
+#include "storage/arc_buffer_pool.h"
+#include "storage/buffer_pool.h"
+#include "storage/clock_buffer_pool.h"
+
 namespace fglb {
 
-PartitionedBufferPool::PartitionedBufferPool(uint64_t capacity_pages)
-    : capacity_(capacity_pages), shared_(capacity_pages) {}
+PartitionedBufferPool::PartitionedBufferPool(uint64_t capacity_pages,
+                                             ReplacementPolicy policy)
+    : capacity_(capacity_pages),
+      policy_(policy),
+      shared_(MakePool(kSharedPartition, capacity_pages)) {}
+
+std::unique_ptr<PageCache> PartitionedBufferPool::MakePool(
+    PartitionKey key, uint64_t capacity_pages) const {
+  std::unique_ptr<PageCache> pool;
+  switch (policy_) {
+    case ReplacementPolicy::kLru:
+      pool = std::make_unique<BufferPool>(capacity_pages);
+      break;
+    case ReplacementPolicy::kClock:
+      pool = std::make_unique<ClockBufferPool>(capacity_pages);
+      break;
+    case ReplacementPolicy::kArc:
+      pool = std::make_unique<ArcBufferPool>(capacity_pages);
+      break;
+  }
+  BindSink(key, pool.get());
+  return pool;
+}
+
+void PartitionedBufferPool::BindSink(PartitionKey key, PageCache* pool) const {
+  if (listener_) {
+    pool->set_eviction_sink(
+        [listener = listener_, key](PageId page) { listener(key, page); });
+  } else {
+    pool->set_eviction_sink(nullptr);
+  }
+}
+
+void PartitionedBufferPool::SetEvictionListener(EvictionListener listener) {
+  listener_ = std::move(listener);
+  BindSink(kSharedPartition, shared_.get());
+  for (auto& [key, pool] : dedicated_) BindSink(key, pool.get());
+}
 
 bool PartitionedBufferPool::SetQuota(PartitionKey key, uint64_t quota_pages) {
   assert(key != kSharedPartition);
@@ -16,10 +56,10 @@ bool PartitionedBufferPool::SetQuota(PartitionKey key, uint64_t quota_pages) {
   if (it != dedicated_.end()) {
     it->second->Resize(quota_pages);
   } else {
-    dedicated_.emplace(key, std::make_unique<BufferPool>(quota_pages));
+    dedicated_.emplace(key, MakePool(key, quota_pages));
   }
   dedicated_total_ = new_total;
-  shared_.Resize(capacity_ - dedicated_total_);
+  shared_->Resize(capacity_ - dedicated_total_);
   return true;
 }
 
@@ -28,7 +68,7 @@ void PartitionedBufferPool::DropQuota(PartitionKey key) {
   if (it == dedicated_.end()) return;
   dedicated_total_ -= it->second->capacity();
   dedicated_.erase(it);
-  shared_.Resize(capacity_ - dedicated_total_);
+  shared_->Resize(capacity_ - dedicated_total_);
 }
 
 bool PartitionedBufferPool::HasQuota(PartitionKey key) const {
@@ -40,9 +80,14 @@ uint64_t PartitionedBufferPool::QuotaOf(PartitionKey key) const {
   return it != dedicated_.end() ? it->second->capacity() : 0;
 }
 
-BufferPool* PartitionedBufferPool::PoolFor(PartitionKey key) {
+PageCache* PartitionedBufferPool::PoolFor(PartitionKey key) {
   auto it = dedicated_.find(key);
-  return it != dedicated_.end() ? it->second.get() : &shared_;
+  return it != dedicated_.end() ? it->second.get() : shared_.get();
+}
+
+const PageCache* PartitionedBufferPool::PoolFor(PartitionKey key) const {
+  auto it = dedicated_.find(key);
+  return it != dedicated_.end() ? it->second.get() : shared_.get();
 }
 
 bool PartitionedBufferPool::Access(PartitionKey key, PageId page) {
@@ -54,14 +99,11 @@ bool PartitionedBufferPool::Insert(PartitionKey key, PageId page) {
 }
 
 bool PartitionedBufferPool::Contains(PartitionKey key, PageId page) const {
-  auto it = dedicated_.find(key);
-  const BufferPool& pool = it != dedicated_.end() ? *it->second : shared_;
-  return pool.Contains(page);
+  return PoolFor(key)->Contains(page);
 }
 
 const BufferPoolStats& PartitionedBufferPool::StatsOf(PartitionKey key) const {
-  auto it = dedicated_.find(key);
-  return it != dedicated_.end() ? it->second->stats() : shared_.stats();
+  return PoolFor(key)->stats();
 }
 
 std::vector<PartitionKey> PartitionedBufferPool::DedicatedKeys() const {
@@ -72,14 +114,14 @@ std::vector<PartitionKey> PartitionedBufferPool::DedicatedKeys() const {
 }
 
 void PartitionedBufferPool::ResetStats() {
-  shared_.ResetStats();
+  shared_->ResetStats();
   for (auto& [key, pool] : dedicated_) pool->ResetStats();
 }
 
 namespace {
 
 void PublishPool(MetricsRegistry* registry, const std::string& prefix,
-                 const BufferPool& pool) {
+                 const PageCache& pool) {
   const BufferPoolStats& stats = pool.stats();
   registry->counter(prefix + "accesses")->Set(stats.accesses);
   registry->counter(prefix + "hits")->Set(stats.hits);
@@ -98,7 +140,7 @@ void PublishPool(MetricsRegistry* registry, const std::string& prefix,
 void PartitionedBufferPool::PublishMetrics(MetricsRegistry* registry,
                                            const std::string& prefix) const {
   if (registry == nullptr) return;
-  PublishPool(registry, prefix + "shared.", shared_);
+  PublishPool(registry, prefix + "shared.", *shared_);
   registry->gauge(prefix + "partitions")
       ->Set(static_cast<double>(dedicated_.size()));
   registry->gauge(prefix + "dedicated_pages")

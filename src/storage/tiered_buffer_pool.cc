@@ -1,0 +1,211 @@
+#include "storage/tiered_buffer_pool.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fglb {
+
+namespace {
+
+void Append(std::string* out, const char* format, ...) {
+  char buffer[128];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out += buffer;
+}
+
+bool ParseNumber(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string TierConfig::ToString() const {
+  if (!enabled()) return "";
+  std::string out;
+  Append(&out, "pages=%llu", static_cast<unsigned long long>(pages));
+  Append(&out, ",read_us=%g", read_us);
+  Append(&out, ",demote=%d", demote ? 1 : 0);
+  return out;
+}
+
+bool TierConfig::Parse(const std::string& text, TierConfig* config,
+                       std::string* error) {
+  TierConfig parsed;
+  if (text.empty()) {
+    *config = parsed;  // tier absent
+    return true;
+  }
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string field =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      if (error != nullptr) *error = "tier spec field without '=': " + field;
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    double num = 0;
+    if (!ParseNumber(value, &num)) {
+      if (error != nullptr) {
+        *error = "tier spec value for " + key + " is not a number: " + value;
+      }
+      return false;
+    }
+    if (key == "pages") {
+      if (num < 0 || num != static_cast<uint64_t>(num)) {
+        if (error != nullptr) *error = "tier spec pages must be a non-negative integer";
+        return false;
+      }
+      parsed.pages = static_cast<uint64_t>(num);
+    } else if (key == "read_us") {
+      if (num <= 0) {
+        if (error != nullptr) *error = "tier spec read_us must be positive";
+        return false;
+      }
+      parsed.read_us = num;
+    } else if (key == "demote") {
+      if (num != 0 && num != 1) {
+        if (error != nullptr) *error = "tier spec demote must be 0 or 1";
+        return false;
+      }
+      parsed.demote = num != 0;
+    } else {
+      if (error != nullptr) *error = "unknown tier spec key: " + key;
+      return false;
+    }
+  }
+  *config = parsed;
+  return true;
+}
+
+TieredBufferPool::TieredBufferPool(const TierConfig& config)
+    : config_(config), shared_(config.pages) {}
+
+BufferPool* TieredBufferPool::PoolFor(PartitionKey key) {
+  auto it = dedicated_.find(key);
+  return it != dedicated_.end() ? it->second.get() : &shared_;
+}
+
+const BufferPool* TieredBufferPool::PoolFor(PartitionKey key) const {
+  auto it = dedicated_.find(key);
+  return it != dedicated_.end() ? it->second.get() : &shared_;
+}
+
+bool TieredBufferPool::SetQuota(PartitionKey key, uint64_t quota_pages) {
+  if (key == kSharedPartition) return false;
+  auto it = dedicated_.find(key);
+  const uint64_t current = it != dedicated_.end() ? it->second->capacity() : 0;
+  const uint64_t new_total = dedicated_total_ - current + quota_pages;
+  if (new_total > config_.pages) return false;
+  if (it != dedicated_.end()) {
+    it->second->Resize(quota_pages);
+  } else {
+    dedicated_.emplace(key, std::make_unique<BufferPool>(quota_pages));
+  }
+  dedicated_total_ = new_total;
+  shared_.Resize(config_.pages - dedicated_total_);
+  return true;
+}
+
+void TieredBufferPool::DropQuota(PartitionKey key) {
+  auto it = dedicated_.find(key);
+  if (it == dedicated_.end()) return;
+  dedicated_total_ -= it->second->capacity();
+  dedicated_.erase(it);
+  shared_.Resize(config_.pages - dedicated_total_);
+}
+
+uint64_t TieredBufferPool::QuotaOf(PartitionKey key) const {
+  auto it = dedicated_.find(key);
+  return it != dedicated_.end() ? it->second->capacity() : 0;
+}
+
+void TieredBufferPool::Demote(PartitionKey key, PageId page) {
+  if (failed_ || !config_.demote) {
+    ++dropped_demotions_;
+    return;
+  }
+  if (PoolFor(key)->Insert(page)) ++demotions_;
+}
+
+bool TieredBufferPool::PromoteHit(PartitionKey key, PageId page) {
+  if (failed_) {
+    ++tier_misses_;
+    return false;
+  }
+  auto it = dedicated_.find(key);
+  if (it != dedicated_.end() && it->second->Erase(page)) {
+    ++promotions_;
+    return true;
+  }
+  if (shared_.Erase(page)) {
+    ++promotions_;
+    return true;
+  }
+  ++tier_misses_;
+  return false;
+}
+
+bool TieredBufferPool::Contains(PartitionKey key, PageId page) const {
+  if (failed_) return false;
+  auto it = dedicated_.find(key);
+  if (it != dedicated_.end() && it->second->Contains(page)) return true;
+  return shared_.Contains(page);
+}
+
+void TieredBufferPool::SetFailed(bool failed) {
+  if (failed && !failed_) {
+    // Device loss: residency is gone, recovery starts cold.
+    shared_.Clear();
+    for (auto& [key, pool] : dedicated_) pool->Clear();
+  }
+  failed_ = failed;
+}
+
+uint64_t TieredBufferPool::resident_pages() const {
+  uint64_t total = shared_.resident_pages();
+  for (const auto& [key, pool] : dedicated_) total += pool->resident_pages();
+  return total;
+}
+
+void TieredBufferPool::PublishMetrics(MetricsRegistry* registry,
+                                      const std::string& prefix) const {
+  if (registry == nullptr) return;
+  registry->counter(prefix + "demotions")->Set(demotions_);
+  registry->counter(prefix + "dropped_demotions")->Set(dropped_demotions_);
+  registry->counter(prefix + "promotions")->Set(promotions_);
+  registry->counter(prefix + "misses")->Set(tier_misses_);
+  registry->gauge(prefix + "capacity_pages")
+      ->Set(static_cast<double>(config_.pages));
+  registry->gauge(prefix + "resident_pages")
+      ->Set(static_cast<double>(resident_pages()));
+  registry->gauge(prefix + "dedicated_pages")
+      ->Set(static_cast<double>(dedicated_total_));
+  registry->gauge(prefix + "partitions")
+      ->Set(static_cast<double>(dedicated_.size()));
+  registry->gauge(prefix + "latency_factor")->Set(latency_factor_);
+  registry->gauge(prefix + "failed")->Set(failed_ ? 1.0 : 0.0);
+  for (const auto& [key, pool] : dedicated_) {
+    const std::string part =
+        prefix + "class_" + std::to_string(key >> 32) + "_" +
+        std::to_string(key & 0xFFFFFFFFULL) + ".";
+    registry->gauge(part + "quota_pages")
+        ->Set(static_cast<double>(pool->capacity()));
+    registry->gauge(part + "resident_pages")
+        ->Set(static_cast<double>(pool->resident_pages()));
+  }
+}
+
+}  // namespace fglb

@@ -150,6 +150,55 @@ fi
   --spans-out="${SMOKE_DIR}/spans-replay.json"
 cmp "${SMOKE_DIR}/spans.json" "${SMOKE_DIR}/spans-replay.json"
 
+echo "=== tiered smoke: second tier, demote rung, replay byte-identity ==="
+# A tier-thrash run must answer the squeeze with the demote rung
+# instead of a migration, stamp tier fields on its phase=mrc events,
+# count the demotes in the summary, and — because the tier spec rides
+# in the FGLBCAP1 header — replay byte-identically (action projection
+# exactly, mrc modulo the wall-clock dur_us field).
+"./${PREFIX}/tools/fglb_sim" --scenario=tier-thrash --duration=450 \
+  --log-level=quiet --capture-out="${SMOKE_DIR}/tier.fglbcap" \
+  --trace-out="${SMOKE_DIR}/tier.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier.jsonl" --check
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier.jsonl" \
+  --phase=action | grep -q '\[demote\]'
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier.jsonl" \
+  --phase=mrc | grep -q '"tier2_pages"'
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier.jsonl" --summary \
+  | grep -q 'demote'
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/tier.fglbcap" \
+  --trace-out="${SMOKE_DIR}/tier-replay.jsonl"
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier.jsonl" \
+         --phase=action) \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier-replay.jsonl" \
+         --phase=action)
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier.jsonl" \
+         --phase=mrc | sed 's/"dur_us":[0-9.]*,//') \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier-replay.jsonl" \
+         --phase=mrc | sed 's/"dur_us":[0-9.]*,//')
+# Same contract with the tier itself failing and degrading mid-run.
+"./${PREFIX}/tools/fglb_sim" --scenario=tier-fail --duration=450 \
+  --fault-seed=7 --log-level=quiet \
+  --capture-out="${SMOKE_DIR}/tier-fail.fglbcap" \
+  --trace-out="${SMOKE_DIR}/tier-fail.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier-fail.jsonl" --check
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/tier-fail.fglbcap" \
+  --trace-out="${SMOKE_DIR}/tier-fail-replay.jsonl"
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/tier-fail.jsonl" \
+         --phase=action) \
+     <("./${PREFIX}/tools/fglb_tracecat" \
+         "${SMOKE_DIR}/tier-fail-replay.jsonl" --phase=action)
+# A partial/nonsensical tier-field set on a phase=mrc event must be
+# rejected by --check with a non-zero exit.
+printf '%s\n' \
+  '{"v":1,"seq":0,"mono_us":1,"phase":"mrc","t":0,"tier2_pages":64,"tier2_resident":128,"tier2_read_us":100}' \
+  > "${SMOKE_DIR}/broken-tier.jsonl"
+if "./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/broken-tier.jsonl" \
+  --check 2>/dev/null; then
+  echo "fglb_tracecat accepted a malformed tier spec" >&2
+  exit 1
+fi
+
 echo "=== DES kernel smoke: calendar queue vs legacy heap ==="
 # Small event budgets, but the full old-vs-new comparison: the run
 # exits non-zero if the calendar queue is slower than the heap on the
@@ -165,10 +214,11 @@ cmake -B "${PREFIX}-asan" -S . -DFGLB_SANITIZE=address-undefined >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}" \
   --target admission_test scheduler_consistency_test failure_injection_test \
   sim_determinism_test scale_replay_test span_tracer_test \
-  streaming_mrc_test opt_oracle_test arc_buffer_pool_test fglb_sim_cli \
+  streaming_mrc_test opt_oracle_test arc_buffer_pool_test \
+  tiered_buffer_pool_test tiered_replay_test fglb_sim_cli \
   fglb_tracecat
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay|SpanConfig|SpanTracer|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|ArcBufferPool|ReplacementPolicy'
+  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay|SpanConfig|SpanTracer|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|ArcBufferPool|ReplacementPolicy|TierConfig|TieredBufferPool|TieredReplay|QuotaPlannerTiered|MissRatioCurveTier'
 "./${PREFIX}-asan/tools/fglb_sim" --scenario=overload --duration=180 \
   --log-level=quiet --trace-out="${SMOKE_DIR}/overload-asan.jsonl" >/dev/null
 "./${PREFIX}-asan/tools/fglb_tracecat" "${SMOKE_DIR}/overload-asan.jsonl" \
@@ -181,8 +231,8 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
   metrics_registry_test trace_log_test observability_integration_test \
   span_tracer_test fault_injector_test chaos_soak_test replay_codec_test \
   replay_test sim_determinism_test scale_replay_test \
-  streaming_mrc_test opt_oracle_test
+  streaming_mrc_test opt_oracle_test tiered_replay_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|MaxGauge|LatencyHistogram|TraceLog|Observability|SpanConfig|SpanTracer|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|MaxGauge|LatencyHistogram|TraceLog|Observability|SpanConfig|SpanTracer|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|TieredReplay'
 
 echo "CI OK"

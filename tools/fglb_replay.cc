@@ -160,6 +160,12 @@ void PrintSummary(const Capture& capture) {
   std::printf("  controller          mrc-sample-rate=%g "
               "max-migrations/interval=%d\n",
               info.mrc_sample_rate, info.max_migrations_per_interval);
+  if (!info.tier_spec.empty() || !info.replacement_spec.empty()) {
+    std::printf("  buffer hierarchy    tier=%s replacement=%s\n",
+                info.tier_spec.empty() ? "(none)" : info.tier_spec.c_str(),
+                info.replacement_spec.empty() ? "lru"
+                                              : info.replacement_spec.c_str());
+  }
   std::printf("  topology            %zu servers, %zu apps, %zu replicas\n",
               capture.topology.servers.size(), capture.topology.apps.size(),
               capture.topology.replicas.size());

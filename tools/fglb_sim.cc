@@ -17,6 +17,8 @@
 #include "scenarios/cli_options.h"
 #include "scenarios/harness.h"
 #include "scenarios/report.h"
+#include "storage/replacement_policy.h"
+#include "storage/tiered_buffer_pool.h"
 #include "workload/rubis.h"
 #include "workload/tpcw.h"
 
@@ -112,6 +114,45 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
                                   EmulatorOptions(options, clients));
       break;
     }
+    case CliOptions::Scenario::kTierThrash:
+    case CliOptions::Scenario::kTierFail: {
+      // The consolidation squeeze, but the engines carry a second
+      // tier: where the tierless run reschedules the arriving heavy
+      // RUBiS class to another replica, here the cheaper rung is to
+      // cap its DRAM quota and demote the working-set overflow into
+      // the tier.
+      Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+      RubisOptions rubis_options;
+      rubis_options.app_id = 2;
+      Scheduler* rubis = harness->AddApplication(MakeRubis(rubis_options));
+      Replica* shared = harness->resources().CreateReplica(first, 8192);
+      tpcw->AddReplica(shared);
+      rubis->AddReplica(shared);
+      harness->AddConstantClients(tpcw, tpcw_clients, options.seed,
+                                  EmulatorOptions(options, tpcw_clients));
+      // A sharper arrival than consolidation's: the squeeze must break
+      // SLA within a controller interval of the step, while the heavy
+      // class is still a suspect rather than an adopted baseline (the
+      // tier's own cushioning otherwise delays the violation past the
+      // stability window and the diagnosis clears everyone).
+      const double rubis_step = 4.0 / 3.0 * rubis_clients;
+      harness->AddClients(
+          rubis,
+          std::make_unique<StepLoad>(std::vector<std::pair<SimTime, double>>{
+              {options.duration_seconds / 3, rubis_step}}),
+          options.seed + 1, EmulatorOptions(options, rubis_step));
+      break;
+    }
+    case CliOptions::Scenario::kColdStart: {
+      // Steady TPC-W on a half-size DRAM pool with everything cold at
+      // t=0: the tier fills via demotions and then absorbs misses the
+      // shrunken DRAM can no longer hold.
+      Scheduler* tpcw = harness->AddApplication(MakeTpcw());
+      tpcw->AddReplica(harness->resources().CreateReplica(first, 4096));
+      harness->AddConstantClients(tpcw, tpcw_clients, options.seed,
+                                  EmulatorOptions(options, tpcw_clients));
+      break;
+    }
     case CliOptions::Scenario::kChaosReplica:
     case CliOptions::Scenario::kChaosDisk: {
       // Consolidation topology plus a second TPC-W replica so a crash
@@ -146,6 +187,9 @@ const char* ScenarioName(CliOptions::Scenario scenario) {
     case CliOptions::Scenario::kChaosReplica: return "chaos-replica";
     case CliOptions::Scenario::kChaosDisk: return "chaos-disk";
     case CliOptions::Scenario::kOverload: return "overload";
+    case CliOptions::Scenario::kTierThrash: return "tier-thrash";
+    case CliOptions::Scenario::kTierFail: return "tier-fail";
+    case CliOptions::Scenario::kColdStart: return "cold-start";
   }
   return "unknown";
 }
@@ -169,6 +213,15 @@ std::string DefaultFaultSpec(const CliOptions& options) {
                     "disk@%.0f:server=0,factor=8,duration=%.0f;"
                     "slow@%.0f:replica=0,factor=3,duration=%.0f",
                     d / 3, d / 6, d / 2, d / 6);
+      return buf;
+    case CliOptions::Scenario::kTierFail:
+      // The SSD tier dies cold mid-run, then recovers and later merely
+      // degrades (hits land but cost 10x).
+      std::snprintf(buf, sizeof(buf),
+                    "tier@%.0f:replica=0,mode=fail,duration=%.0f;"
+                    "tier@%.0f:replica=0,mode=degrade,factor=10,"
+                    "duration=%.0f",
+                    d / 3, d / 6, 2 * d / 3, d / 6);
       return buf;
     default:
       return "";
@@ -198,6 +251,21 @@ int main(int argc, char** argv) {
   const bool chaos =
       options.scenario == CliOptions::Scenario::kChaosReplica ||
       options.scenario == CliOptions::Scenario::kChaosDisk;
+  const bool tiered_scenario =
+      options.scenario == CliOptions::Scenario::kTierThrash ||
+      options.scenario == CliOptions::Scenario::kTierFail ||
+      options.scenario == CliOptions::Scenario::kColdStart;
+
+  // Buffer-hierarchy defaults for every engine the run creates. The
+  // tier-* scenarios turn the second tier on even without an explicit
+  // --tier2-pages; any scenario can opt in with the flag.
+  TierConfig tier_config;
+  tier_config.pages = options.tier2_pages;
+  if (tiered_scenario && tier_config.pages == 0) tier_config.pages = 16384;
+  tier_config.read_us = options.tier2_read_us;
+  tier_config.demote = options.tier2_demote;
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  ParseReplacementPolicy(options.replacement, &replacement);  // CLI-validated
 
   SelectiveRetuner::Config retuner_config;
   retuner_config.mrc.analysis_threads = options.mrc_threads;
@@ -209,7 +277,16 @@ int main(int argc, char** argv) {
     // cannot translate into unbounded migrations.
     retuner_config.max_migrations_per_interval = 2;
   }
+  if (options.scenario == CliOptions::Scenario::kColdStart) {
+    // Cold-start runs half-size DRAM pools; replicas the controller
+    // provisions must match.
+    retuner_config.replica_pool_pages = 4096;
+  }
   ClusterHarness harness(retuner_config);
+  harness.resources().set_engine_defaults(replacement, tier_config);
+  if (tier_config.enabled()) {
+    LogInfo("second tier on: %s", tier_config.ToString().c_str());
+  }
   if (!options.trace_out.empty()) {
     std::string trace_error;
     if (!harness.trace().OpenFile(options.trace_out, &trace_error)) {
@@ -301,6 +378,10 @@ int main(int argc, char** argv) {
     info.admission_spec = admission_spec_text;
     info.span_spec = span_spec_text;
     info.mrc_spec = MrcSpecString(retuner_config.mrc);
+    info.tier_spec = tier_config.ToString();
+    info.replacement_spec = replacement == ReplacementPolicy::kLru
+                                ? ""
+                                : ReplacementPolicyName(replacement);
     std::string capture_error;
     if (!capture_writer->Open(options.capture_out, info,
                               SnapshotTopology(harness), &capture_error)) {

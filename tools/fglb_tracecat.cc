@@ -12,8 +12,10 @@
 //
 // `--phase=action` prints the action log in the exact format of the
 // simulator's own table output ("t=... [kind] description"), so the
-// trace can be diffed against it. `--check` exits non-zero on any
-// malformed line or event missing the schema's required fields.
+// trace can be diffed against it (demote actions included). `--check`
+// exits non-zero on any malformed line or event missing the schema's
+// required fields — including a partial or nonsensical tier-field set
+// (tier2_pages/tier2_resident/tier2_read_us) on a phase=mrc event.
 // `--spans` reads a --spans-out Chrome trace_event file instead of a
 // JSONL decision trace and summarizes sampled query spans by segment
 // kind; it exits non-zero if the file is not a well-formed trace array.
