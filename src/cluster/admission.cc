@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/varint.h"
+
 namespace fglb {
 
 namespace {
@@ -444,6 +446,142 @@ void AdmissionController::CloseBreaker(ClassKey key, int replica_id,
   b.probe_successes = 0;
   if (closes_counter_ != nullptr) closes_counter_->Increment();
   EmitBreakerEvent("close", key, replica_id, b);
+}
+
+void AdmissionController::SerializeState(std::string* out) const {
+  PutVarint64(out, apps_.size());
+  for (const auto& [app, state] : apps_) {
+    PutVarint64(out, app);
+    PutFixed64(out, DoubleToBits(state.retry_tokens));
+    PutVarint64(out, state.exhaustion_noted ? 1 : 0);
+  }
+  PutVarint64(out, classes_.size());
+  for (const auto& [key, cs] : classes_) {
+    PutVarint64(out, key);
+    PutVarint64(out, cs.has_estimate ? 1 : 0);
+    PutFixed64(out, DoubleToBits(cs.ewma_normalized));
+  }
+  PutVarint64(out, replicas_.size());
+  for (const auto& [replica, rs] : replicas_) {
+    PutVarint64(out, ZigZagEncode(replica));
+    PutFixed64(out, DoubleToBits(rs.window_end));
+    PutFixed64(out, DoubleToBits(rs.window_min));
+    PutVarint64(out, rs.window_count);
+    PutVarint64(out, ZigZagEncode(rs.keep_count));
+    PutVarint64(out, rs.shed_classes.size());
+    for (ClassKey key : rs.shed_classes) PutVarint64(out, key);
+    PutVarint64(out, rs.breakers.size());
+    for (const auto& [key, b] : rs.breakers) {
+      PutVarint64(out, key);
+      PutVarint64(out, static_cast<uint64_t>(b.state));
+      PutVarint64(out, ZigZagEncode(b.consecutive_failures));
+      PutFixed64(out, DoubleToBits(b.opened_at));
+      PutVarint64(out, ZigZagEncode(b.probes_issued));
+      PutVarint64(out, ZigZagEncode(b.probe_successes));
+    }
+  }
+}
+
+bool AdmissionController::RestoreState(const uint8_t* p,
+                                       const uint8_t* limit) {
+  auto get_u64 = [&p, limit](uint64_t* v) {
+    const size_t n = GetVarint64(p, limit, v);
+    if (n == 0) return false;
+    p += n;
+    return true;
+  };
+  auto get_f64 = [&p, limit](double* v) {
+    uint64_t bits = 0;
+    if (!GetFixed64(p, limit, &bits)) return false;
+    p += 8;
+    *v = BitsToDouble(bits);
+    return true;
+  };
+  std::map<AppId, AppState> apps;
+  std::map<ClassKey, ClassState> classes;
+  std::map<int, ReplicaState> replicas;
+  uint64_t count = 0;
+  if (!get_u64(&count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t app = 0, noted = 0;
+    AppState state;
+    if (!get_u64(&app) || !get_f64(&state.retry_tokens) || !get_u64(&noted)) {
+      return false;
+    }
+    state.exhaustion_noted = noted != 0;
+    apps.emplace(static_cast<AppId>(app), state);
+  }
+  if (!get_u64(&count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key = 0, has = 0;
+    ClassState cs;
+    if (!get_u64(&key) || !get_u64(&has) || !get_f64(&cs.ewma_normalized)) {
+      return false;
+    }
+    cs.has_estimate = has != 0;
+    classes.emplace(key, cs);
+  }
+  if (!get_u64(&count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t replica_zz = 0, keep_zz = 0, n_shed = 0, n_breakers = 0;
+    ReplicaState rs;
+    if (!get_u64(&replica_zz) || !get_f64(&rs.window_end) ||
+        !get_f64(&rs.window_min) || !get_u64(&rs.window_count) ||
+        !get_u64(&keep_zz) || !get_u64(&n_shed)) {
+      return false;
+    }
+    rs.keep_count = static_cast<int>(ZigZagDecode(keep_zz));
+    for (uint64_t s = 0; s < n_shed; ++s) {
+      uint64_t key = 0;
+      if (!get_u64(&key)) return false;
+      rs.shed_classes.insert(key);
+    }
+    if (!get_u64(&n_breakers)) return false;
+    for (uint64_t bi = 0; bi < n_breakers; ++bi) {
+      uint64_t key = 0, state = 0, failures_zz = 0, probes_zz = 0,
+               successes_zz = 0;
+      Breaker b;
+      if (!get_u64(&key) || !get_u64(&state) || !get_u64(&failures_zz) ||
+          !get_f64(&b.opened_at) || !get_u64(&probes_zz) ||
+          !get_u64(&successes_zz) || state > 2) {
+        return false;
+      }
+      b.state = static_cast<BreakerState>(state);
+      b.consecutive_failures = static_cast<int>(ZigZagDecode(failures_zz));
+      b.probes_issued = static_cast<int>(ZigZagDecode(probes_zz));
+      b.probe_successes = static_cast<int>(ZigZagDecode(successes_zz));
+      rs.breakers.emplace(key, b);
+    }
+    replicas.emplace(static_cast<int>(ZigZagDecode(replica_zz)),
+                     std::move(rs));
+  }
+  // Retry buckets land on the registered SLAs (registration is setup
+  // state and survives the crash); unknown apps in the blob register
+  // with the default SLA.
+  for (auto& [app, state] : apps_) {
+    auto it = apps.find(app);
+    if (it != apps.end()) {
+      it->second.sla_latency_seconds = state.sla_latency_seconds;
+    } else {
+      AppState keep = state;
+      keep.retry_tokens = 0;
+      keep.exhaustion_noted = false;
+      apps.emplace(app, keep);
+    }
+  }
+  apps_ = std::move(apps);
+  classes_ = std::move(classes);
+  replicas_ = std::move(replicas);
+  return true;
+}
+
+void AdmissionController::ResetState() {
+  for (auto& [app, state] : apps_) {
+    state.retry_tokens = 0;
+    state.exhaustion_noted = false;
+  }
+  classes_.clear();
+  replicas_.clear();
 }
 
 void AdmissionController::EmitBreakerEvent(const char* kind, ClassKey key,

@@ -135,6 +135,16 @@ class AdmissionController {
   uint64_t shed() const { return shed_total_; }
   double RetryTokens(AppId app) const;
 
+  // --- checkpoint support (FGLBCKPT1) ---
+  // Serializes/restores the control state a controller crash loses:
+  // per-app retry buckets, per-class headroom estimates, per-replica
+  // CoDel windows, shed levels and breakers. Registered SLAs and the
+  // admitted/shed lifetime totals are preserved across a reset (they
+  // are observability history, not control state).
+  void SerializeState(std::string* out) const;
+  bool RestoreState(const uint8_t* p, const uint8_t* limit);
+  void ResetState();
+
  private:
   enum class BreakerState { kClosed, kOpen, kHalfOpen };
 

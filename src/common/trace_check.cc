@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 
 namespace fglb {
 
@@ -11,11 +12,22 @@ std::string LineError(size_t line_number, const std::string& message) {
   return "line " + std::to_string(line_number) + ": " + message;
 }
 
+bool KnownRecoveryWhy(const std::string& why) {
+  return why == "restored" || why == "bad_ckpt" || why == "no_ckpt" ||
+         why == "stats_resync" || why == "report_lost";
+}
+
 }  // namespace
 
 bool CheckTraceLines(const std::vector<std::string>& lines,
                      std::string* error) {
   int64_t last_seq = -1;
+  // Per-replica stats-channel state threaded through phase=recovery
+  // events: the report sequence number must never regress, and
+  // stale_intervals must count up by one per lost report within a
+  // staleness episode (a stats_resync ends the episode).
+  std::map<int64_t, int64_t> last_report_seq;
+  std::map<int64_t, int64_t> last_stale;
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
     if (line.empty()) continue;
@@ -44,6 +56,75 @@ bool CheckTraceLines(const std::vector<std::string>& lines,
       return false;
     }
     last_seq = seq;
+    if (event.StringOr("phase", "") == "recovery") {
+      const std::string why = event.StringOr("why", "");
+      if (!KnownRecoveryWhy(why)) {
+        *error = LineError(i + 1, "unknown recovery why: " +
+                                      (why.empty() ? "(missing)" : why));
+        return false;
+      }
+      const JsonValue* replica = event.Find("replica");
+      if (replica == nullptr) {
+        // A controller-level restore/cold-start replaces the receiver
+        // state wholesale; per-replica continuity restarts from there.
+        if (why == "stats_resync" || why == "report_lost") {
+          *error = LineError(i + 1, "channel recovery event without replica");
+          return false;
+        }
+        last_report_seq.clear();
+        last_stale.clear();
+      } else {
+        if (why != "stats_resync" && why != "report_lost") {
+          *error = LineError(i + 1, "controller recovery event with replica");
+          return false;
+        }
+        const int64_t id = static_cast<int64_t>(replica->number);
+        const int64_t report_seq =
+            static_cast<int64_t>(event.NumberOr("seq", -1));
+        const int64_t stale =
+            static_cast<int64_t>(event.NumberOr("stale_intervals", -1));
+        if (report_seq < 0) {
+          *error = LineError(i + 1, "recovery event missing report seq");
+          return false;
+        }
+        auto seq_it = last_report_seq.find(id);
+        if (seq_it != last_report_seq.end() && report_seq < seq_it->second) {
+          *error = LineError(
+              i + 1, "replica " + std::to_string(id) +
+                         " report seq regressed (" +
+                         std::to_string(report_seq) + " after " +
+                         std::to_string(seq_it->second) + ")");
+          return false;
+        }
+        last_report_seq[id] = report_seq;
+        auto stale_it = last_stale.find(id);
+        if (why == "report_lost") {
+          // Within an episode the counter steps by exactly one; after a
+          // restore (maps cleared) any starting point is legal.
+          if (stale < 1 ||
+              (stale_it != last_stale.end() &&
+               stale != stale_it->second + 1)) {
+            *error = LineError(
+                i + 1, "replica " + std::to_string(id) +
+                           " stale_intervals not monotone (" +
+                           std::to_string(stale) + ")");
+            return false;
+          }
+          last_stale[id] = stale;
+        } else {  // stats_resync reports the episode length it ended
+          if (stale < 1 ||
+              (stale_it != last_stale.end() && stale_it->second != 0 &&
+               stale != stale_it->second)) {
+            *error = LineError(
+                i + 1, "replica " + std::to_string(id) +
+                           " resync with inconsistent stale_intervals (" +
+                           std::to_string(stale) + ")");
+            return false;
+          }
+          last_stale[id] = 0;
+        }
+      }
+    }
     // phase=mrc events from tiered engines carry the tier fields as a
     // unit: a partial or nonsensical set means the producer is broken,
     // not merely tierless (tierless events omit all three).

@@ -70,13 +70,14 @@ void LogAnalyzer::RecordStableInterval(
 }
 
 OutlierReport LogAnalyzer::DetectOutliers(
-    AppId app, const std::map<ClassKey, MetricVector>& snapshot) const {
+    AppId app, const std::map<ClassKey, MetricVector>& snapshot,
+    double fence_scale) const {
   const auto start = std::chrono::steady_clock::now();
   std::map<ClassKey, MetricVector> app_only;
   for (const auto& [key, vec] : snapshot) {
     if (AppOf(key) == app) app_only.emplace(key, vec);
   }
-  OutlierReport report = detector_.Detect(app_only, stable_store_);
+  OutlierReport report = detector_.Detect(app_only, stable_store_, fence_scale);
   if (outlier_us_ != nullptr) outlier_us_->Record(MicrosSince(start));
   return report;
 }

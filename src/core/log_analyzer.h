@@ -1,6 +1,7 @@
 #ifndef FGLB_CORE_LOG_ANALYZER_H_
 #define FGLB_CORE_LOG_ANALYZER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -41,10 +42,13 @@ class LogAnalyzer {
                             SimTime now);
 
   // Outlier detection for one application's classes in this engine's
-  // snapshot (classes of other apps are filtered out).
+  // snapshot (classes of other apps are filtered out). `fence_scale`
+  // widens the IQR fences when the snapshot's telemetry confidence has
+  // decayed (see StatsChannel).
   OutlierReport DetectOutliers(AppId app,
                                const std::map<ClassKey, MetricVector>&
-                                   snapshot) const;
+                                   snapshot,
+                               double fence_scale = 1.0) const;
 
   struct MemoryDiagnosis {
     // Classes whose recomputed MRC shows a significantly higher memory
@@ -83,6 +87,23 @@ class LogAnalyzer {
   StableStateStore& stable_store() { return stable_store_; }
   const StableStateStore& stable_store() const { return stable_store_; }
   const MrcConfig& mrc_config() const { return mrc_config_; }
+
+  // Checkpoint support (FGLBCKPT1): iterate the classes whose trackers
+  // hold a stable MRC baseline, and reinstall one on restore. The
+  // restored tracker re-derives its parameters from the curve, so
+  // post-restore diagnoses are identical to the pre-crash ones.
+  void ForEachStableTracker(
+      const std::function<void(ClassKey, const MissRatioCurve&, size_t)>& fn)
+      const {
+    for (const auto& [key, tracker] : trackers_) {
+      if (!tracker->has_stable()) continue;
+      fn(key, tracker->stable_curve(), tracker->stable_trace_length());
+    }
+  }
+  void RestoreStableTracker(ClassKey key, const MissRatioCurve& curve,
+                            size_t trace_length) {
+    TrackerFor(key).RestoreStable(curve, trace_length);
+  }
 
  private:
   MrcTracker& TrackerFor(ClassKey key);

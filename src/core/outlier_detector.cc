@@ -48,8 +48,11 @@ std::set<ClassKey> OutlierReport::MemoryProblemContexts() const {
 
 OutlierReport OutlierDetector::Detect(
     const std::map<ClassKey, MetricVector>& current,
-    const StableStateStore& stable) const {
+    const StableStateStore& stable, double fence_scale) const {
   OutlierReport report;
+  const double mild_fence = config_.mild_fence * std::max(fence_scale, 1.0);
+  const double extreme_fence =
+      config_.extreme_fence * std::max(fence_scale, 1.0);
 
   // Partition classes into those with a baseline and new ones.
   std::vector<ClassKey> with_baseline;
@@ -104,10 +107,10 @@ OutlierReport OutlierDetector::Detect(
     if (impacts.size() < config_.min_classes) continue;
     const auto fence_start = std::chrono::steady_clock::now();
     const QuartileSummary q = Quartiles(impacts);
-    const double inner_lo = q.q1 - config_.mild_fence * q.iqr;
-    const double inner_hi = q.q3 + config_.mild_fence * q.iqr;
-    const double outer_lo = q.q1 - config_.extreme_fence * q.iqr;
-    const double outer_hi = q.q3 + config_.extreme_fence * q.iqr;
+    const double inner_lo = q.q1 - mild_fence * q.iqr;
+    const double inner_hi = q.q3 + mild_fence * q.iqr;
+    const double outer_lo = q.q1 - extreme_fence * q.iqr;
+    const double outer_hi = q.q3 + extreme_fence * q.iqr;
     report.fences.push_back(FenceSummary{metric, q.q1, q.q3, q.iqr, inner_lo,
                                          inner_hi, outer_lo, outer_hi});
     for (size_t i = 0; i < impacts.size(); ++i) {

@@ -96,9 +96,14 @@ class OutlierDetector {
   // `current` holds this interval's per-class metric vectors for one
   // application's classes on one engine; `stable` the engine's
   // signature store. Classes lacking signatures are reported in
-  // `new_classes` and excluded from fencing.
+  // `new_classes` and excluded from fencing. `fence_scale` multiplies
+  // both IQR fence multipliers (>= 1): the stale-telemetry guard
+  // widens fences when the stats feed's confidence has decayed, so a
+  // possibly-stale snapshot must deviate harder to count as an
+  // outlier.
   OutlierReport Detect(const std::map<ClassKey, MetricVector>& current,
-                       const StableStateStore& stable) const;
+                       const StableStateStore& stable,
+                       double fence_scale = 1.0) const;
 
   const OutlierConfig& config() const { return config_; }
 

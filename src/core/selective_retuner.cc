@@ -6,8 +6,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "cluster/stats_channel.h"
 #include "common/json.h"
 #include "common/span_tracer.h"
+#include "common/varint.h"
 #include "core/io_interference.h"
 
 namespace fglb {
@@ -107,15 +109,45 @@ void SelectiveRetuner::Start() {
   for (const auto& server : resources_->servers()) {
     server->ResetUtilizationWindow();
   }
-  struct Ticker {
-    static void Arm(SelectiveRetuner* self) {
-      self->sim_->ScheduleAfter(self->config_.interval_seconds, [self] {
-        self->Tick();
-        Arm(self);
-      });
-    }
-  };
-  Ticker::Arm(this);
+  ArmTicker();
+}
+
+void SelectiveRetuner::ArmTicker() {
+  const uint64_t epoch = epoch_;
+  sim_->ScheduleAfter(config_.interval_seconds, [this, epoch] {
+    if (epoch != epoch_) return;  // the controller crashed since arming
+    Tick();
+    ArmTicker();
+  });
+}
+
+void SelectiveRetuner::Stop() {
+  if (!started_) return;
+  started_ = false;
+  ++epoch_;  // strands the armed tick and every migration callback
+}
+
+void SelectiveRetuner::Restart() {
+  if (started_) return;
+  started_ = true;
+  ArmTicker();
+}
+
+void SelectiveRetuner::ResetControlState() {
+  analyzers_.clear();
+  violation_streak_.clear();
+  calm_streak_.clear();
+  last_topology_change_.clear();
+  last_replica_count_.clear();
+  last_placement_change_.clear();
+  last_coarse_fallback_.clear();
+  migrating_.clear();
+  feeds_.clear();
+  scope_ = ViolationScope{};
+  // actions_/samples_/diagnoses_/migration_stats_ survive: they are
+  // the run's observability history, not control state. Migrations
+  // whose callbacks died with the controller count as neither applied
+  // nor abandoned.
 }
 
 void SelectiveRetuner::Log(ActionKind kind, AppId app,
@@ -162,7 +194,32 @@ void SelectiveRetuner::BeginViolationScope(
       .Int("streak", violation_streak_[scope_.app])
       .Int("servers_used", resources_->ServersUsedBy(*scheduler))
       .Num("dur_us", end_interval_us);
+  if (channel_ != nullptr) {
+    // Telemetry health of this app's replica set; absent without a
+    // channel so pre-channel traces replay byte-identical.
+    double min_conf = 1.0;
+    int stale = 0;
+    for (Replica* r : scheduler->replicas()) {
+      const auto it = feeds_.find(r->id());
+      if (it == feeds_.end()) continue;
+      min_conf = std::min(min_conf, it->second.confidence);
+      if (!it->second.fresh) ++stale;
+    }
+    event.Num("stats_conf", min_conf).Int("stale_replicas", stale);
+  }
   trace_->Emit(event);
+}
+
+bool SelectiveRetuner::FeedFresh(int replica_id) const {
+  if (channel_ == nullptr) return true;
+  const auto it = feeds_.find(replica_id);
+  return it == feeds_.end() || it->second.fresh;
+}
+
+double SelectiveRetuner::FeedConfidence(int replica_id) const {
+  if (channel_ == nullptr) return 1.0;
+  const auto it = feeds_.find(replica_id);
+  return it == feeds_.end() ? 1.0 : it->second.confidence;
 }
 
 void SelectiveRetuner::EndViolationScope(const char* why) {
@@ -391,11 +448,35 @@ void SelectiveRetuner::Tick() {
   sample.time = sim_->Now();
 
   // 1. Close the interval on every engine and server (order: replicas
-  // in creation order for determinism).
+  // in creation order for determinism). With a stats channel attached
+  // every report travels publish -> deliver -> collect, so the
+  // controller sees the channel's (possibly stale) view; without one
+  // the handoff stays direct.
   const std::vector<Replica*> replicas = resources_->AllReplicas();
   std::map<Replica*, Snapshot> snapshots;
-  for (Replica* r : replicas) {
-    snapshots.emplace(r, r->engine().stats().EndInterval(interval));
+  feeds_.clear();
+  if (channel_ != nullptr) {
+    std::vector<int> live;
+    live.reserve(replicas.size());
+    for (Replica* r : replicas) live.push_back(r->id());
+    channel_->Retain(live);
+    for (Replica* r : replicas) {
+      channel_->Publish(r->id(), r->engine().stats().EndInterval(interval),
+                        interval);
+    }
+    for (Replica* r : replicas) {
+      const StatsChannel::Feed feed = channel_->Collect(r->id());
+      snapshots.emplace(r, *feed.snapshot);
+      FeedState fs;
+      fs.fresh = feed.fresh;
+      fs.stale_intervals = feed.stale_intervals;
+      fs.confidence = feed.confidence;
+      feeds_[r->id()] = fs;
+    }
+  } else {
+    for (Replica* r : replicas) {
+      snapshots.emplace(r, r->engine().stats().EndInterval(interval));
+    }
   }
   for (const auto& server : resources_->servers()) {
     ServerSample ss;
@@ -432,10 +513,14 @@ void SelectiveRetuner::Tick() {
   }
 
   // 3. Stable intervals refresh signatures and seed MRC baselines.
+  // Only fresh feeds qualify: a last-known-good snapshot re-recorded
+  // as "stable" would silently launder stale numbers into the
+  // baselines every missed interval.
   for (Scheduler* s : schedulers_) {
     const auto& report = reports.at(s);
     if (report.sla_met && report.queries > 0) {
       for (Replica* r : replicas) {
+        if (!FeedFresh(r->id())) continue;
         AnalyzerFor(&r->engine())
             .RecordStableInterval(s->app().id, snapshots.at(r), sim_->Now());
       }
@@ -527,6 +612,7 @@ const char* SelectiveRetuner::HandleViolation(
     Scheduler* scheduler, const Scheduler::IntervalReport& /*report*/,
     const std::map<Replica*, Snapshot>& snapshots) {
   const AppId app = scheduler->app().id;
+  low_confidence_suppressed_ = false;
   if (!config_.enable_actions) {
     // Monitoring only: run the diagnosis for the record, change nothing.
     TryMemoryRetuning(scheduler, snapshots, /*act=*/false);
@@ -567,7 +653,7 @@ const char* SelectiveRetuner::HandleViolation(
   if (violation_streak_[app] >= config_.coarse_fallback_after) {
     CoarseFallback(scheduler);
   }
-  return "no_action";
+  return low_confidence_suppressed_ ? "low_confidence" : "no_action";
 }
 
 bool SelectiveRetuner::TryCpuProvisioning(Scheduler* scheduler) {
@@ -605,6 +691,9 @@ bool SelectiveRetuner::TryMemoryRetuning(
     if (snap_it == snapshots.end()) continue;
     const Snapshot& snap = snap_it->second;
     LogAnalyzer& analyzer = AnalyzerFor(&r->engine());
+    const double confidence = FeedConfidence(r->id());
+    const double fence_scale =
+        channel_ != nullptr ? channel_->FenceScale(confidence) : 1.0;
 
     // A replica whose engine never recorded a stable interval for this
     // application is still warming up after being provisioned; there is
@@ -620,7 +709,10 @@ bool SelectiveRetuner::TryMemoryRetuning(
     if (!has_history) continue;
 
     // 4a. Outlier contexts over this app's classes on this engine.
-    const OutlierReport outliers = analyzer.DetectOutliers(app, snap);
+    // Decayed confidence widens the fences: a snapshot that may be
+    // stale must look a lot more anomalous before it names suspects.
+    const OutlierReport outliers =
+        analyzer.DetectOutliers(app, snap, fence_scale);
     if (spans_ != nullptr && scope_.active) {
       spans_->RecordPhase("impact", app, sim_->Now());
       spans_->RecordPhase("iqr", app, sim_->Now());
@@ -675,6 +767,18 @@ bool SelectiveRetuner::TryMemoryRetuning(
     record.memory = diagnosis;
     diagnoses_.push_back(std::move(record));
     if (!act) continue;
+    if (channel_ != nullptr && !channel_->ConfidentToAct(confidence)) {
+      // This replica's numbers are last-known-good, not measured:
+      // record the diagnosis, take no quota/demote/migration off it.
+      // Shed and CPU provisioning run on app-level latency and are
+      // never gated here.
+      low_confidence_suppressed_ = true;
+      if (metrics_ != nullptr) {
+        metrics_->counter("controller.suppressed.low_confidence")
+            ->Increment();
+      }
+      continue;
+    }
     if (diagnosis.suspects.empty()) continue;
 
     std::set<ClassKey> suspect_keys;
@@ -879,6 +983,17 @@ bool SelectiveRetuner::TryIoRetuning(
         if (it != snapshots.end() && it->second.contains(key)) source = rr;
       }
       if (source == nullptr) continue;
+      if (channel_ != nullptr &&
+          !channel_->ConfidentToAct(FeedConfidence(source->id()))) {
+        // Evicting by per-class I/O shares computed from stale stats
+        // moves the wrong class; wait for the feed to recover.
+        low_confidence_suppressed_ = true;
+        if (metrics_ != nullptr) {
+          metrics_->counter("controller.suppressed.low_confidence")
+              ->Increment();
+        }
+        continue;
+      }
       ClassMemoryProfile incoming;
       incoming.key = key;
       if (const MrcParameters* stable =
@@ -988,8 +1103,14 @@ void SelectiveRetuner::AttemptMigration(PendingMigration m) {
     }
     const double backoff = config_.migration_retry_backoff_seconds *
                            std::ldexp(1.0, m.attempt - 1);
-    sim_->ScheduleAfter(backoff,
-                        [this, m = std::move(m)] { AttemptMigration(m); });
+    const uint64_t epoch = epoch_;
+    sim_->ScheduleAfter(backoff, [this, epoch, m = std::move(m)] {
+      // A retry armed before a controller crash must not fire into the
+      // restarted controller: the checkpoint already converted the
+      // migration into a placement cooldown.
+      if (epoch != epoch_) return;
+      AttemptMigration(m);
+    });
     return;
   }
   if (outcome.delay_seconds > 0) {
@@ -997,13 +1118,16 @@ void SelectiveRetuner::AttemptMigration(PendingMigration m) {
     if (metrics_ != nullptr) {
       metrics_->counter("controller.migration.delayed")->Increment();
     }
-    sim_->ScheduleAfter(outcome.delay_seconds, [this, m = std::move(m)] {
-      if (sim_->Now() - m.started > config_.migration_timeout_seconds) {
-        AbandonMigration(m, "timeout");
-      } else if (!ApplyMigration(m)) {
-        AbandonMigration(m, "target_lost");
-      }
-    });
+    const uint64_t epoch = epoch_;
+    sim_->ScheduleAfter(
+        outcome.delay_seconds, [this, epoch, m = std::move(m)] {
+          if (epoch != epoch_) return;
+          if (sim_->Now() - m.started > config_.migration_timeout_seconds) {
+            AbandonMigration(m, "timeout");
+          } else if (!ApplyMigration(m)) {
+            AbandonMigration(m, "target_lost");
+          }
+        });
     return;
   }
   if (!ApplyMigration(m)) AbandonMigration(m, "target_lost");
@@ -1165,6 +1289,253 @@ void SelectiveRetuner::MaybeRelease(Scheduler* scheduler) {
   analyzers_.erase(&victim->engine());
   resources_->Decommission(scheduler, victim);
   calm_streak_[app] = 0;
+}
+
+void SelectiveRetuner::SerializeControlState(std::string* out) const {
+  auto put_time = [out](SimTime t) { PutFixed64(out, DoubleToBits(t)); };
+  PutVarint64(out, violation_streak_.size());
+  for (const auto& [app, streak] : violation_streak_) {
+    PutVarint64(out, app);
+    PutVarint64(out, ZigZagEncode(streak));
+  }
+  PutVarint64(out, calm_streak_.size());
+  for (const auto& [app, streak] : calm_streak_) {
+    PutVarint64(out, app);
+    PutVarint64(out, ZigZagEncode(streak));
+  }
+  PutVarint64(out, last_topology_change_.size());
+  for (const auto& [app, t] : last_topology_change_) {
+    PutVarint64(out, app);
+    put_time(t);
+  }
+  PutVarint64(out, last_replica_count_.size());
+  for (const auto& [app, count] : last_replica_count_) {
+    PutVarint64(out, app);
+    PutVarint64(out, count);
+  }
+  PutVarint64(out, last_placement_change_.size());
+  for (const auto& [key, t] : last_placement_change_) {
+    PutVarint64(out, key);
+    put_time(t);
+  }
+  PutVarint64(out, last_coarse_fallback_.size());
+  for (const auto& [app, t] : last_coarse_fallback_) {
+    PutVarint64(out, app);
+    put_time(t);
+  }
+  PutVarint64(out, migrating_.size());
+  for (ClassKey key : migrating_) PutVarint64(out, key);
+
+  // Per-replica analyzer state, keyed by replica id: the engines
+  // outlive a controller crash but the analyzer map (keyed by engine
+  // pointer) does not, so the blob re-binds by id at restore time.
+  std::vector<std::pair<int, const LogAnalyzer*>> by_replica;
+  for (Replica* r : resources_->AllReplicas()) {
+    const auto it = analyzers_.find(&r->engine());
+    if (it != analyzers_.end()) by_replica.emplace_back(r->id(), it->second.get());
+  }
+  PutVarint64(out, by_replica.size());
+  for (const auto& [replica_id, analyzer] : by_replica) {
+    PutVarint64(out, ZigZagEncode(replica_id));
+    const auto& signatures = analyzer->stable_store().Entries();
+    PutVarint64(out, signatures.size());
+    for (const auto& [key, sig] : signatures) {
+      PutVarint64(out, key);
+      for (double v : sig.averages) PutFixed64(out, DoubleToBits(v));
+      put_time(sig.recorded_at);
+      PutVarint64(out, sig.intervals_observed);
+    }
+    // Stable MRC baselines travel as their raw sampled curves; the
+    // restored tracker re-derives parameters from the curve, so the
+    // post-restore diagnosis is bit-identical to the pre-crash one.
+    struct StableCurve {
+      ClassKey key;
+      const MissRatioCurve* curve;
+      size_t trace_length;
+    };
+    std::vector<StableCurve> curves;
+    analyzer->ForEachStableTracker(
+        [&curves](ClassKey key, const MissRatioCurve& curve,
+                  size_t trace_length) {
+          curves.push_back({key, &curve, trace_length});
+        });
+    PutVarint64(out, curves.size());
+    for (const StableCurve& sc : curves) {
+      PutVarint64(out, sc.key);
+      PutVarint64(out, sc.trace_length);
+      PutVarint64(out, sc.curve->total_accesses());
+      const std::vector<double>& raw = sc.curve->raw_miss_ratios();
+      PutVarint64(out, raw.size());
+      for (double v : raw) PutFixed64(out, DoubleToBits(v));
+    }
+  }
+}
+
+bool SelectiveRetuner::RestoreControlState(const uint8_t* p,
+                                           const uint8_t* limit) {
+  auto get_u64 = [&p, limit](uint64_t* v) {
+    const size_t n = GetVarint64(p, limit, v);
+    if (n == 0) return false;
+    p += n;
+    return true;
+  };
+  auto get_i64 = [&get_u64](int64_t* v) {
+    uint64_t raw = 0;
+    if (!get_u64(&raw)) return false;
+    *v = ZigZagDecode(raw);
+    return true;
+  };
+  auto get_f64 = [&p, limit](double* v) {
+    uint64_t bits = 0;
+    if (!GetFixed64(p, limit, &bits)) return false;
+    p += 8;
+    *v = BitsToDouble(bits);
+    return true;
+  };
+  // Decode everything into locals first: a truncated blob must not
+  // leave the controller half-restored.
+  std::map<AppId, int> violation, calm;
+  std::map<AppId, SimTime> topology, coarse;
+  std::map<AppId, size_t> replica_counts;
+  std::map<ClassKey, SimTime> placement;
+  std::vector<ClassKey> in_flight;
+  uint64_t n = 0;
+  if (!get_u64(&n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t app = 0;
+    int64_t streak = 0;
+    if (!get_u64(&app) || !get_i64(&streak)) return false;
+    violation[static_cast<AppId>(app)] = static_cast<int>(streak);
+  }
+  if (!get_u64(&n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t app = 0;
+    int64_t streak = 0;
+    if (!get_u64(&app) || !get_i64(&streak)) return false;
+    calm[static_cast<AppId>(app)] = static_cast<int>(streak);
+  }
+  if (!get_u64(&n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t app = 0;
+    double t = 0;
+    if (!get_u64(&app) || !get_f64(&t)) return false;
+    topology[static_cast<AppId>(app)] = t;
+  }
+  if (!get_u64(&n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t app = 0, count = 0;
+    if (!get_u64(&app) || !get_u64(&count)) return false;
+    replica_counts[static_cast<AppId>(app)] = static_cast<size_t>(count);
+  }
+  if (!get_u64(&n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    double t = 0;
+    if (!get_u64(&key) || !get_f64(&t)) return false;
+    placement[key] = t;
+  }
+  if (!get_u64(&n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t app = 0;
+    double t = 0;
+    if (!get_u64(&app) || !get_f64(&t)) return false;
+    coarse[static_cast<AppId>(app)] = t;
+  }
+  if (!get_u64(&n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    if (!get_u64(&key)) return false;
+    in_flight.push_back(key);
+  }
+
+  struct RestoredSignature {
+    ClassKey key;
+    StableStateSignature sig;
+  };
+  struct RestoredCurve {
+    ClassKey key;
+    std::vector<double> raw;
+    uint64_t total_accesses;
+    size_t trace_length;
+  };
+  struct RestoredAnalyzer {
+    int replica_id;
+    std::vector<RestoredSignature> signatures;
+    std::vector<RestoredCurve> curves;
+  };
+  std::vector<RestoredAnalyzer> restored;
+  uint64_t analyzers = 0;
+  if (!get_u64(&analyzers)) return false;
+  for (uint64_t a = 0; a < analyzers; ++a) {
+    RestoredAnalyzer ra;
+    int64_t replica_id = 0;
+    if (!get_i64(&replica_id)) return false;
+    ra.replica_id = static_cast<int>(replica_id);
+    uint64_t sigs = 0;
+    if (!get_u64(&sigs)) return false;
+    for (uint64_t i = 0; i < sigs; ++i) {
+      RestoredSignature rs;
+      uint64_t key = 0;
+      if (!get_u64(&key)) return false;
+      rs.key = key;
+      for (double& v : rs.sig.averages) {
+        if (!get_f64(&v)) return false;
+      }
+      uint64_t observed = 0;
+      if (!get_f64(&rs.sig.recorded_at) || !get_u64(&observed)) return false;
+      rs.sig.intervals_observed = observed;
+      ra.signatures.push_back(std::move(rs));
+    }
+    uint64_t curves = 0;
+    if (!get_u64(&curves)) return false;
+    for (uint64_t i = 0; i < curves; ++i) {
+      RestoredCurve rc;
+      uint64_t key = 0, trace_length = 0, total = 0, samples = 0;
+      if (!get_u64(&key) || !get_u64(&trace_length) || !get_u64(&total) ||
+          !get_u64(&samples)) {
+        return false;
+      }
+      rc.key = key;
+      rc.trace_length = static_cast<size_t>(trace_length);
+      rc.total_accesses = total;
+      rc.raw.resize(static_cast<size_t>(samples));
+      for (double& v : rc.raw) {
+        if (!get_f64(&v)) return false;
+      }
+      ra.curves.push_back(std::move(rc));
+    }
+    restored.push_back(std::move(ra));
+  }
+
+  // Commit.
+  violation_streak_ = std::move(violation);
+  calm_streak_ = std::move(calm);
+  last_topology_change_ = std::move(topology);
+  last_replica_count_ = std::move(replica_counts);
+  last_placement_change_ = std::move(placement);
+  last_coarse_fallback_ = std::move(coarse);
+  // Migrations in flight at checkpoint time died with the controller's
+  // callbacks. Restoring them as placement cooldowns (not as pending
+  // migrations) guarantees the restarted controller neither duplicates
+  // the move nor re-issues it inside the flap window; the next
+  // violating interval re-diagnoses from live data.
+  for (ClassKey key : in_flight) {
+    last_placement_change_[key] = sim_->Now();
+  }
+  for (const RestoredAnalyzer& ra : restored) {
+    Replica* r = resources_->FindReplica(ra.replica_id);
+    if (r == nullptr) continue;  // the replica died while we were down
+    LogAnalyzer& analyzer = AnalyzerFor(&r->engine());
+    for (const RestoredSignature& rs : ra.signatures) {
+      analyzer.stable_store().Restore(rs.key, rs.sig);
+    }
+    for (const RestoredCurve& rc : ra.curves) {
+      analyzer.RestoreStableTracker(
+          rc.key, MissRatioCurve::FromRaw(rc.raw, rc.total_accesses),
+          rc.trace_length);
+    }
+  }
+  return true;
 }
 
 }  // namespace fglb

@@ -21,6 +21,7 @@
 namespace fglb {
 
 class SpanTracer;
+class StatsChannel;
 
 // Fate of one controller migration attempt, as decided by an optional
 // interceptor (the fault injector, in chaos runs): the attempt may fail
@@ -221,6 +222,40 @@ class SelectiveRetuner {
   // construction). Null detaches.
   void set_span_tracer(SpanTracer* spans) { spans_ = spans; }
 
+  // Telemetry transport: when set, Tick publishes every replica's
+  // interval report through the channel and collects the controller's
+  // (possibly stale, last-known-good) view back instead of reading the
+  // stats collector directly. Stale feeds widen the IQR fences and,
+  // below the confidence threshold, suppress per-class quota/demote/
+  // migration actions — shed and CPU provisioning run on app-level
+  // latency and are never gated. Null (the default) keeps the
+  // pre-channel direct handoff.
+  void set_stats_channel(StatsChannel* channel) { channel_ = channel; }
+
+  // --- controller crash/restart (ctl faults) ---
+  // Stop halts the interval ticker and strands every in-flight
+  // callback (the armed tick and pending migration retries/delayed
+  // applies die with the epoch). Restart re-arms the ticker so the
+  // next tick lands one interval after the restart. ResetControlState
+  // is the cold-start path: it drops all diagnostic state (analyzers,
+  // streaks, warmup/cooldown clocks, in-flight migration bookkeeping)
+  // while keeping the action/sample/diagnosis history — those are
+  // observability records of the run, not control state.
+  void Stop();
+  void Restart();
+  void ResetControlState();
+
+  // Checkpoint support (FGLBCKPT1): the retuner section — violation/
+  // calm streaks, warmup and cooldown clocks, and per-replica analyzer
+  // state (stable signatures + stable MRC baselines, keyed by replica
+  // id so the blob survives the engine pointers dying with the
+  // controller). In-flight migrations are recorded by class key and
+  // restored as placement cooldowns: their callbacks died with the
+  // crash, and the cooldown guarantees the restarted controller cannot
+  // re-issue the same move inside the flap window.
+  void SerializeControlState(std::string* out) const;
+  bool RestoreControlState(const uint8_t* p, const uint8_t* limit);
+
   const std::vector<Action>& actions() const { return actions_; }
   const std::vector<IntervalSample>& samples() const { return samples_; }
   const std::vector<DiagnosisRecord>& diagnoses() const { return diagnoses_; }
@@ -296,6 +331,21 @@ class SelectiveRetuner {
   // stale state, and the analyzer's engine pointer would dangle.
   void PruneDeadAnalyzers();
 
+  // Arms the periodic ticker for the current epoch; Stop() bumps the
+  // epoch, so a stranded callback fires once and does nothing.
+  void ArmTicker();
+
+  // The controller's view of one replica's telemetry feed this tick
+  // (all-fresh defaults when no channel is attached or the replica is
+  // unknown).
+  struct FeedState {
+    bool fresh = true;
+    uint64_t stale_intervals = 0;
+    double confidence = 1.0;
+  };
+  bool FeedFresh(int replica_id) const;
+  double FeedConfidence(int replica_id) const;
+
   void Log(ActionKind kind, AppId app, std::string description);
 
   // --- decision tracing ---
@@ -349,6 +399,15 @@ class SelectiveRetuner {
   MigrationStats migration_stats_;
   int migrations_this_interval_ = 0;
   std::set<ClassKey> migrating_;  // classes with an in-flight migration
+
+  StatsChannel* channel_ = nullptr;
+  std::map<int, FeedState> feeds_;  // rebuilt each tick, keyed by replica id
+  // Bumped by Stop(): scheduled callbacks capture the epoch they were
+  // armed under and no-op if the controller crashed since.
+  uint64_t epoch_ = 0;
+  // Set while a violation's actions were withheld for stale telemetry;
+  // the scope closes with why="low_confidence" instead of "no_action".
+  bool low_confidence_suppressed_ = false;
 
   MetricsRegistry* metrics_ = nullptr;
   TraceLog* trace_ = nullptr;

@@ -40,6 +40,16 @@ class StableStateStore {
   size_t size() const { return signatures_.size(); }
   std::vector<ClassKey> Keys() const;
 
+  // Checkpoint support: full iteration out, verbatim signatures back
+  // in (bypasses Update's NaN filtering and timestamping — the
+  // signature was already vetted when first recorded).
+  const std::map<ClassKey, StableStateSignature>& Entries() const {
+    return signatures_;
+  }
+  void Restore(ClassKey key, const StableStateSignature& signature) {
+    signatures_[key] = signature;
+  }
+
  private:
   std::map<ClassKey, StableStateSignature> signatures_;
 };

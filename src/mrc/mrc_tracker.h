@@ -74,6 +74,16 @@ class MrcTracker {
 
   size_t stable_trace_length() const { return stable_trace_length_; }
 
+  // Checkpoint support: reinstalls a serialized stable baseline
+  // without disturbing the trace-length bookkeeping the way
+  // SetStableFromCurve would (parameters are re-derived from the curve
+  // deterministically, so the restored tracker diagnoses identically).
+  void RestoreStable(const MissRatioCurve& curve, size_t trace_length) {
+    stable_curve_ = curve;
+    stable_ = stable_curve_.ComputeParameters(config_);
+    stable_trace_length_ = trace_length;
+  }
+
   // Adopts a recomputation as the new stable baseline (after the
   // environment change is accepted, e.g. an index is gone for good).
   void AdoptAsStable(const Recomputation& recomputation);

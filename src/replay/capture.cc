@@ -118,6 +118,8 @@ void EncodeInfo(const CaptureInfo& info, std::string* out) {
   PutString(out, info.mrc_spec);
   PutString(out, info.tier_spec);
   PutString(out, info.replacement_spec);
+  PutString(out, info.stats_spec);
+  PutString(out, info.ckpt_spec);
 }
 
 bool DecodeInfo(Reader& r, CaptureInfo* info) {
@@ -141,6 +143,10 @@ bool DecodeInfo(Reader& r, CaptureInfo* info) {
   info->tier_spec = r.Str();
   if (r.AtEnd()) return true;
   info->replacement_spec = r.Str();
+  if (r.AtEnd()) return true;
+  info->stats_spec = r.Str();
+  if (r.AtEnd()) return true;
+  info->ckpt_spec = r.Str();
   return r.AtEnd();
 }
 

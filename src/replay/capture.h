@@ -70,6 +70,13 @@ struct CaptureInfo {
   // ReplacementPolicyName() of the engines' DRAM partition policy;
   // empty = lru. Also a trailing optional field.
   std::string replacement_spec;
+  // StatsChannelConfig::ToString() of the run's stats-report transport
+  // ("guard=on" when enabled with all defaults); empty = the direct
+  // engine handoff, no channel. Also a trailing optional field.
+  std::string stats_spec;
+  // Controller checkpoint cadence ("interval=<seconds>"); empty =
+  // checkpointing off. Also a trailing optional field.
+  std::string ckpt_spec;
 };
 
 // Initial cluster assembly (block type 2), sufficient to rebuild the

@@ -1,6 +1,7 @@
 #include "replay/replayer.h"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "sim/fault_injector.h"
 
@@ -155,6 +156,31 @@ std::unique_ptr<ClusterHarness> BuildClusterFromCapture(
       return fail("capture carries unparsable span spec: " + span_error);
     }
     harness->EnableSpanTracing(span_config);
+  }
+
+  if (!capture.info.stats_spec.empty()) {
+    StatsChannelConfig channel_config;
+    std::string channel_error;
+    if (!StatsChannelConfig::Parse(capture.info.stats_spec, &channel_config,
+                                   &channel_error)) {
+      return fail("capture carries unparsable stats spec: " + channel_error);
+    }
+    harness->EnableStatsChannel(channel_config);
+  }
+
+  if (!capture.info.ckpt_spec.empty()) {
+    // The only key is "interval=<seconds>".
+    const std::string& spec = capture.info.ckpt_spec;
+    double ckpt_interval = 0;
+    if (spec.rfind("interval=", 0) == 0) {
+      char* end = nullptr;
+      ckpt_interval = std::strtod(spec.c_str() + 9, &end);
+      if (end == nullptr || *end != '\0') ckpt_interval = 0;
+    }
+    if (ckpt_interval <= 0) {
+      return fail("capture carries unparsable checkpoint spec: " + spec);
+    }
+    harness->EnableCheckpointing(ckpt_interval);
   }
 
   if (source != nullptr) {

@@ -15,6 +15,8 @@ bool ParseScenario(const std::string& value, CliOptions::Scenario* out) {
   else if (value == "chaos-replica")
     *out = CliOptions::Scenario::kChaosReplica;
   else if (value == "chaos-disk") *out = CliOptions::Scenario::kChaosDisk;
+  else if (value == "chaos-net") *out = CliOptions::Scenario::kChaosNet;
+  else if (value == "chaos-ctl") *out = CliOptions::Scenario::kChaosCtl;
   else if (value == "overload") *out = CliOptions::Scenario::kOverload;
   else if (value == "tier-thrash") *out = CliOptions::Scenario::kTierThrash;
   else if (value == "tier-fail") *out = CliOptions::Scenario::kTierFail;
@@ -69,7 +71,8 @@ std::string CliUsage() {
 usage: fglb_sim [options]
 
   --scenario=NAME   steady | burst | consolidation | io |
-                    chaos-replica | chaos-disk | overload |
+                    chaos-replica | chaos-disk | chaos-net |
+                    chaos-ctl | overload |
                     tier-thrash | tier-fail | cold-start    (default steady)
   --output=FORMAT   table | samples-csv | actions-csv | servers-csv
   --servers=N       machines in the shared pool             (default 4)
@@ -114,6 +117,18 @@ usage: fglb_sim [options]
                     "crash@120:replica=1,restart=60;disk@300:server=0,factor=8,duration=120"
                     (chaos-* scenarios provide one if omitted)
   --fault-seed=N    fault-injector seed (schedule + decisions) (default 1)
+  --stats-net=MODE  stats transport: direct | channel | auto; the
+                    channel delivers interval reports through the DES
+                    so `net` fault windows can drop/dup/corrupt/delay
+                    them (auto = channel for chaos-net/chaos-ctl)
+                                                            (default auto)
+  --stats-guard=M   on | off: decay controller confidence while stats
+                    reports are missing (fences widen, per-class
+                    actions pause); off is the flapping ablation arm
+                                                            (default on)
+  --ckpt-interval=SEC  FGLBCKPT1 controller-checkpoint cadence;
+                    0 = off, -1 = auto (chaos-ctl checkpoints every
+                    retuner interval)                       (default -1)
   --admission=MODE  overload protection: on | off | auto
                     (auto = on for the overload scenario)    (default auto)
   --admission-target=R     CoDel target delay as a fraction of the SLA
@@ -225,6 +240,15 @@ bool ParseCliOptions(const std::vector<std::string>& args,
       options->fault_spec = value;
     } else if (key == "fault-seed") {
       ok = ParseUint64(value, &options->fault_seed);
+    } else if (key == "stats-net") {
+      ok = value == "direct" || value == "channel" || value == "auto";
+      options->stats_net = value;
+    } else if (key == "stats-guard") {
+      ok = value == "on" || value == "off" || value == "1" || value == "0";
+      options->stats_guard = (value == "on" || value == "1") ? "on" : "off";
+    } else if (key == "ckpt-interval") {
+      ok = ParseDouble(value, &options->ckpt_interval) &&
+           options->ckpt_interval >= -1;
     } else if (key == "admission") {
       ok = value == "on" || value == "off" || value == "auto";
       options->admission = value;

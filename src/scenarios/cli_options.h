@@ -18,6 +18,8 @@ struct CliOptions {
     kIoContention,   // two RUBiS domains on one machine (Table 3)
     kChaosReplica,   // consolidation + replica crash/restart faults
     kChaosDisk,      // consolidation + disk-latency spike faults
+    kChaosNet,       // consolidation + lossy stats-report transport
+    kChaosCtl,       // consolidation + controller crash/restart
     kOverload,       // 3x TPC-W load on one replica (admission control)
     kTierThrash,     // consolidation squeezed into small DRAM + tier-2
     kTierFail,       // tier-thrash + the SSD tier failing mid-run
@@ -90,6 +92,19 @@ struct CliOptions {
   // The chaos-* scenarios supply a default spec when this is empty.
   std::string fault_spec;
   uint64_t fault_seed = 1;
+  // Stats transport: "direct" keeps the pre-channel engine handoff,
+  // "channel" routes interval reports through the DES-delivered
+  // StatsChannel (required for `net` faults to bite; chaos-net and
+  // chaos-ctl default to it). "auto" picks per scenario.
+  std::string stats_net = "auto";
+  // Stale-telemetry guard: "on" decays confidence while reports are
+  // missing (fence widening + action suppression); "off" is the
+  // ablation arm that trusts last-known-good stats at full confidence.
+  std::string stats_guard = "on";
+  // Controller checkpoint cadence in seconds: -1 = auto (chaos-ctl
+  // checkpoints every retuner interval, other scenarios don't),
+  // 0 = explicitly off, > 0 = that cadence.
+  double ckpt_interval = -1;
   // Overload protection: "on" | "off" | "auto" (auto = on for the
   // overload scenario, off elsewhere), plus the knobs forwarded into
   // AdmissionConfig (negative = keep that config's default).

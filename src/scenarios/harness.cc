@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/controller_checkpoint.h"
+
 namespace fglb {
 
 namespace {
@@ -88,6 +90,9 @@ class HarnessFaultBackend : public FaultBackend {
     }
     return true;
   }
+
+  bool CrashController() override { return harness_->CrashController(); }
+  bool RestartController() override { return harness_->RestartController(); }
 
  private:
   struct CrashRecord {
@@ -260,8 +265,93 @@ FaultInjector* ClusterHarness::InjectFaults(FaultSpec spec, uint64_t seed) {
             injector->OnMigrationAttempt(key, attempt);
         return MigrationOutcome{d.fail, d.delay_seconds};
       });
+  if (stats_channel_ != nullptr) {
+    // The channel was created first: hook it up now.
+    stats_channel_->set_net_hook(
+        [injector = fault_injector_.get()](int replica_id, uint64_t seq) {
+          return injector->OnStatsReport(replica_id, seq);
+        });
+  }
   if (started_) fault_injector_->Arm();
   return fault_injector_.get();
+}
+
+StatsChannel* ClusterHarness::EnableStatsChannel(
+    const StatsChannelConfig& config) {
+  if (stats_channel_ != nullptr) return stats_channel_.get();
+  stats_channel_ = std::make_unique<StatsChannel>(&sim_, config);
+  if (observability_) stats_channel_->BindObservability(&metrics_, &trace_);
+  retuner_.set_stats_channel(stats_channel_.get());
+  if (fault_injector_ != nullptr) {
+    stats_channel_->set_net_hook(
+        [injector = fault_injector_.get()](int replica_id, uint64_t seq) {
+          return injector->OnStatsReport(replica_id, seq);
+        });
+  }
+  return stats_channel_.get();
+}
+
+void ClusterHarness::EnableCheckpointing(double interval_seconds) {
+  if (checkpointing_) return;
+  checkpointing_ = true;
+  checkpoint_interval_ = interval_seconds > 0
+                             ? interval_seconds
+                             : retuner_.config().interval_seconds;
+  struct Ckpt {
+    static void Arm(ClusterHarness* self) {
+      self->sim_.ScheduleAfter(self->checkpoint_interval_, [self] {
+        // A crashed controller cannot checkpoint; the last blob taken
+        // while it was healthy stays the restore point.
+        if (!self->controller_down_) {
+          ControllerCheckpoint::Build(self->sim_.Now(), self->retuner_,
+                                      self->stats_channel_.get(),
+                                      self->admission_.get(),
+                                      &self->checkpoint_blob_);
+        }
+        Arm(self);
+      });
+    }
+  };
+  Ckpt::Arm(this);
+}
+
+bool ClusterHarness::CrashController() {
+  if (controller_down_) return false;
+  controller_down_ = true;
+  retuner_.Stop();
+  return true;
+}
+
+bool ClusterHarness::RestartController() {
+  if (!controller_down_) return false;
+  controller_down_ = false;
+  // The crash lost the in-memory control plane. Either the checkpoint
+  // brings it back, or the controller cold-starts and relearns.
+  const char* why = "no_ckpt";
+  double ckpt_t = 0;
+  if (!checkpoint_blob_.empty()) {
+    const ControllerCheckpoint::RestoreResult result =
+        ControllerCheckpoint::Restore(checkpoint_blob_, &retuner_,
+                                      stats_channel_.get(), admission_.get());
+    // A rejected blob leaves everything reset — exactly the cold start.
+    why = result.ok ? "restored" : "bad_ckpt";
+    ckpt_t = result.taken_at;
+  } else {
+    retuner_.ResetControlState();
+    if (stats_channel_ != nullptr) stats_channel_->ResetReceiverState();
+    if (admission_ != nullptr) admission_->ResetState();
+  }
+  if (observability_) {
+    metrics_.counter(std::string("controller.recovery.") + why)->Increment();
+    if (trace_.enabled()) {
+      TraceEvent event("recovery");
+      event.Num("t", sim_.Now()).Str("why", why);
+      if (ckpt_t > 0) event.Num("ckpt_t", ckpt_t);
+      trace_.Emit(event);
+    }
+  }
+  retuner_.Restart();
+  return true;
 }
 
 void ClusterHarness::Start() {

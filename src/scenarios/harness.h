@@ -7,6 +7,7 @@
 #include "cluster/admission.h"
 #include "cluster/resource_manager.h"
 #include "cluster/scheduler.h"
+#include "cluster/stats_channel.h"
 #include "common/metrics_registry.h"
 #include "common/span_tracer.h"
 #include "common/trace_log.h"
@@ -86,6 +87,33 @@ class ClusterHarness {
   SpanTracer* EnableSpanTracing(const SpanConfig& config = {});
   SpanTracer* span_tracer() { return span_tracer_.get(); }
 
+  // Routes interval stats reports through an explicit DES-delivered
+  // channel (publish -> deliver -> collect) instead of the retuner's
+  // direct engine handoff; injected `net` fault windows then make
+  // delivery lossy and the controller falls back to last-known-good
+  // stats with confidence decay. Works in either creation order with
+  // InjectFaults. Idempotent — later calls return the existing
+  // channel, ignoring `config`.
+  StatsChannel* EnableStatsChannel(const StatsChannelConfig& config = {});
+  StatsChannel* stats_channel() { return stats_channel_.get(); }
+
+  // Arms a recurring FGLBCKPT1 snapshot of the controller's control
+  // plane every `interval_seconds` (<= 0 uses the retuner interval).
+  // A `ctl` restart then restores from the latest blob instead of
+  // cold-starting. Idempotent.
+  void EnableCheckpointing(double interval_seconds = 0);
+  const std::string& latest_checkpoint() const { return checkpoint_blob_; }
+
+  // The `ctl` fault surface (also exposed for tests): CrashController
+  // halts the interval ticker and strands the controller's in-flight
+  // callbacks; RestartController wipes the control plane, restores it
+  // from the latest checkpoint (phase=recovery why=restored) or
+  // cold-starts (why=no_ckpt / why=bad_ckpt), and re-arms the ticker
+  // so the next diagnosis lands one interval later.
+  bool CrashController();
+  bool RestartController();
+  bool controller_down() const { return controller_down_; }
+
   // Wires workload-capture hooks into the whole cluster: `arrivals`
   // observes every scheduler Submit (existing schedulers and ones
   // added later), `executions` observes every engine's page-access
@@ -152,9 +180,16 @@ class ClusterHarness {
   std::unique_ptr<SpanTracer> span_tracer_;
   std::unique_ptr<FaultBackend> fault_backend_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  std::unique_ptr<StatsChannel> stats_channel_;
   ArrivalRecorder* arrival_recorder_ = nullptr;
   bool started_ = false;
   bool sampler_started_ = false;
+  // ctl-fault state: the latest FGLBCKPT1 blob (empty until the first
+  // cadence fires) and whether the controller is currently crashed.
+  std::string checkpoint_blob_;
+  double checkpoint_interval_ = 0;
+  bool checkpointing_ = false;
+  bool controller_down_ = false;
 };
 
 }  // namespace fglb

@@ -39,6 +39,8 @@ bool ParseKind(const std::string& name, FaultKind* out) {
   else if (name == "stats") *out = FaultKind::kStats;
   else if (name == "migration") *out = FaultKind::kMigration;
   else if (name == "tier") *out = FaultKind::kTier;
+  else if (name == "net") *out = FaultKind::kNet;
+  else if (name == "ctl") *out = FaultKind::kCtl;
   else return false;
   return true;
 }
@@ -93,6 +95,10 @@ const char* FaultKindName(FaultKind kind) {
       return "migration";
     case FaultKind::kTier:
       return "tier";
+    case FaultKind::kNet:
+      return "net";
+    case FaultKind::kCtl:
+      return "ctl";
   }
   return "unknown";
 }
@@ -133,6 +139,27 @@ std::string FaultSpec::ToString() const {
         if (e->tier_mode == kTierDegrade) out += ",factor=" + Num(e->factor);
         if (e->duration > 0) out += ",duration=" + Num(e->duration);
         break;
+      case FaultKind::kNet: {
+        // Zero-valued effects are omitted; the canonical form carries
+        // only what the window actually does.
+        std::string fields;
+        auto add = [&fields](const char* key, double v) {
+          if (v <= 0) return;
+          if (!fields.empty()) fields += ',';
+          fields += std::string(key) + "=" + Num(v);
+        };
+        add("drop", e->drop_rate);
+        add("dup", e->dup_rate);
+        add("corrupt", e->corrupt_rate);
+        add("reorder", e->reorder_rate);
+        add("delay", e->delay_seconds);
+        add("duration", e->duration);
+        out += fields;
+        break;
+      }
+      case FaultKind::kCtl:
+        if (e->restart_after >= 0) out += "restart=" + Num(e->restart_after);
+        break;
     }
   }
   return out;
@@ -163,7 +190,21 @@ bool FaultSpec::Parse(const std::string& text, FaultSpec* out,
       *error = "bad fault time in: " + entry;
       return false;
     }
-    for (const std::string& pair : Split(entry.substr(colon + 1), ',')) {
+    // An empty param list is zero pairs ("ctl@400:"), not one empty
+    // pair; inside a non-empty list an empty pair names either a
+    // trailing comma or a doubled one.
+    const std::string params = entry.substr(colon + 1);
+    const std::vector<std::string> pairs =
+        params.empty() ? std::vector<std::string>() : Split(params, ',');
+    std::vector<std::string> seen_keys;
+    for (size_t pi = 0; pi < pairs.size(); ++pi) {
+      const std::string pair = Trim(pairs[pi]);
+      if (pair.empty()) {
+        *error = pi + 1 == pairs.size()
+                     ? "trailing comma in fault entry: " + entry
+                     : "empty fault param in entry: " + entry;
+        return false;
+      }
       const size_t eq = pair.find('=');
       if (eq == std::string::npos) {
         *error = "fault param needs key=value, got: " + pair;
@@ -171,6 +212,20 @@ bool FaultSpec::Parse(const std::string& text, FaultSpec* out,
       }
       const std::string key = Trim(pair.substr(0, eq));
       const std::string value = Trim(pair.substr(eq + 1));
+      if (key.empty()) {
+        *error = "empty key in fault param: " + pair;
+        return false;
+      }
+      if (value.empty()) {
+        *error = "empty value for fault param " + key + " in: " + entry;
+        return false;
+      }
+      if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+          seen_keys.end()) {
+        *error = "duplicate fault param key " + key + " in: " + entry;
+        return false;
+      }
+      seen_keys.push_back(key);
       bool ok = true;
       if (key == "replica") ok = ParseIntField(value, &event.replica);
       else if (key == "server") ok = ParseIntField(value, &event.server);
@@ -179,6 +234,10 @@ bool FaultSpec::Parse(const std::string& text, FaultSpec* out,
       else if (key == "restart") ok = ParseDouble(value, &event.restart_after);
       else if (key == "delay") ok = ParseDouble(value, &event.delay_seconds);
       else if (key == "fail") ok = ParseDouble(value, &event.fail_rate);
+      else if (key == "drop") ok = ParseDouble(value, &event.drop_rate);
+      else if (key == "dup") ok = ParseDouble(value, &event.dup_rate);
+      else if (key == "corrupt") ok = ParseDouble(value, &event.corrupt_rate);
+      else if (key == "reorder") ok = ParseDouble(value, &event.reorder_rate);
       else if (key == "mode") {
         if (value == "drop") event.stats_mode = kStatsDropAll;
         else if (value == "partial") event.stats_mode = kStatsPartial;
@@ -220,6 +279,21 @@ bool FaultSpec::Parse(const std::string& text, FaultSpec* out,
         else if (event.tier_mode == kTierDegrade && event.factor <= 0)
           missing = "factor";
         break;
+      case FaultKind::kNet:
+        if (event.drop_rate < 0 || event.drop_rate > 1) missing = "drop";
+        else if (event.dup_rate < 0 || event.dup_rate > 1) missing = "dup";
+        else if (event.corrupt_rate < 0 || event.corrupt_rate > 1)
+          missing = "corrupt";
+        else if (event.reorder_rate < 0 || event.reorder_rate > 1)
+          missing = "reorder";
+        else if (event.delay_seconds < 0) missing = "delay";
+        else if (event.drop_rate + event.dup_rate + event.corrupt_rate +
+                     event.reorder_rate + event.delay_seconds <=
+                 0)
+          missing = "drop";  // a window must do *something*
+        break;
+      case FaultKind::kCtl:
+        break;  // restart is optional; absent = controller stays down
     }
     if (missing != nullptr) {
       *error = std::string("fault entry missing/invalid ") + missing + ": " +
@@ -301,6 +375,26 @@ FaultSpec MakeRandomFaultSpec(uint64_t seed, double duration,
     e.factor =
         e.tier_mode == kTierDegrade ? rng.UniformDouble(2, 10) : 0;
     e.duration = rng.UniformDouble(30, 120);
+    spec.events.push_back(e);
+  }
+  // And net/ctl after tier, for the same seed-stability reason.
+  for (int i = 0; i < profile.net_windows; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kNet;
+    e.time = when();
+    e.drop_rate = rng.UniformDouble(0.05, 0.3);
+    e.dup_rate = rng.UniformDouble(0, 0.15);
+    e.corrupt_rate = rng.UniformDouble(0, 0.1);
+    e.reorder_rate = rng.UniformDouble(0, 0.2);
+    e.delay_seconds = rng.UniformDouble(0, 4);
+    e.duration = rng.UniformDouble(60, 240);
+    spec.events.push_back(e);
+  }
+  for (int i = 0; i < profile.ctl_crashes; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCtl;
+    e.time = when();
+    e.restart_after = rng.UniformDouble(10, 40);
     spec.events.push_back(e);
   }
   return spec;
@@ -424,6 +518,31 @@ void FaultInjector::Fire(const FaultEvent& event) {
       }
       break;
     }
+    case FaultKind::kNet: {
+      ++net_windows_;
+      net_drop_rate_ = event.drop_rate;
+      net_dup_rate_ = event.dup_rate;
+      net_corrupt_rate_ = event.corrupt_rate;
+      net_reorder_rate_ = event.reorder_rate;
+      net_delay_ = event.delay_seconds;
+      Note("net_window", -1, event.drop_rate, true, false);
+      if (event.duration > 0) {
+        const FaultEvent copy = event;
+        sim_->ScheduleAfter(event.duration, [this, copy] { Revert(copy); });
+      }
+      break;
+    }
+    case FaultKind::kCtl: {
+      const bool ok = backend_->CrashController();
+      Note("ctl_crash", -1, 0, ok, false);
+      if (ok && event.restart_after >= 0) {
+        sim_->ScheduleAfter(event.restart_after, [this] {
+          const bool restarted = backend_->RestartController();
+          Note("ctl_restart", -1, 0, restarted, false);
+        });
+      }
+      break;
+    }
   }
 }
 
@@ -451,6 +570,12 @@ void FaultInjector::Revert(const FaultEvent& event) {
       Note("tier", event.replica, 1.0,
            backend_->SetTierFault(event.replica, 0, 1.0), true);
       break;
+    case FaultKind::kNet:
+      net_windows_ = std::max(0, net_windows_ - 1);
+      Note("net_window", -1, 0, true, true);
+      break;
+    case FaultKind::kCtl:
+      break;  // restarts are separate sub-events, like replica crashes
   }
 }
 
@@ -466,6 +591,39 @@ FaultInjector::MigrationDecision FaultInjector::OnMigrationAttempt(
       metrics_->counter("fault.migration.failed")->Increment();
     } else if (decision.delay_seconds > 0) {
       metrics_->counter("fault.migration.delayed")->Increment();
+    }
+  }
+  return decision;
+}
+
+FaultInjector::NetDecision FaultInjector::OnStatsReport(int /*replica_id*/,
+                                                        uint64_t /*seq*/) {
+  if (net_windows_ <= 0) return {};
+  NetDecision decision;
+  if (net_drop_rate_ > 0 && rng_.Bernoulli(net_drop_rate_)) {
+    decision.drop = true;
+    if (metrics_ != nullptr) {
+      metrics_->counter("fault.net.dropped")->Increment();
+    }
+    return decision;
+  }
+  decision.delay_seconds = net_delay_;
+  if (net_dup_rate_ > 0 && rng_.Bernoulli(net_dup_rate_)) {
+    decision.duplicate = true;
+    if (metrics_ != nullptr) {
+      metrics_->counter("fault.net.duplicated")->Increment();
+    }
+  }
+  if (net_corrupt_rate_ > 0 && rng_.Bernoulli(net_corrupt_rate_)) {
+    decision.corrupt = true;
+    if (metrics_ != nullptr) {
+      metrics_->counter("fault.net.corrupted")->Increment();
+    }
+  }
+  if (net_reorder_rate_ > 0 && rng_.Bernoulli(net_reorder_rate_)) {
+    decision.reorder = true;
+    if (metrics_ != nullptr) {
+      metrics_->counter("fault.net.reordered")->Increment();
     }
   }
   return decision;

@@ -29,6 +29,8 @@ enum class FaultKind {
   kStats,      // stats-collector dropout (missing/partial metrics)
   kMigration,  // window in which class migrations are delayed/failed
   kTier,       // second-tier cache failure (cold) or degradation (slow)
+  kNet,        // window of lossy stats transport (drop/dup/corrupt/...)
+  kCtl,        // controller crash (optionally restarted later)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -52,6 +54,8 @@ inline constexpr int kTierDegrade = 2;
 //   kStats:     replica, stats_mode, duration
 //   kMigration: delay_seconds, fail_rate, duration
 //   kTier:      replica, tier_mode, factor (degrade only), duration
+//   kNet:       drop/dup/corrupt/reorder rates, delay_seconds, duration
+//   kCtl:       restart_after (< 0 = controller stays down)
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   SimTime time = 0;
@@ -64,6 +68,11 @@ struct FaultEvent {
   int tier_mode = 0;  // required for kTier: kTierFail or kTierDegrade
   double delay_seconds = 0;
   double fail_rate = 0;
+  // kNet per-report Bernoulli rates (each in [0, 1]).
+  double drop_rate = 0;
+  double dup_rate = 0;
+  double corrupt_rate = 0;
+  double reorder_rate = 0;
 };
 
 // A full fault schedule. The textual grammar (see README):
@@ -78,6 +87,8 @@ struct FaultEvent {
 //   migration@100:delay=5,fail=0.5,duration=300
 //   tier@150:replica=0,mode=fail,duration=60
 //   tier@150:replica=0,mode=degrade,factor=10,duration=60
+//   net@200:drop=0.1,dup=0.05,corrupt=0.02,reorder=0.1,delay=2,duration=120
+//   ctl@400:restart=30
 struct FaultSpec {
   std::vector<FaultEvent> events;
 
@@ -88,7 +99,9 @@ struct FaultSpec {
   // serialize byte-identically — the determinism tests compare these.
   std::string ToString() const;
 
-  // Parses the grammar above. On failure returns false with a one-line
+  // Parses the grammar above. Duplicate keys, empty keys/values and
+  // trailing commas inside an entry are rejected with a message naming
+  // the offending token. On failure returns false with a one-line
   // message in *error; *out is left untouched.
   static bool Parse(const std::string& text, FaultSpec* out,
                     std::string* error);
@@ -108,6 +121,10 @@ struct RandomFaultProfile {
   // Off by default: pre-tier seeds must keep expanding to the
   // byte-identical schedules they always did.
   int tier_faults = 0;
+  // Likewise off by default; drawn after tier faults for the same
+  // seed-stability reason.
+  int net_windows = 0;
+  int ctl_crashes = 0;
   double min_time_fraction = 0.2;
   double max_time_fraction = 0.8;
 };
@@ -139,6 +156,12 @@ class FaultBackend {
                             double /*factor*/) {
     return false;
   }
+  // kCtl hooks: halt the controller's diagnosis loop mid-run, then
+  // bring it back (restoring from a checkpoint when one exists).
+  // Defaulted like SetTierFault so pre-existing backends keep
+  // compiling; the defaults report "no controller to crash".
+  virtual bool CrashController() { return false; }
+  virtual bool RestartController() { return false; }
 };
 
 class FaultInjector {
@@ -147,6 +170,17 @@ class FaultInjector {
   // the controller's migration interceptor).
   struct MigrationDecision {
     bool fail = false;
+    double delay_seconds = 0;
+  };
+
+  // What one published interval report should experience in transit
+  // (consulted by the StatsChannel). Outside any net window every
+  // field stays at its default and the report is delivered untouched.
+  struct NetDecision {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    bool reorder = false;
     double delay_seconds = 0;
   };
 
@@ -168,7 +202,15 @@ class FaultInjector {
   // sequence is deterministic per seed and per attempt order.
   MigrationDecision OnMigrationAttempt(uint64_t class_key, int attempt);
 
+  // Decides the fate of one stats report in transit. Outside any net
+  // window this returns the all-default (deliver untouched) decision;
+  // inside, each effect is a seeded Bernoulli draw on the window's
+  // rate. A dropped report draws nothing further, so the decision
+  // stream stays deterministic per seed and publish order.
+  NetDecision OnStatsReport(int replica_id, uint64_t seq);
+
   bool migration_window_active() const { return migration_windows_ > 0; }
+  bool net_window_active() const { return net_windows_ > 0; }
   const FaultSpec& spec() const { return spec_; }
   uint64_t faults_injected() const { return injected_; }
   // Events whose target no longer existed when they fired.
@@ -193,6 +235,13 @@ class FaultInjector {
   int migration_windows_ = 0;
   double migration_delay_ = 0;
   double migration_fail_rate_ = 0;
+  // Active net-fault window state (same last-armed-wins rule).
+  int net_windows_ = 0;
+  double net_drop_rate_ = 0;
+  double net_dup_rate_ = 0;
+  double net_corrupt_rate_ = 0;
+  double net_reorder_rate_ = 0;
+  double net_delay_ = 0;
   MetricsRegistry* metrics_ = nullptr;
   TraceLog* trace_ = nullptr;
 };

@@ -25,12 +25,18 @@ struct SoakResult {
 };
 
 SoakResult RunSoak(uint64_t seed, const RandomFaultProfile& profile,
-                   double duration) {
+                   double duration, bool survivability = false) {
   SCOPED_TRACE("seed " + std::to_string(seed));
   SelectiveRetuner::Config config;
   config.max_migrations_per_interval = 2;
   ClusterHarness h(config);
   h.trace().EnableBuffering();
+  if (survivability) {
+    // net windows need the DES-delivered transport to bite, and ctl
+    // crashes restore from FGLBCKPT1 instead of cold-starting.
+    h.EnableStatsChannel();
+    h.EnableCheckpointing();
+  }
   h.AddServers(3);
   Scheduler* tpcw = h.AddApplication(MakeTpcw());
   RubisOptions rubis_options;
@@ -115,6 +121,26 @@ TEST(ChaosSoakTest, HeavyProfileStaysBounded) {
   profile.max_time_fraction = 0.9;
   const SoakResult result = RunSoak(9001, profile, /*duration=*/400);
   EXPECT_GT(result.faults, 0u);
+}
+
+TEST(ChaosSoakTest, SurvivabilityProfileKeepsInvariantsAcrossSeeds) {
+  // The full fault surface: legacy churn plus tier faults, lossy
+  // stats-transport windows and a controller crash/restart, against a
+  // harness running the stats channel and checkpoint cadence. The same
+  // conservation / budget / trace invariants must hold — a restored
+  // controller double-starting migrations would blow the start budget,
+  // and malformed recovery events would fail the trace check.
+  RandomFaultProfile profile;
+  profile.replicas = 2;
+  profile.servers = 3;
+  profile.tier_faults = 1;
+  profile.net_windows = 2;
+  profile.ctl_crashes = 1;
+  for (uint64_t seed : {5u, 23u, 404u}) {
+    const SoakResult result =
+        RunSoak(seed, profile, /*duration=*/400, /*survivability=*/true);
+    EXPECT_GT(result.faults, 0u);
+  }
 }
 
 }  // namespace

@@ -42,6 +42,107 @@ TEST(FaultSpecTest, ToStringRoundTripsThroughParse) {
   EXPECT_EQ(reparsed.ToString(), text);
 }
 
+TEST(FaultSpecTest, EveryKindRoundTripsByteIdentically) {
+  const char* entries[] = {
+      "crash@120:replica=1,restart=60",
+      "crash@120:replica=1",  // never restarted
+      "disk@300:server=0,factor=8,duration=120",
+      "slow@200:replica=0,factor=3,duration=100",
+      "stats@250:replica=0,mode=drop,duration=50",
+      "stats@250:replica=0,mode=partial,duration=50",
+      "migration@100:delay=5,fail=0.5,duration=300",
+      "tier@150:replica=0,mode=fail,duration=60",
+      "tier@150:replica=0,mode=degrade,factor=10,duration=60",
+      "net@200:drop=0.1,dup=0.05,corrupt=0.02,reorder=0.1,delay=2,"
+      "duration=120",
+      "net@200:drop=0.25,duration=60",  // partial rate set
+      "ctl@400:restart=30",
+      "ctl@400:",  // controller stays down
+  };
+  for (const char* text : entries) {
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(FaultSpec::Parse(text, &spec, &error)) << text << ": "
+                                                       << error;
+    ASSERT_EQ(spec.events.size(), 1u) << text;
+    FaultSpec reparsed;
+    ASSERT_TRUE(FaultSpec::Parse(spec.ToString(), &reparsed, &error))
+        << spec.ToString() << ": " << error;
+    EXPECT_EQ(reparsed.ToString(), spec.ToString()) << text;
+  }
+}
+
+TEST(FaultSpecTest, ParseRejectsSloppyEntriesNamingTheToken) {
+  struct Case {
+    const char* text;
+    const char* named;  // substring the error must carry
+  };
+  const Case bad[] = {
+      {"crash@10:replica=1,replica=2", "replica"},       // duplicate key
+      {"net@10:drop=0.1,drop=0.2,duration=5", "drop"},   // duplicate key
+      {"crash@10:replica=", "replica"},                  // empty value
+      {"net@10:drop=0.1,,duration=5", "empty fault param"},  // doubled comma
+      {"crash@10:replica=1,", "trailing"},               // trailing comma
+      {"net@10:drop=0.1,duration=5,", "trailing"},       // trailing comma
+      {"net@10:drop=1.5,duration=5", "drop"},            // rate out of range
+      {"net@10:duration=5", "drop"},                     // window does nothing
+  };
+  for (const Case& c : bad) {
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(FaultSpec::Parse(c.text, &spec, &error)) << c.text;
+    EXPECT_NE(error.find(c.named), std::string::npos)
+        << c.text << " -> " << error;
+    EXPECT_TRUE(spec.events.empty()) << c.text;  // *out left untouched
+  }
+}
+
+TEST(FaultSpecTest, RandomSpecWithNewKindsRoundTripsAndStaysInBounds) {
+  RandomFaultProfile profile;
+  profile.replicas = 3;
+  profile.servers = 2;
+  profile.tier_faults = 1;
+  profile.net_windows = 2;
+  profile.ctl_crashes = 1;
+  const FaultSpec spec = MakeRandomFaultSpec(13, 1000, profile);
+  EXPECT_EQ(spec.events.size(), 9u);  // 5 legacy + tier + 2 net + ctl
+  int tiers = 0, nets = 0, ctls = 0;
+  for (const FaultEvent& e : spec.events) {
+    EXPECT_GE(e.time, profile.min_time_fraction * 1000);
+    EXPECT_LE(e.time, profile.max_time_fraction * 1000);
+    switch (e.kind) {
+      case FaultKind::kTier:
+        ++tiers;
+        EXPECT_TRUE(e.tier_mode == kTierFail || e.tier_mode == kTierDegrade);
+        break;
+      case FaultKind::kNet:
+        ++nets;
+        for (double rate : {e.drop_rate, e.dup_rate, e.corrupt_rate,
+                            e.reorder_rate}) {
+          EXPECT_GE(rate, 0.0);
+          EXPECT_LE(rate, 1.0);
+        }
+        EXPECT_GT(e.duration, 0.0);
+        break;
+      case FaultKind::kCtl:
+        ++ctls;
+        EXPECT_GT(e.restart_after, 0.0);  // soak runs must come back up
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(tiers, 1);
+  EXPECT_EQ(nets, 2);
+  EXPECT_EQ(ctls, 1);
+  // Byte-identical per seed, round-trips through the grammar.
+  EXPECT_EQ(spec.ToString(), MakeRandomFaultSpec(13, 1000, profile).ToString());
+  FaultSpec reparsed;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::Parse(spec.ToString(), &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.ToString(), spec.ToString());
+}
+
 TEST(FaultSpecTest, ParseRejectsMalformedEntries) {
   const char* bad[] = {
       "boom@10:replica=1",              // unknown kind

@@ -1,0 +1,289 @@
+#include "cluster/stats_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fglb {
+namespace {
+
+StatsChannel::Snapshot MakeSnapshot(double base) {
+  StatsChannel::Snapshot snapshot;
+  for (uint32_t cls = 1; cls <= 3; ++cls) {
+    MetricVector v{};
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = base + static_cast<double>(cls * 10 + i) / 7.0;
+    }
+    snapshot[MakeClassKey(1, cls)] = v;
+  }
+  return snapshot;
+}
+
+// --- config spec codec ---
+
+TEST(StatsChannelConfigTest, DefaultsEncodeEmptyAndRoundTrip) {
+  StatsChannelConfig config;
+  EXPECT_EQ(config.ToString(), "");
+  StatsChannelConfig parsed;
+  std::string error;
+  ASSERT_TRUE(StatsChannelConfig::Parse("", &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.guard);
+
+  config.guard = false;
+  config.decay = 0.25;
+  config.recover = 0.5;
+  config.act_threshold = 0.75;
+  const std::string text = config.ToString();
+  ASSERT_TRUE(StatsChannelConfig::Parse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.ToString(), text);
+  EXPECT_FALSE(parsed.guard);
+  EXPECT_DOUBLE_EQ(parsed.decay, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.recover, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.act_threshold, 0.75);
+
+  EXPECT_FALSE(StatsChannelConfig::Parse("bogus=1", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- lossless transport: the healthy path is a bit-exact handoff ---
+
+TEST(StatsChannelTest, LosslessDeliveryIsBitExactAndFresh) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  const StatsChannel::Snapshot sent = MakeSnapshot(3.14159);
+  channel.Publish(7, sent, 10);
+  const StatsChannel::Feed feed = channel.Collect(7);
+  EXPECT_TRUE(feed.fresh);
+  EXPECT_EQ(feed.stale_intervals, 0u);
+  EXPECT_DOUBLE_EQ(feed.confidence, 1.0);
+  EXPECT_EQ(feed.last_seq, 1u);
+  ASSERT_NE(feed.snapshot, nullptr);
+  EXPECT_EQ(*feed.snapshot, sent);  // IEEE-754 bit equality per double
+}
+
+TEST(StatsChannelTest, CollectWithoutReplicaHistoryIsStale) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  const StatsChannel::Feed feed = channel.Collect(3);
+  EXPECT_FALSE(feed.fresh);
+  EXPECT_EQ(feed.stale_intervals, 1u);
+  ASSERT_NE(feed.snapshot, nullptr);
+  EXPECT_TRUE(feed.snapshot->empty());
+}
+
+// --- faulty transport: drops, corruption, duplication, reordering ---
+
+TEST(StatsChannelTest, DroppedReportsDecayConfidenceAndResyncRecovers) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  bool drop = false;
+  channel.set_net_hook([&drop](int, uint64_t) {
+    FaultInjector::NetDecision d;
+    d.drop = drop;
+    return d;
+  });
+  channel.Publish(1, MakeSnapshot(1.0), 10);
+  EXPECT_TRUE(channel.Collect(1).fresh);
+
+  drop = true;
+  double last_confidence = 1.0;
+  for (uint64_t i = 1; i <= 3; ++i) {
+    channel.Publish(1, MakeSnapshot(1.0 + static_cast<double>(i)), 10);
+    const StatsChannel::Feed feed = channel.Collect(1);
+    EXPECT_FALSE(feed.fresh);
+    EXPECT_EQ(feed.stale_intervals, i);
+    EXPECT_LT(feed.confidence, last_confidence);
+    last_confidence = feed.confidence;
+    // Fallback serves the last-known-good snapshot, not garbage.
+    EXPECT_EQ(*feed.snapshot, MakeSnapshot(1.0));
+    EXPECT_FALSE(channel.ConfidentToAct(feed.confidence));
+  }
+
+  drop = false;
+  channel.Publish(1, MakeSnapshot(9.0), 10);
+  const StatsChannel::Feed feed = channel.Collect(1);
+  EXPECT_TRUE(feed.fresh);
+  EXPECT_EQ(feed.stale_intervals, 0u);
+  EXPECT_EQ(*feed.snapshot, MakeSnapshot(9.0));
+  EXPECT_GT(feed.confidence, last_confidence);
+}
+
+TEST(StatsChannelTest, CorruptReportsAreRejectedByCrc) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  channel.Publish(1, MakeSnapshot(1.0), 10);
+  EXPECT_TRUE(channel.Collect(1).fresh);
+  channel.set_net_hook([](int, uint64_t) {
+    FaultInjector::NetDecision d;
+    d.corrupt = true;
+    return d;
+  });
+  channel.Publish(1, MakeSnapshot(2.0), 10);
+  const StatsChannel::Feed feed = channel.Collect(1);
+  EXPECT_FALSE(feed.fresh);  // the mangled report never reached the feed
+  EXPECT_EQ(*feed.snapshot, MakeSnapshot(1.0));
+}
+
+TEST(StatsChannelTest, DuplicatesAndStaleSeqsAreIgnored) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  channel.set_net_hook([](int, uint64_t) {
+    FaultInjector::NetDecision d;
+    d.duplicate = true;
+    return d;
+  });
+  channel.Publish(1, MakeSnapshot(5.0), 10);
+  StatsChannel::Feed feed = channel.Collect(1);
+  EXPECT_TRUE(feed.fresh);
+  EXPECT_EQ(feed.last_seq, 1u);
+  // The duplicate copy must not register as a second fresh report.
+  feed = channel.Collect(1);
+  EXPECT_FALSE(feed.fresh);
+}
+
+TEST(StatsChannelTest, ReorderedReportLosesToItsSuccessor) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  bool reorder = true;
+  channel.set_net_hook([&reorder](int, uint64_t) {
+    FaultInjector::NetDecision d;
+    d.reorder = reorder;
+    return d;
+  });
+  // seq 1 is pushed 1.5 intervals out; seq 2 arrives on time and wins.
+  channel.Publish(1, MakeSnapshot(1.0), 10);
+  reorder = false;
+  sim.ScheduleAfter(10, [&channel] {
+    channel.Publish(1, MakeSnapshot(2.0), 10);
+  });
+  sim.RunUntil(30);  // both copies are in by now
+  const StatsChannel::Feed feed = channel.Collect(1);
+  EXPECT_TRUE(feed.fresh);
+  EXPECT_EQ(feed.last_seq, 2u);
+  EXPECT_EQ(*feed.snapshot, MakeSnapshot(2.0));
+}
+
+// --- the guard: fence widening, act threshold, flap damping ---
+
+TEST(StatsChannelTest, FenceScaleWidensAsConfidenceDecaysAndIsCapped) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  EXPECT_DOUBLE_EQ(channel.FenceScale(1.0), 1.0);
+  EXPECT_GT(channel.FenceScale(0.5), channel.FenceScale(0.9));
+  EXPECT_LE(channel.FenceScale(1e-9), 8.0);  // long outage, finite fences
+}
+
+TEST(StatsChannelTest, GuardOffPinsFullConfidence) {
+  Simulator sim;
+  StatsChannelConfig config;
+  config.guard = false;
+  StatsChannel channel(&sim, config);
+  channel.set_net_hook([](int, uint64_t) {
+    FaultInjector::NetDecision d;
+    d.drop = true;
+    return d;
+  });
+  channel.Publish(1, MakeSnapshot(1.0), 10);
+  const StatsChannel::Feed feed = channel.Collect(1);
+  EXPECT_FALSE(feed.fresh);
+  EXPECT_DOUBLE_EQ(feed.confidence, 1.0);  // the flapping ablation arm
+  EXPECT_TRUE(channel.ConfidentToAct(feed.confidence));
+}
+
+TEST(StatsChannelTest, AlternatingLossNeverClearsActThreshold) {
+  // Flap damping: with decay=0.5 / recover=0.25, a link that loses
+  // every other report oscillates confidence strictly below the 0.9
+  // act threshold, so actions cannot ping-pong with the link state.
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  bool drop = false;
+  channel.set_net_hook([&drop](int, uint64_t) {
+    FaultInjector::NetDecision d;
+    d.drop = drop;
+    return d;
+  });
+  channel.Publish(1, MakeSnapshot(0.0), 10);
+  EXPECT_TRUE(channel.Collect(1).fresh);
+  for (int i = 0; i < 20; ++i) {
+    drop = !drop;
+    channel.Publish(1, MakeSnapshot(static_cast<double>(i)), 10);
+    const StatsChannel::Feed feed = channel.Collect(1);
+    if (i > 0) {  // after the first loss the flap regime is reached
+      EXPECT_FALSE(channel.ConfidentToAct(feed.confidence)) << i;
+    }
+  }
+}
+
+// --- lifecycle: retention and checkpoint round-trip ---
+
+TEST(StatsChannelTest, RetainDropsDeadReplicas) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  channel.Publish(1, MakeSnapshot(1.0), 10);
+  channel.Publish(2, MakeSnapshot(2.0), 10);
+  channel.Collect(1);
+  channel.Collect(2);
+  channel.Retain({2});
+  // Replica 1's receiver state is gone: a fresh Collect starts over.
+  EXPECT_TRUE(channel.Collect(1).snapshot->empty());
+  EXPECT_EQ(*channel.Collect(2).snapshot, MakeSnapshot(2.0));
+}
+
+TEST(StatsChannelTest, ReceiverStateRoundTripsThroughSerialize) {
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  bool drop = false;
+  channel.set_net_hook([&drop](int, uint64_t) {
+    FaultInjector::NetDecision d;
+    d.drop = drop;
+    return d;
+  });
+  channel.Publish(1, MakeSnapshot(4.0), 10);
+  channel.Collect(1);
+  drop = true;
+  channel.Publish(1, MakeSnapshot(5.0), 10);
+  const StatsChannel::Feed before = channel.Collect(1);
+  EXPECT_FALSE(before.fresh);
+
+  std::string blob;
+  channel.SerializeReceiverState(&blob);
+  channel.ResetReceiverState();
+  EXPECT_TRUE(channel.Collect(1).snapshot->empty());
+
+  // Restoring resumes the exact staleness episode: same last-known-good
+  // snapshot, same confidence, and the next miss continues the count.
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(blob.data());
+  ASSERT_TRUE(channel.RestoreReceiverState(p, p + blob.size()));
+  channel.Publish(1, MakeSnapshot(6.0), 10);  // dropped
+  const StatsChannel::Feed after = channel.Collect(1);
+  EXPECT_FALSE(after.fresh);
+  EXPECT_EQ(after.stale_intervals, before.stale_intervals + 1);
+  EXPECT_EQ(*after.snapshot, MakeSnapshot(4.0));
+
+  // Truncated blobs are rejected, not half-applied.
+  StatsChannel other(&sim, {});
+  ASSERT_GT(blob.size(), 4u);
+  EXPECT_FALSE(other.RestoreReceiverState(p, p + blob.size() - 3));
+}
+
+TEST(StatsChannelTest, PublisherSequencesSurviveReceiverReset) {
+  // Publisher seq is data-plane state: a ctl crash wipes the receiver
+  // but the next report still carries the next sequence number, so a
+  // restored controller cannot mistake a replayed-looking report for a
+  // fresh one.
+  Simulator sim;
+  StatsChannel channel(&sim, {});
+  channel.Publish(1, MakeSnapshot(1.0), 10);
+  channel.Collect(1);
+  channel.ResetReceiverState();
+  channel.Publish(1, MakeSnapshot(2.0), 10);
+  const StatsChannel::Feed feed = channel.Collect(1);
+  EXPECT_TRUE(feed.fresh);
+  EXPECT_EQ(feed.last_seq, 2u);
+}
+
+}  // namespace
+}  // namespace fglb

@@ -199,6 +199,59 @@ if "./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/broken-tier.jsonl" \
   exit 1
 fi
 
+echo "=== survivability smoke: lossy stats channel + controller crash ==="
+# chaos-net: reports cross a lossy transport. The trace must pass
+# --check (which validates per-replica report_seq / stale_intervals
+# continuity on the recovery events), surface report_lost counts in the
+# summary, and — because the stats-channel spec rides in the FGLBCAP1
+# header — replay byte-identically: actions exactly, the full trace
+# modulo the wall-clock mono_us/dur_us fields.
+"./${PREFIX}/tools/fglb_sim" --scenario=chaos-net --duration=600 \
+  --fault-seed=7 --log-level=quiet \
+  --capture-out="${SMOKE_DIR}/net.fglbcap" \
+  --trace-out="${SMOKE_DIR}/net.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/net.jsonl" --check
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/net.jsonl" --summary \
+  | grep -q 'report_lost'
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/net.fglbcap" \
+  --trace-out="${SMOKE_DIR}/net-replay.jsonl"
+diff <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/net.jsonl" \
+         --phase=action) \
+     <("./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/net-replay.jsonl" \
+         --phase=action)
+diff <(sed 's/"mono_us":[0-9]*,//; s/"dur_us":[0-9.]*,\?//' \
+         "${SMOKE_DIR}/net.jsonl") \
+     <(sed 's/"mono_us":[0-9]*,//; s/"dur_us":[0-9.]*,\?//' \
+         "${SMOKE_DIR}/net-replay.jsonl")
+# chaos-ctl: a controller crash + restart lands on top of the lossy
+# window. The restart must restore from the FGLBCKPT1 blob — a
+# why=restored recovery event, never bad_ckpt — and the whole run
+# (crash, restore, everything after) must replay byte for byte.
+"./${PREFIX}/tools/fglb_sim" --scenario=chaos-ctl --duration=600 \
+  --fault-seed=7 --log-level=quiet \
+  --capture-out="${SMOKE_DIR}/ctl.fglbcap" \
+  --trace-out="${SMOKE_DIR}/ctl.jsonl" >/dev/null
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/ctl.jsonl" --check
+"./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/ctl.jsonl" \
+  --phase=recovery | grep -q '"why":"restored"'
+if "./${PREFIX}/tools/fglb_tracecat" "${SMOKE_DIR}/ctl.jsonl" \
+  --phase=recovery | grep -q '"why":"bad_ckpt"'; then
+  echo "controller restored from a corrupt checkpoint" >&2
+  exit 1
+fi
+"./${PREFIX}/tools/fglb_replay" "${SMOKE_DIR}/ctl.fglbcap" \
+  --trace-out="${SMOKE_DIR}/ctl-replay.jsonl"
+diff <(sed 's/"mono_us":[0-9]*,//; s/"dur_us":[0-9.]*,\?//' \
+         "${SMOKE_DIR}/ctl.jsonl") \
+     <(sed 's/"mono_us":[0-9]*,//; s/"dur_us":[0-9.]*,\?//' \
+         "${SMOKE_DIR}/ctl-replay.jsonl")
+# The recovery bench enforces its own shape: exits non-zero if guarded
+# recovery drifts past 1.5x lossless or the unguarded arm stops
+# flapping.
+cmake --build "${PREFIX}" -j "${JOBS}" --target bench_recovery
+"./${PREFIX}/bench/bench_recovery" "${SMOKE_DIR}/recovery.json" >/dev/null
+grep -q '"flap_ratio_unguarded"' "${SMOKE_DIR}/recovery.json"
+
 echo "=== DES kernel smoke: calendar queue vs legacy heap ==="
 # Small event budgets, but the full old-vs-new comparison: the run
 # exits non-zero if the calendar queue is slower than the heap on the
@@ -216,9 +269,10 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}" \
   sim_determinism_test scale_replay_test span_tracer_test \
   streaming_mrc_test opt_oracle_test arc_buffer_pool_test \
   tiered_buffer_pool_test tiered_replay_test fglb_sim_cli \
-  fglb_tracecat
+  fglb_tracecat stats_channel_test controller_checkpoint_test \
+  recovery_test
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay|SpanConfig|SpanTracer|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|ArcBufferPool|ReplacementPolicy|TierConfig|TieredBufferPool|TieredReplay|QuotaPlannerTiered|MissRatioCurveTier'
+  -R 'Admission|Scheduler|FailureInjection|SimDeterminism|ScaleReplay|SpanConfig|SpanTracer|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|ArcBufferPool|ReplacementPolicy|TierConfig|TieredBufferPool|TieredReplay|QuotaPlannerTiered|MissRatioCurveTier|StatsChannel|ControllerCheckpoint|RecoveryTest'
 "./${PREFIX}-asan/tools/fglb_sim" --scenario=overload --duration=180 \
   --log-level=quiet --trace-out="${SMOKE_DIR}/overload-asan.jsonl" >/dev/null
 "./${PREFIX}-asan/tools/fglb_tracecat" "${SMOKE_DIR}/overload-asan.jsonl" \
@@ -231,8 +285,9 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
   metrics_registry_test trace_log_test observability_integration_test \
   span_tracer_test fault_injector_test chaos_soak_test replay_codec_test \
   replay_test sim_determinism_test scale_replay_test \
-  streaming_mrc_test opt_oracle_test tiered_replay_test
+  streaming_mrc_test opt_oracle_test tiered_replay_test \
+  stats_channel_test controller_checkpoint_test recovery_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|MaxGauge|LatencyHistogram|TraceLog|Observability|SpanConfig|SpanTracer|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|TieredReplay'
+  -R 'ThreadPool|ParallelDiagnosis|LogAnalyzer|SelectiveRetuner|MetricsRegistry|MaxGauge|LatencyHistogram|TraceLog|Observability|SpanConfig|SpanTracer|FaultSpec|FaultInjector|Chaos|ReplayCodec|ReplayTest|SimDeterminism|ScaleReplay|Streaming|MrcSpec|OptOracle|OptForward|OptDominance|RegretVsOpt|TieredReplay|StatsChannel|ControllerCheckpoint|RecoveryTest'
 
 echo "CI OK"

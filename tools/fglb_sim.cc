@@ -154,7 +154,9 @@ void Assemble(const CliOptions& options, ClusterHarness* harness) {
       break;
     }
     case CliOptions::Scenario::kChaosReplica:
-    case CliOptions::Scenario::kChaosDisk: {
+    case CliOptions::Scenario::kChaosDisk:
+    case CliOptions::Scenario::kChaosNet:
+    case CliOptions::Scenario::kChaosCtl: {
       // Consolidation topology plus a second TPC-W replica so a crash
       // degrades capacity instead of zeroing it.
       Scheduler* tpcw = harness->AddApplication(MakeTpcw());
@@ -186,6 +188,8 @@ const char* ScenarioName(CliOptions::Scenario scenario) {
     case CliOptions::Scenario::kIoContention: return "io";
     case CliOptions::Scenario::kChaosReplica: return "chaos-replica";
     case CliOptions::Scenario::kChaosDisk: return "chaos-disk";
+    case CliOptions::Scenario::kChaosNet: return "chaos-net";
+    case CliOptions::Scenario::kChaosCtl: return "chaos-ctl";
     case CliOptions::Scenario::kOverload: return "overload";
     case CliOptions::Scenario::kTierThrash: return "tier-thrash";
     case CliOptions::Scenario::kTierFail: return "tier-fail";
@@ -213,6 +217,22 @@ std::string DefaultFaultSpec(const CliOptions& options) {
                     "disk@%.0f:server=0,factor=8,duration=%.0f;"
                     "slow@%.0f:replica=0,factor=3,duration=%.0f",
                     d / 3, d / 6, d / 2, d / 6);
+      return buf;
+    case CliOptions::Scenario::kChaosNet:
+      // One long lossy window over the middle third of the run: the
+      // controller rides last-known-good stats through it.
+      std::snprintf(buf, sizeof(buf),
+                    "net@%.0f:drop=0.08,dup=0.03,corrupt=0.02,reorder=0.05,"
+                    "delay=1,duration=%.0f",
+                    d / 3, d / 3);
+      return buf;
+    case CliOptions::Scenario::kChaosCtl:
+      // A lossy window, then the controller itself crashes inside it
+      // and restarts 30 s later from the FGLBCKPT1 checkpoint.
+      std::snprintf(buf, sizeof(buf),
+                    "net@%.0f:drop=0.08,duration=%.0f;"
+                    "ctl@%.0f:restart=30",
+                    d / 3, d / 3, d / 2);
       return buf;
     case CliOptions::Scenario::kTierFail:
       // The SSD tier dies cold mid-run, then recovers and later merely
@@ -250,7 +270,9 @@ int main(int argc, char** argv) {
 
   const bool chaos =
       options.scenario == CliOptions::Scenario::kChaosReplica ||
-      options.scenario == CliOptions::Scenario::kChaosDisk;
+      options.scenario == CliOptions::Scenario::kChaosDisk ||
+      options.scenario == CliOptions::Scenario::kChaosNet ||
+      options.scenario == CliOptions::Scenario::kChaosCtl;
   const bool tiered_scenario =
       options.scenario == CliOptions::Scenario::kTierThrash ||
       options.scenario == CliOptions::Scenario::kTierFail ||
@@ -346,6 +368,32 @@ int main(int argc, char** argv) {
     }
     LogInfo("span tracing on: %s", span_spec_text.c_str());
   }
+  std::string stats_spec_text;
+  const bool stats_channel_on =
+      options.stats_net == "channel" ||
+      (options.stats_net == "auto" &&
+       (options.scenario == CliOptions::Scenario::kChaosNet ||
+        options.scenario == CliOptions::Scenario::kChaosCtl));
+  if (stats_channel_on) {
+    StatsChannelConfig channel_config;
+    channel_config.guard = options.stats_guard != "off";
+    harness.EnableStatsChannel(channel_config);
+    stats_spec_text = channel_config.ToString();
+    // An all-defaults config serializes to ""; captures use empty to
+    // mean "no channel", so pin the guard key as the canonical form.
+    if (stats_spec_text.empty()) stats_spec_text = "guard=on";
+    LogInfo("stats channel on: %s", stats_spec_text.c_str());
+  }
+  double ckpt_interval = options.ckpt_interval;
+  if (ckpt_interval < 0) {
+    ckpt_interval = options.scenario == CliOptions::Scenario::kChaosCtl
+                        ? harness.retuner().config().interval_seconds
+                        : 0;
+  }
+  if (ckpt_interval > 0) {
+    harness.EnableCheckpointing(ckpt_interval);
+    LogInfo("controller checkpointing on: every %.0f s", ckpt_interval);
+  }
   const std::string fault_spec_text =
       !options.fault_spec.empty() ? options.fault_spec
                                   : DefaultFaultSpec(options);
@@ -382,6 +430,12 @@ int main(int argc, char** argv) {
     info.replacement_spec = replacement == ReplacementPolicy::kLru
                                 ? ""
                                 : ReplacementPolicyName(replacement);
+    info.stats_spec = stats_spec_text;
+    if (ckpt_interval > 0) {
+      char ckpt_buf[64];
+      std::snprintf(ckpt_buf, sizeof(ckpt_buf), "interval=%g", ckpt_interval);
+      info.ckpt_spec = ckpt_buf;
+    }
     std::string capture_error;
     if (!capture_writer->Open(options.capture_out, info,
                               SnapshotTopology(harness), &capture_error)) {

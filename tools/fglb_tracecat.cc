@@ -54,7 +54,7 @@ struct TracecatOptions {
 // --summary prints a row per phase even at zero events.
 const char* const kKnownPhases[] = {"sla",    "impact",    "iqr",
                                     "mrc",    "action",    "migration",
-                                    "fault",  "admission"};
+                                    "fault",  "admission", "recovery"};
 
 const char kUsage[] =
     R"(fglb_tracecat -- inspector for fglb_sim --trace-out JSONL traces
@@ -62,7 +62,7 @@ const char kUsage[] =
 usage: fglb_tracecat FILE [options]
 
   --phase=NAME   only events of this phase (sla|impact|iqr|mrc|action|
-                 migration|fault|admission);
+                 migration|fault|admission|recovery);
                  --phase=action prints the simulator's action-log format
   --app=N        only events of application N
   --class=N      only events mentioning query class N (any app)
@@ -296,6 +296,7 @@ int Run(const TracecatOptions& options) {
     for (const char* phase : kKnownPhases) phases[phase];
   }
   std::map<std::string, uint64_t> action_kinds;
+  std::map<std::string, uint64_t> recovery_whys;
   uint64_t line_number = 0;
   uint64_t matched = 0;
   for (const std::string& line : lines) {
@@ -323,6 +324,9 @@ int Run(const TracecatOptions& options) {
       }
       if (phase == "action") {
         ++action_kinds[event.StringOr("kind", "?")];
+      }
+      if (phase == "recovery") {
+        ++recovery_whys[event.StringOr("why", "?")];
       }
       continue;
     }
@@ -362,6 +366,16 @@ int Run(const TracecatOptions& options) {
       std::printf("\nactions by kind:\n");
       for (const auto& [kind, count] : action_kinds) {
         std::printf("  %-18s %8llu\n", kind.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+    }
+    if (!recovery_whys.empty()) {
+      // report_lost counts the dropped/late interval reports the
+      // controller rode out on last-known-good stats; the others are
+      // resyncs and controller restore/cold-start outcomes.
+      std::printf("\nrecovery events by why:\n");
+      for (const auto& [why, count] : recovery_whys) {
+        std::printf("  %-18s %8llu\n", why.c_str(),
                     static_cast<unsigned long long>(count));
       }
     }
